@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures.
+
+One :class:`~repro.experiments.base.ExperimentContext` per session: the
+statistical library, the minimum-period search and every synthesis run
+are memoized inside it, so each bench pays only for what it adds.
+
+Scale: benches default to the quick flow (scaled-down design, 30 MC
+samples) which preserves every trend; set ``REPRO_SCALE=paper`` for the
+full ~18k-gate, 50-sample setup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def context():
+    return ExperimentContext()
+
+
+def show(result) -> None:
+    """Print an experiment's table (captured by pytest, shown with -s)."""
+    print()
+    print(result.to_text())

@@ -1,0 +1,51 @@
+"""Ablation: the paper's rho = 0 correlation assumption (Sec. V.B).
+
+The paper argues local variations are uncorrelated and simplifies
+eq. (9) to the root-sum-square eq. (10).  This bench sweeps rho on the
+real baseline design: the design sigma grows monotonically with the
+assumed correlation, and rho=0 is the optimistic end — quantifying how
+much the assumption matters.
+"""
+
+from conftest import show
+
+from repro.experiments.base import ExperimentResult
+from repro.sta.statistics import design_statistics
+
+
+def test_ablation_rho_sweep(benchmark, context):
+    flow = context.flow
+    period = context.standard_periods()["medium"]
+    run = flow.baseline(period)
+
+    def sweep():
+        rows = []
+        for rho in (0.0, 0.1, 0.25, 0.5, 1.0):
+            stats = design_statistics(
+                run.paths, flow.statistical_library, rho=rho
+            )
+            rows.append({
+                "rho": rho,
+                "design_sigma_ns": round(stats.sigma, 4),
+                "vs_rho0": round(
+                    stats.sigma
+                    / design_statistics(
+                        run.paths, flow.statistical_library, rho=0.0
+                    ).sigma,
+                    3,
+                ),
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    result = ExperimentResult(
+        experiment_id="ablation-rho",
+        title="Design sigma vs assumed cell correlation (eq. 9)",
+        rows=rows,
+        notes="paper assumes rho=0 (eq. 10); sigma grows monotonically with rho",
+    )
+    show(result)
+    sigmas = [r["design_sigma_ns"] for r in rows]
+    assert sigmas == sorted(sigmas)
+    assert rows[0]["vs_rho0"] == 1.0
+    assert rows[-1]["vs_rho0"] > 1.5  # full correlation is much worse

@@ -1,0 +1,21 @@
+"""Bench: extension — tuning transfers across PVT corners."""
+
+from conftest import show
+
+from repro.experiments import ext_corner_tuning
+
+
+def test_ext_corner_tuning(benchmark, context):
+    result = benchmark.pedantic(
+        ext_corner_tuning.run, args=(context,), rounds=1, iterations=1
+    )
+    show(result)
+    rows = {row["corner"]: row for row in result.rows}
+    # slow corner is slower and more variable; fast the opposite
+    assert rows["slow"]["sigma_scale_vs_TT"] > 1.0
+    assert rows["fast"]["sigma_scale_vs_TT"] < 1.0
+    # with a corner-scaled ceiling, the windows substantially agree
+    # with the typical-corner tuning (the Sec. VII.C transferability)
+    assert rows["typical"]["window_agreement_vs_TT"] == 1.0
+    for name in ("fast", "slow"):
+        assert rows[name]["window_agreement_vs_TT"] > 0.7

@@ -1,0 +1,16 @@
+"""Bench: Fig. 1 — the variability metric pitfall."""
+
+from conftest import show
+
+from repro.experiments import fig01_metric
+
+
+def test_fig01_metric(benchmark, context):
+    result = benchmark(fig01_metric.run, context)
+    show(result)
+    rows = {row["distribution"]: row for row in result.rows}
+    # identical CoV ...
+    assert rows["left"]["variability"] == rows["right"]["variability"]
+    # ... but 10x different sigma: the paper's argument for sigma
+    assert rows["right"]["sigma"] / rows["left"]["sigma"] == 10
+    assert abs(rows["left"]["mc_sigma"] - 0.01) < 0.001

@@ -1,0 +1,17 @@
+"""Bench: Fig. 2 — statistical-library construction."""
+
+from conftest import show
+
+from repro.experiments import fig02_statlib
+
+
+def test_fig02_statlib(benchmark, context):
+    result = benchmark.pedantic(
+        fig02_statlib.run, args=(context,), rounds=1, iterations=1
+    )
+    show(result)
+    for row in result.rows:
+        # the library entry must be exactly the per-entry statistics
+        assert abs(row["entry_mean"] - row["lib_mean[0,0]"]) < 1e-12
+        assert abs(row["entry_sigma"] - row["lib_sigma[0,0]"]) < 1e-12
+    assert "~0" in result.notes

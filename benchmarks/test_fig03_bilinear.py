@@ -1,0 +1,12 @@
+"""Bench: Fig. 3 — bilinear interpolation (eqs. 2-4)."""
+
+from conftest import show
+
+from repro.experiments import fig03_bilinear
+
+
+def test_fig03_bilinear(benchmark, context):
+    result = benchmark(fig03_bilinear.run, context)
+    show(result)
+    for row in result.rows:
+        assert abs(row["X_interp"] - row["X_eq2_4"]) < 1e-12

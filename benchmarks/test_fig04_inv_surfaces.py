@@ -1,0 +1,24 @@
+"""Bench: Fig. 4 — INV sigma surfaces vs drive strength."""
+
+from conftest import show
+
+from repro.experiments import fig04_inv_surfaces
+
+
+def test_fig04_inv_surfaces(benchmark, context):
+    result = benchmark.pedantic(
+        fig04_inv_surfaces.run, args=(context,), rounds=1, iterations=1
+    )
+    show(result)
+    rows = result.rows
+    # higher drive strength -> lower sigma surface (paper Fig. 4);
+    # allow a few % of MC estimation noise between adjacent strengths
+    maxima = [row["sigma_max"] for row in rows]
+    assert all(b < a * 1.05 for a, b in zip(maxima, maxima[1:]))
+    assert maxima[-1] < maxima[0] / 3
+    # ... and lower gradient
+    gradients = [row["grad_max"] for row in rows]
+    assert gradients[0] > gradients[-1]
+    # load range scales with strength; slew axis is shared
+    assert rows[-1]["load_max_pF"] > rows[0]["load_max_pF"] * 10
+    assert len({row["slew_max_ns"] for row in rows}) == 1

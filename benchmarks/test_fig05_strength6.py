@@ -1,0 +1,19 @@
+"""Bench: Fig. 5 — the drive-strength-6 cluster."""
+
+from conftest import show
+
+from repro.experiments import fig05_strength6
+
+
+def test_fig05_strength6(benchmark, context):
+    result = benchmark.pedantic(
+        fig05_strength6.run, args=(context,), rounds=1, iterations=1
+    )
+    show(result)
+    cells = {row["cell"] for row in result.rows}
+    # the cluster spans functions (paper shows NR4_6 among inverters etc.)
+    families = {c.split("_")[0] for c in cells}
+    assert len(families) >= 5
+    # equal strength does not mean equal surfaces (paper's point)
+    maxima = [row["sigma_max"] for row in result.rows]
+    assert max(maxima) > 1.5 * min(maxima)

@@ -1,0 +1,20 @@
+"""Bench: Fig. 6 — largest-rectangle extraction (Algorithm 1)."""
+
+from conftest import show
+
+from repro.experiments import fig06_rectangle
+
+
+def test_fig06_rectangle(benchmark, context):
+    result = benchmark.pedantic(
+        fig06_rectangle.run, args=(context,), rounds=1, iterations=1
+    )
+    show(result)
+    # the rectangle is non-empty and sits inside the binary-one region
+    assert "optimized == literal" in result.notes
+    marked = [row for row in result.rows if "#" in row["in_rect"]]
+    assert marked
+    for row in marked:
+        for flag, bit in zip(row["in_rect"], row["binary_row"]):
+            if flag == "#":
+                assert bit == "1"

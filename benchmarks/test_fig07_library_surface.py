@@ -1,0 +1,21 @@
+"""Bench: Fig. 7 — library-wide sigma envelope."""
+
+from conftest import show
+
+from repro.experiments import fig07_library_surface
+
+
+def test_fig07_library_surface(benchmark, context):
+    result = benchmark.pedantic(
+        fig07_library_surface.run, args=(context,), rounds=1, iterations=1
+    )
+    show(result)
+    by_pos = {(r["slew_idx"], r["load_idx"]): r for r in result.rows}
+    origin = by_pos[(0, 0)]
+    far = by_pos[max(by_pos)]
+    # the surface rises away from the origin (paper Fig. 7 landscape)
+    assert far["sigma_median"] > origin["sigma_median"]
+    assert far["sigma_max"] > origin["sigma_max"]
+    # the Table 2 ceilings (0.04..0.01) land inside the sigma range,
+    # cutting progressively more of the library
+    assert origin["sigma_min"] < 0.01 < 0.04 < far["sigma_max"]

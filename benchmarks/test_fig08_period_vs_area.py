@@ -1,0 +1,19 @@
+"""Bench: Fig. 8 — clock period vs total cell area."""
+
+from conftest import show
+
+from repro.experiments import fig08_period_area
+
+
+def test_fig08_period_vs_area(benchmark, context):
+    result = benchmark.pedantic(
+        fig08_period_area.run, args=(context,), rounds=1, iterations=1
+    )
+    show(result)
+    rows = [row for row in result.rows if row["met"]]
+    assert len(rows) >= 4
+    # area shrinks towards relaxed clocks and flattens (the Fig. 8 knee)
+    assert rows[0]["area_um2"] >= rows[-1]["area_um2"]
+    assert rows[0]["area_vs_relaxed"] >= 1.0
+    tail_flat = abs(rows[-1]["area_vs_relaxed"] - rows[-2]["area_vs_relaxed"]) < 0.05
+    assert tail_flat

@@ -1,0 +1,35 @@
+"""Bench: Fig. 9 — cell-usage histograms baseline vs tuned."""
+
+from conftest import show
+
+from repro.experiments import fig09_cell_usage
+
+
+def test_fig09_cell_usage(benchmark, context):
+    result = benchmark.pedantic(
+        fig09_cell_usage.run, args=(context,), rounds=1, iterations=1
+    )
+    show(result)
+    families = {row["cell"].split("_")[0] for row in result.rows}
+    # basic cells dominate the listed population (paper Fig. 9)
+    assert {"ND2", "INV"} & families
+    assert any(f.startswith("DFF") for f in families)
+    # tuning increases inverter use through buffering (paper Sec. VII.A)
+    note = result.notes
+    base_inv, tuned_inv = _parse_inverters(note)
+    assert tuned_inv >= base_inv
+    # ... and shifts the design towards higher drive strengths
+    base_strength, tuned_strength = _parse_strengths(note)
+    assert tuned_strength > base_strength
+
+
+def _parse_inverters(note):
+    part = note.split("inverter use at high-perf: baseline ")[1]
+    base, rest = part.split(" -> tuned ", 1)
+    return int(base), int(rest.split(";")[0])
+
+
+def _parse_strengths(note):
+    part = note.split("mean drive strength baseline ")[1]
+    base, rest = part.split(" -> tuned ", 1)
+    return float(base), float(rest)

@@ -1,0 +1,46 @@
+"""Bench: Fig. 10 — the headline result.
+
+For every tuning method, its best feasible parameter under the 10%
+area cap, at every Table 1 operating point.  The shape to reproduce:
+the sigma ceiling achieves the largest sigma reduction (paper: 37% at
+7% area on the high-performance design), the strength-based methods
+give decent reductions at near-zero area overhead, and relaxed timing
+has a higher absolute design sigma than constrained timing.
+"""
+
+from conftest import show
+
+from repro.experiments import fig10_method_comparison
+
+
+def test_fig10_method_comparison(benchmark, context):
+    result = benchmark.pedantic(
+        fig10_method_comparison.run, args=(context,), rounds=1, iterations=1
+    )
+    show(result)
+    rows = [r for r in result.rows if r["sigma_reduction"] is not None]
+    assert rows, "no feasible tuning run under the area cap"
+
+    # every reported bar respects the paper's <10% area selection rule
+    assert all(r["area_increase"] < 0.10 for r in rows)
+
+    # the sigma ceiling delivers a substantial reduction somewhere
+    ceiling = [r for r in rows if "ceiling" in r["method"]]
+    assert ceiling
+    best_ceiling = max(r["sigma_reduction"] for r in ceiling)
+    assert best_ceiling > 0.20  # paper: 0.37 at the high-perf point
+
+    # relaxed timing -> higher absolute design sigma (paper annotation)
+    periods = sorted({r["clock_ns"] for r in result.rows})
+    baseline_sigma = {
+        p: context.flow.baseline(p).design_sigma for p in periods
+    }
+    assert baseline_sigma[periods[-1]] > baseline_sigma[periods[0]]
+
+    # strength-based methods exist with low area cost
+    strength = [
+        r for r in rows
+        if "strength" in r["method"] and r["sigma_reduction"] > 0
+    ]
+    assert strength
+    assert min(r["area_increase"] for r in strength) < 0.06

@@ -1,0 +1,21 @@
+"""Bench: Fig. 11 — sigma-ceiling sigma/area tradeoff."""
+
+from conftest import show
+
+from repro.experiments import fig11_tradeoff
+
+
+def test_fig11_tradeoff(benchmark, context):
+    result = benchmark.pedantic(
+        fig11_tradeoff.run, args=(context,), rounds=1, iterations=1
+    )
+    show(result)
+    feasible = [r for r in result.rows if r["met"]]
+    assert len(feasible) >= 2
+    ordered = sorted(feasible, key=lambda r: -r["ceiling_ns"])
+    # a tighter ceiling buys more sigma reduction ...
+    assert ordered[-1]["sigma_reduction"] > ordered[0]["sigma_reduction"]
+    # ... at a higher area price (the Fig. 11 tradeoff)
+    assert ordered[-1]["area_increase"] > ordered[0]["area_increase"]
+    # and every feasible point actually reduces sigma
+    assert all(r["sigma_reduction"] > 0 for r in ordered)

@@ -1,0 +1,22 @@
+"""Bench: Fig. 12 — path-depth population baseline vs tuned."""
+
+from conftest import show
+
+from repro.experiments import fig12_path_depth
+
+
+def test_fig12_path_depth(benchmark, context):
+    result = benchmark.pedantic(
+        fig12_path_depth.run, args=(context,), rounds=1, iterations=1
+    )
+    show(result)
+    total_base = sum(r["baseline_paths"] for r in result.rows)
+    total_tuned = sum(r["tuned_paths"] for r in result.rows)
+    # one worst path per unique endpoint, both designs
+    assert total_base == total_tuned > 0
+    # the population spans short to deep paths
+    depths = [r["depth"] for r in result.rows if r["baseline_paths"]]
+    assert min(depths) <= 3
+    assert max(depths) >= 15
+    # restriction does not shrink the design (buffering adds cells)
+    assert "tuned adds cells" in result.notes

@@ -1,0 +1,28 @@
+"""Bench: Fig. 13 — path sigma vs path depth."""
+
+from conftest import show
+
+from repro.experiments import fig13_sigma_vs_depth
+
+
+def test_fig13_sigma_vs_depth(benchmark, context):
+    result = benchmark.pedantic(
+        fig13_sigma_vs_depth.run, args=(context,), rounds=1, iterations=1
+    )
+    show(result)
+    baseline = [r for r in result.rows if r["design"] == "baseline"]
+    tuned = [r for r in result.rows if r["design"] == "tuned"]
+    assert baseline and tuned
+    # paper's point: depth does not dictate sigma — paths of the same
+    # depth spread widely in sigma
+    spreads = [
+        r["sigma_max"] - r["sigma_min"] for r in baseline if r["n_paths"] >= 3
+    ]
+    overall = max(r["sigma_max"] for r in baseline) - min(
+        r["sigma_min"] for r in baseline
+    )
+    assert spreads and max(spreads) > 0.15 * overall
+    # tuning lowers the sigma landscape overall
+    base_worst = max(r["sigma_max"] for r in baseline)
+    tuned_worst = max(r["sigma_max"] for r in tuned)
+    assert tuned_worst <= base_worst

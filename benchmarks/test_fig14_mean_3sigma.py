@@ -1,0 +1,25 @@
+"""Bench: Fig. 14 — mean + 3 sigma per path, baseline vs tuned."""
+
+import re
+
+from conftest import show
+
+from repro.experiments import fig14_mean_3sigma
+
+
+def test_fig14_mean_3sigma(benchmark, context):
+    result = benchmark.pedantic(
+        fig14_mean_3sigma.run, args=(context,), rounds=1, iterations=1
+    )
+    show(result)
+    baseline = [r for r in result.rows if r["design"] == "baseline"]
+    tuned = [r for r in result.rows if r["design"] == "tuned"]
+    assert baseline and tuned
+    # worst mu+3sigma must not get worse under tuning (paper: 2.23->2.19)
+    values = re.findall(r"worst mu\+3sigma: baseline ([\d.]+) ns -> tuned ([\d.]+)",
+                        result.notes)
+    base_worst, tuned_worst = map(float, values[0])
+    assert tuned_worst <= base_worst * 1.01
+    # mu+3sigma grows with mean delay along depth, bounded by arrivals
+    for row in result.rows:
+        assert row["worst_mu_plus_3s"] >= row["mean_delay"]

@@ -1,0 +1,28 @@
+"""Bench: Fig. 15 — corner Monte Carlo of extracted paths."""
+
+from conftest import show
+
+from repro.experiments import fig15_corners
+
+
+def test_fig15_corners(benchmark, context):
+    result = benchmark.pedantic(
+        fig15_corners.run, args=(context,), rounds=1, iterations=1
+    )
+    show(result)
+    by_path = {}
+    for row in result.rows:
+        by_path.setdefault(row["path"], {})[row["corner"]] = row
+    assert set(by_path) == {"short", "medium", "long"}
+    for corners in by_path.values():
+        # fast < typical < slow in mean delay
+        assert corners["fast"]["mean_ns"] < corners["typical"]["mean_ns"]
+        assert corners["typical"]["mean_ns"] < corners["slow"]["mean_ns"]
+        # mean and sigma scale by (roughly) the same factor — the
+        # paper's argument that tuning transfers across corners
+        for name in ("fast", "slow"):
+            row = corners[name]
+            assert abs(row["mean_rel"] - row["sigma_rel"]) < 0.12
+    # depths span short..long as requested
+    depths = [rows["typical"]["depth"] for rows in by_path.values()]
+    assert depths[0] < depths[-1]

@@ -1,0 +1,23 @@
+"""Bench: Fig. 16 — local vs total variation share per path depth."""
+
+from conftest import show
+
+from repro.experiments import fig16_local_share
+
+
+def test_fig16_local_share(benchmark, context):
+    result = benchmark.pedantic(
+        fig16_local_share.run, args=(context,), rounds=1, iterations=1
+    )
+    show(result)
+    rows = {row["path"]: row for row in result.rows}
+    assert set(rows) == {"short", "medium", "long"}
+    # local variation dominates short paths and decays with depth
+    # (paper: 65% short, 37% medium, 6% long)
+    assert rows["short"]["local_share"] > rows["medium"]["local_share"]
+    assert rows["medium"]["local_share"] > rows["long"]["local_share"]
+    assert rows["short"]["local_share"] > 0.4
+    assert rows["long"]["local_share"] < 0.5
+    # sanity: local-only sigma can never exceed the total
+    for row in result.rows:
+        assert row["sigma_local_ns"] <= row["sigma_total_ns"] * (1 + 1e-6)

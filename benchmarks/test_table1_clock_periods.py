@@ -1,0 +1,25 @@
+"""Bench: Table 1 — clock periods incl. the minimum-period search."""
+
+from conftest import show
+
+from repro.experiments import table1_clock_periods
+
+
+def test_table1_clock_periods(benchmark, context):
+    result = benchmark.pedantic(
+        table1_clock_periods.run, args=(context,), rounds=1, iterations=1
+    )
+    show(result)
+    rows = {row["constraint"]: row for row in result.rows}
+    periods = [row["ours_ns"] for row in result.rows]
+    # four operating points, strictly increasing like 2.41/2.5/4/10
+    assert len(periods) == 4
+    assert periods == sorted(periods)
+    # every operating point is synthesizable
+    assert all(row["met"] for row in result.rows)
+    # the paper's ratios are preserved within rounding
+    high = rows["High performance (minimum achievable)"]["ours_ns"]
+    low = rows["Low performance"]["ours_ns"]
+    assert 3.9 <= low / high <= 4.4  # paper: 10/2.41 = 4.15
+    # below the minimum the synthesis must fail
+    assert "met=False" in result.notes

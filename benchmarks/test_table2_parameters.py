@@ -1,0 +1,28 @@
+"""Bench: Table 2 — constraint parameter sets."""
+
+from conftest import show
+
+from repro.experiments import table2_parameters
+
+
+def test_table2_parameters(benchmark, context):
+    result = benchmark.pedantic(
+        table2_parameters.run, args=(context,), rounds=1, iterations=1
+    )
+    show(result)
+    by_bound = {}
+    for row in result.rows:
+        by_bound.setdefault(row["bound"], []).append(row)
+    # the Table 2 sweep values, verbatim
+    assert [r["value"] for r in by_bound["load_slope"]] == [1.0, 0.05, 0.03, 0.01]
+    assert [r["value"] for r in by_bound["sigma_ceiling"]] == [0.04, 0.03, 0.02, 0.01]
+    for bound, rows in by_bound.items():
+        fractions = [r["usable_lut_fraction"] for r in rows]
+        # progressively tighter values cut progressively more LUT area
+        assert all(a >= b - 1e-9 for a, b in zip(fractions, fractions[1:]))
+        if bound.endswith("slope"):
+            # the loosest slope value (the default, 1) barely cuts
+            assert fractions[0] > 0.97
+        else:
+            # even the loosest ceiling (0.04 ns) bites, by design
+            assert 0.6 < fractions[0] < 1.0

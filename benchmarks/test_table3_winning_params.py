@@ -1,0 +1,21 @@
+"""Bench: Table 3 — winning constraint parameter per method/period."""
+
+from conftest import show
+
+from repro.core.methods import SWEEP_VALUES, method_by_name
+from repro.experiments import table3_winning_params
+
+
+def test_table3_winning_params(benchmark, context):
+    result = benchmark.pedantic(
+        table3_winning_params.run, args=(context,), rounds=1, iterations=1
+    )
+    show(result)
+    assert len(result.rows) == 5  # one row per tuning method
+    for row in result.rows:
+        method = method_by_name(row["method"])
+        values = set(SWEEP_VALUES[method.kind])
+        winners = [v for k, v in row.items() if k.startswith("@")]
+        # winners come from the Table 2 sweep (or None if nothing fits)
+        assert all(w is None or w in values for w in winners)
+        assert any(w is not None for w in winners)

@@ -1,0 +1,62 @@
+"""Inspect the statistical library the way the paper's figures do.
+
+Prints Fig. 4 (inverter surfaces vs drive strength), Fig. 5 (the
+drive-strength-6 cluster), Fig. 7 (library-wide envelope) and walks one
+threshold extraction (slope tables -> binary LUT -> largest rectangle
+-> sigma threshold) step by step on a real cell.
+
+Run:  python examples/library_inspection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.binary_lut import binarize_below, combine_and
+from repro.core.rectangle import largest_rectangle
+from repro.core.slope import load_slope_table, slew_slope_table
+from repro.core.threshold import equivalent_sigma_lut
+from repro.experiments import fig04_inv_surfaces, fig05_strength6, fig07_library_surface
+from repro.experiments.base import ExperimentContext
+
+
+def main() -> None:
+    context = ExperimentContext()
+    for module in (fig04_inv_surfaces, fig05_strength6, fig07_library_surface):
+        print(module.run(context).to_text())
+        print()
+
+    library = context.flow.statistical_library
+    cell = library.cell("INV_1")
+    equivalent = equivalent_sigma_lut([cell])
+    print("threshold extraction walk-through on INV_1 (bounds: load 0.01, slew 0.06)")
+    print("max-equivalent sigma LUT:")
+    print(np.array_str(equivalent.values, precision=4, suppress_small=True))
+
+    slew_slope = slew_slope_table(equivalent.values)
+    load_slope = load_slope_table(equivalent.values)
+    print("\nload-slope table (eq. 13):")
+    print(np.array_str(load_slope, precision=4, suppress_small=True))
+
+    binary = combine_and(
+        binarize_below(slew_slope, 0.06), binarize_below(load_slope, 0.01)
+    )
+    print("\nbinary LUT (1 = flat enough):")
+    for row in binary:
+        print("  " + "".join("1" if b else "0" for b in row))
+
+    rect = largest_rectangle(binary)
+    assert rect is not None
+    row, col = rect.far_corner
+    print(
+        f"\nlargest rectangle: rows {rect.row_lo}..{rect.row_hi}, "
+        f"cols {rect.col_lo}..{rect.col_hi} (area {rect.area})"
+    )
+    print(
+        f"sigma threshold at far corner ({row},{col}): "
+        f"{equivalent.values[row, col]:.4f} ns"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on this machine has no network access and no
+``wheel`` module, so the PEP 660 editable path cannot build; this shim
+lets pip fall back to the classic ``setup.py develop`` editable
+install (``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""repro — reproduction of "Standard Cell Library Tuning for Variability
+Tolerant Designs" (Fabrie, DATE 2014 / TU/e 2013).
+
+The package implements the paper's full flow from scratch:
+
+* a Liberty (.lib) substrate (:mod:`repro.liberty`);
+* a 304-cell standard-cell catalog with a SPICE-surrogate
+  characterization engine (:mod:`repro.cells`,
+  :mod:`repro.characterization`) and Pelgrom-law local variation
+  (:mod:`repro.variation`);
+* statistical-library construction (:mod:`repro.statlib`);
+* the library-tuning contribution — slope/ceiling threshold extraction,
+  largest-rectangle LUT restriction, five tuning methods
+  (:mod:`repro.core`);
+* a gate-level netlist substrate with a ~20k-gate microcontroller
+  generator (:mod:`repro.netlist`), an STA engine with statistical path
+  analysis (:mod:`repro.sta`) and a timing-driven synthesizer honoring
+  per-pin slew/load windows (:mod:`repro.synth`);
+* end-to-end flows and every table/figure of the evaluation
+  (:mod:`repro.flow`, :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.cells import build_catalog
+    from repro.characterization import Characterizer
+
+    specs = build_catalog()
+    stat_lib = Characterizer().statistical_library(specs, n_samples=50, seed=0)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,76 @@
+"""Command-line entry point: reproduce the paper's tables and figures.
+
+Usage::
+
+    python -m repro list                  # available experiments
+    python -m repro run fig04 table2      # run a selection
+    python -m repro run --all             # everything (synthesis-heavy)
+    REPRO_SCALE=paper python -m repro run table1   # full-scale flow
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.experiments.base import ExperimentContext
+from repro.experiments.runner import ALL_EXPERIMENTS, LIBRARY_ONLY, run_experiments
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce 'Standard Cell Library Tuning for "
+        "Variability Tolerant Designs' (DATE 2014).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_parser = sub.add_parser("run", help="run experiments")
+    run_parser.add_argument("ids", nargs="*", help="experiment ids (see list)")
+    run_parser.add_argument(
+        "--all", action="store_true", help="run every experiment"
+    )
+    run_parser.add_argument(
+        "--library-only",
+        action="store_true",
+        help="run only the fast, synthesis-free experiments",
+    )
+    return parser
+
+
+def main(argv: List[str]) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id, fn in ALL_EXPERIMENTS.items():
+            doc = (fn.__module__.split(".")[-1]).replace("_", " ")
+            tag = " (library-only)" if experiment_id in LIBRARY_ONLY else ""
+            print(f"{experiment_id:8s} {doc}{tag}")
+        return 0
+
+    if args.all:
+        ids = list(ALL_EXPERIMENTS)
+    elif args.library_only:
+        ids = list(LIBRARY_ONLY)
+    else:
+        ids = args.ids
+    unknown = [i for i in ids if i not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; try 'python -m repro list'")
+        return 2
+    if not ids:
+        print("nothing to run; pass experiment ids, --all or --library-only")
+        return 2
+
+    context = ExperimentContext()
+    for experiment_id in ids:
+        start = time.time()
+        result = run_experiments(context, ids=[experiment_id])[experiment_id]
+        print(result.to_text())
+        print(f"[{experiment_id} finished in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

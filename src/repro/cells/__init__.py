@@ -1,0 +1,32 @@
+"""Standard-cell substrate: naming, logic functions, the 304-cell catalog.
+
+The catalog reproduces the census of the paper's Appendix A exactly
+(19 inverters, 36 OR, 46 NAND, 43 NOR, 29 XNOR, 34 adders, 27
+multiplexers, 51 flip-flops, 12 latches, 7 other = 304 cells) using the
+paper's naming convention ``Function[NrInputs]_[Ability_]Strength``
+with ``P`` as decimal separator (e.g. ``INV_0P5``, ``NR2B_2``).
+"""
+
+from repro.cells.naming import CellName, format_cell_name, parse_cell_name
+from repro.cells.functions import CellFunction, FUNCTIONS, function_by_name
+from repro.cells.catalog import (
+    CellSpec,
+    OutputDrive,
+    build_catalog,
+    catalog_census,
+    spec_by_name,
+)
+
+__all__ = [
+    "CellName",
+    "format_cell_name",
+    "parse_cell_name",
+    "CellFunction",
+    "FUNCTIONS",
+    "function_by_name",
+    "CellSpec",
+    "OutputDrive",
+    "build_catalog",
+    "catalog_census",
+    "spec_by_name",
+]

@@ -1,0 +1,333 @@
+"""The 304-cell catalog (paper Appendix A).
+
+The paper's statistical library contains exactly::
+
+    19 inverters, 36 OR, 46 NAND, 43 NOR, 29 XNOR,
+    34 adders, 27 multiplexers, 51 flip-flops, 12 latches, 7 other
+
+This module reproduces that census with the same naming convention and
+attaches to every cell the *electrical descriptor* the characterization
+surrogate needs: output-stage stack depths, internal-stage count,
+per-pin input-capacitance factors and an area model.
+
+Electrical model summary (see :mod:`repro.characterization.devices`):
+
+* a drive-strength-``s`` output stage uses devices of width
+  ``w_unit * s * (1 + 0.6 * (stack - 1))`` — stacked devices are drawn
+  wider, only partially compensating the series resistance, so
+  high-fan-in gates are slower and more variable than inverters of the
+  same strength (visible in paper Fig. 5 for NR4_6);
+* complex cells (OR, XNOR, MUX, adders, flip-flops) have internal
+  stages modelled as ``intrinsic_stages`` unit-stage delays that do not
+  scale with the output drive — so upsizing a buffered cell does not
+  proportionally grow its input load, as in real libraries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cells.functions import CellFunction, function_by_name
+from repro.cells.naming import format_strength
+from repro.errors import CatalogError
+
+
+@dataclass(frozen=True)
+class OutputDrive:
+    """Electrical descriptor of one output pin's drive stage."""
+
+    #: Series PMOS devices on the worst pull-up path (rise drive).
+    stack_rise: int = 1
+    #: Series NMOS devices on the worst pull-down path (fall drive).
+    stack_fall: int = 1
+    #: Internal stages (unit-stage delays) before the output stage.
+    intrinsic_stages: float = 0.0
+    #: Extra width multiplier of the output stage.
+    width_factor: float = 1.0
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Catalog entry: one concrete cell (family + drive strength)."""
+
+    name: str
+    family: str
+    function: CellFunction
+    strength: float
+    area: float
+    drives: Dict[str, OutputDrive]
+    input_cap_factor: Dict[str, float] = field(default_factory=dict)
+    #: Maximum output load in pF (sets the LUT load range).
+    max_load: float = 0.0
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.function.is_sequential
+
+    def drive(self, output_pin: str) -> OutputDrive:
+        """The drive descriptor of ``output_pin``."""
+        try:
+            return self.drives[output_pin]
+        except KeyError:
+            raise CatalogError(f"{self.name}: no output pin {output_pin}") from None
+
+    def cap_factor(self, pin: str) -> float:
+        """Input-capacitance factor of ``pin`` (default 1.0)."""
+        return self.input_cap_factor.get(pin, 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Family definitions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _FamilyDef:
+    """Static family description used to stamp out catalog entries."""
+
+    family: str
+    function_name: str
+    strengths: Tuple[float, ...]
+    drives: Dict[str, OutputDrive]
+    input_cap_factor: Dict[str, float]
+    #: Transistor-count-like complexity driving the area model.
+    complexity: float
+    #: Census bucket of Appendix A this family belongs to.
+    census_group: str
+
+
+def _strengths(*values: float) -> Tuple[float, ...]:
+    return tuple(float(v) for v in values)
+
+
+_STR_19 = _strengths(0.5, 1, 1.5, 2, 3, 4, 5, 6, 8, 10, 12, 14, 16, 20, 24, 28, 32, 40, 48)
+_STR_17 = _strengths(0.5, 1, 1.5, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 20, 24, 32)
+_STR_16 = _strengths(0.5, 1, 1.5, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16, 20, 24, 32)
+_STR_15 = _strengths(0.5, 1, 1.5, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32)
+_STR_14 = _strengths(0.5, 1, 1.5, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24)
+_STR_14B = _strengths(0.5, 1, 1.5, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16, 20)
+_STR_13 = _strengths(0.5, 1, 1.5, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20)
+_STR_13B = _strengths(0.5, 1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24)
+_STR_12 = _strengths(0.5, 1, 1.5, 2, 3, 4, 5, 6, 8, 10, 12, 16)
+_STR_12B = _strengths(0.5, 1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20)
+_STR_11 = _strengths(0.5, 1, 2, 3, 4, 5, 6, 8, 10, 12, 16)
+_STR_10 = _strengths(0.5, 1, 2, 3, 4, 5, 6, 8, 10, 12)
+_STR_8 = _strengths(1, 2, 3, 4, 5, 6, 8, 12)
+_STR_7 = _strengths(1, 2, 4, 6, 8, 12, 16)
+_STR_15X = _strengths(0.5, 1, 1.5, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16, 20, 24)
+_STR_14X = _strengths(0.5, 1, 1.5, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24)
+
+
+def _simple_drive(stack_rise: int, stack_fall: int, intrinsic: float = 0.0) -> Dict[str, OutputDrive]:
+    return {"Z": OutputDrive(stack_rise, stack_fall, intrinsic)}
+
+
+def _family_defs() -> List[_FamilyDef]:
+    defs: List[_FamilyDef] = []
+
+    defs.append(_FamilyDef(
+        family="INV", function_name="INV", strengths=_STR_19,
+        drives=_simple_drive(1, 1), input_cap_factor={},
+        complexity=0.5, census_group="inverter",
+    ))
+
+    for n, strengths in ((2, _STR_14), (3, _STR_11), (4, _STR_11)):
+        defs.append(_FamilyDef(
+            family=f"OR{n}", function_name=f"OR{n}", strengths=strengths,
+            drives=_simple_drive(1, 1, intrinsic=0.5 + 0.3 * n),
+            input_cap_factor={}, complexity=1.0 + 0.5 * n, census_group="or",
+        ))
+
+    for n, strengths in ((2, _STR_16), (3, _STR_15), (4, _STR_15)):
+        defs.append(_FamilyDef(
+            family=f"ND{n}", function_name=f"ND{n}", strengths=strengths,
+            drives=_simple_drive(1, n), input_cap_factor={},
+            complexity=0.5 + 0.5 * n, census_group="nand",
+        ))
+
+    for family, function_name, strengths, stack_rise, intrinsic in (
+        ("NR2", "NR2", _STR_14B, 2, 0.0),
+        ("NR2B", "NR2B", _STR_8, 2, 0.5),
+        ("NR3", "NR3", _STR_11, 3, 0.0),
+        ("NR4", "NR4", _STR_10, 4, 0.0),
+    ):
+        n = int(family[2]) if family[2].isdigit() else 2
+        defs.append(_FamilyDef(
+            family=family, function_name=function_name, strengths=strengths,
+            drives=_simple_drive(stack_rise, 1, intrinsic),
+            input_cap_factor={}, complexity=0.5 + 0.5 * n + (0.5 if "B" in family else 0.0),
+            census_group="nor",
+        ))
+
+    for n, strengths, intrinsic in ((2, _STR_15X, 1.0), (3, _STR_14X, 2.0)):
+        defs.append(_FamilyDef(
+            family=f"XNR{n}", function_name=f"XNR{n}", strengths=strengths,
+            drives=_simple_drive(2, 2, intrinsic),
+            input_cap_factor={p: 1.8 for p in ("A", "B", "C")[:n]},
+            complexity=2.0 + 1.0 * n, census_group="xnor",
+        ))
+
+    defs.append(_FamilyDef(
+        family="ADDF", function_name="ADDF", strengths=_STR_17,
+        drives={
+            "S": OutputDrive(2, 2, intrinsic_stages=1.2),
+            "CO": OutputDrive(2, 2, intrinsic_stages=0.7),
+        },
+        input_cap_factor={"A": 1.6, "B": 1.6, "CI": 1.2},
+        complexity=6.0, census_group="adder",
+    ))
+    defs.append(_FamilyDef(
+        family="ADDH", function_name="ADDH", strengths=_STR_17,
+        drives={
+            "S": OutputDrive(2, 2, intrinsic_stages=1.0),
+            "CO": OutputDrive(2, 2, intrinsic_stages=0.6),
+        },
+        input_cap_factor={"A": 1.5, "B": 1.5},
+        complexity=3.0, census_group="adder",
+    ))
+
+    defs.append(_FamilyDef(
+        family="MUX2", function_name="MUX2", strengths=_STR_14,
+        drives=_simple_drive(2, 2, intrinsic=0.8),
+        input_cap_factor={"S": 1.8},
+        complexity=2.5, census_group="mux",
+    ))
+    defs.append(_FamilyDef(
+        family="MUX4", function_name="MUX4", strengths=_STR_13B,
+        drives=_simple_drive(2, 2, intrinsic=1.6),
+        input_cap_factor={"S0": 2.2, "S1": 2.2},
+        complexity=5.0, census_group="mux",
+    ))
+
+    for family, strengths, complexity in (
+        ("DFF", _STR_13, 6.0),
+        ("DFFR", _STR_13, 6.5),
+        ("DFFS", _STR_13, 6.5),
+        ("DFFSR", _STR_12B, 7.0),
+    ):
+        defs.append(_FamilyDef(
+            family=family, function_name=family, strengths=strengths,
+            drives={"Q": OutputDrive(1, 1, intrinsic_stages=2.2)},
+            input_cap_factor={"D": 0.8, "CP": 1.2, "RN": 1.0, "SN": 1.0},
+            complexity=complexity, census_group="flipflop",
+        ))
+
+    defs.append(_FamilyDef(
+        family="LATQ", function_name="LATQ", strengths=_STR_12,
+        drives={"Q": OutputDrive(1, 1, intrinsic_stages=1.2)},
+        input_cap_factor={"D": 0.8, "EN": 1.2},
+        complexity=3.5, census_group="latch",
+    ))
+
+    defs.append(_FamilyDef(
+        family="BUF", function_name="BUF", strengths=_STR_7,
+        drives=_simple_drive(1, 1, intrinsic=1.0),
+        input_cap_factor={},
+        complexity=1.0, census_group="other",
+    ))
+    return defs
+
+
+#: Expected census per Appendix A; validated by build_catalog and tests.
+APPENDIX_A_CENSUS: Dict[str, int] = {
+    "inverter": 19,
+    "or": 36,
+    "nand": 46,
+    "nor": 43,
+    "xnor": 29,
+    "adder": 34,
+    "mux": 27,
+    "flipflop": 51,
+    "latch": 12,
+    "other": 7,
+}
+
+#: Area constant (um^2 per complexity unit) of the 40 nm surrogate.
+_AREA_PER_COMPLEXITY = 0.9
+#: Area contribution of the output stage per drive-strength unit.
+_AREA_PER_STRENGTH = 0.32
+#: Maximum load per drive-strength unit (pF): ~40x a unit-inverter
+#: input capacitance.
+_MAX_LOAD_PER_STRENGTH = 0.0105
+
+#: Setup time of sequential cells (ns), constant in this surrogate.
+SEQUENTIAL_SETUP_TIME = 0.045
+
+
+def _cell_area(definition: _FamilyDef, strength: float) -> float:
+    return _AREA_PER_COMPLEXITY * definition.complexity + _AREA_PER_STRENGTH * strength * len(
+        definition.drives
+    )
+
+
+def _spec_from_def(definition: _FamilyDef, strength: float) -> CellSpec:
+    function = function_by_name(definition.function_name)
+    name = f"{definition.family}_{format_strength(strength)}"
+    return CellSpec(
+        name=name,
+        family=definition.family,
+        function=function,
+        strength=strength,
+        area=round(_cell_area(definition, strength), 4),
+        drives=dict(definition.drives),
+        input_cap_factor=dict(definition.input_cap_factor),
+        max_load=_MAX_LOAD_PER_STRENGTH * strength,
+    )
+
+
+def build_catalog(families: Optional[Sequence[str]] = None) -> List[CellSpec]:
+    """Build the cell catalog.
+
+    Parameters
+    ----------
+    families:
+        Optional subset of family names (e.g. ``["INV", "ND2"]``) for
+        fast tests; by default the full 304-cell Appendix A catalog is
+        produced and its census validated.
+    """
+    specs: List[CellSpec] = []
+    census: Dict[str, int] = {}
+    selected = set(families) if families is not None else None
+    for definition in _family_defs():
+        if selected is not None and definition.family not in selected:
+            continue
+        for strength in definition.strengths:
+            specs.append(_spec_from_def(definition, strength))
+            census[definition.census_group] = census.get(definition.census_group, 0) + 1
+    if selected is None and census != APPENDIX_A_CENSUS:
+        raise CatalogError(
+            f"catalog census {census} does not match Appendix A {APPENDIX_A_CENSUS}"
+        )
+    if selected is not None:
+        known = {d.family for d in _family_defs()}
+        unknown = selected - known
+        if unknown:
+            raise CatalogError(f"unknown families requested: {sorted(unknown)}")
+    return specs
+
+
+def catalog_census(specs: Sequence[CellSpec]) -> Dict[str, int]:
+    """Census of a catalog, keyed like :data:`APPENDIX_A_CENSUS`."""
+    groups = {d.family: d.census_group for d in _family_defs()}
+    census: Dict[str, int] = {}
+    for spec in specs:
+        group = groups[spec.family]
+        census[group] = census.get(group, 0) + 1
+    return census
+
+
+def spec_by_name(specs: Sequence[CellSpec], name: str) -> CellSpec:
+    """Find a spec by cell name; raises :class:`CatalogError` if absent."""
+    for spec in specs:
+        if spec.name == name:
+            return spec
+    raise CatalogError(f"no cell {name!r} in catalog")
+
+
+def family_strengths(specs: Sequence[CellSpec], family: str) -> List[float]:
+    """Sorted drive strengths available for ``family``."""
+    strengths = sorted(spec.strength for spec in specs if spec.family == family)
+    if not strengths:
+        raise CatalogError(f"no cells of family {family!r} in catalog")
+    return strengths

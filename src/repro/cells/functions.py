@@ -1,0 +1,343 @@
+"""Logic functions of the cell catalog.
+
+Each :class:`CellFunction` bundles everything the rest of the system
+needs to know about a cell *family's* behaviour, independent of drive
+strength:
+
+* pin names and directions;
+* boolean evaluation (used by the netlist functional simulator and by
+  the generator tests);
+* Liberty ``function`` expressions per output pin;
+* timing-arc topology (which input/output pairs have arcs) and the
+  unateness of each arc;
+* sequential metadata (clock pin, latch-ness) for flip-flops/latches.
+
+Pin conventions follow common library practice: data inputs ``A B C D``,
+mux data ``D0..D3`` with selects ``S0 S1``, adder ``A B CI`` with
+outputs ``S CO``, flip-flop ``D CP (RN) (SN)`` with output ``Q``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import CatalogError
+from repro.liberty.model import TimingSense
+
+Inputs = Dict[str, bool]
+Outputs = Dict[str, bool]
+
+
+@dataclass(frozen=True)
+class CellFunction:
+    """Behavioural description of a cell family (drive-independent)."""
+
+    name: str
+    input_pins: Tuple[str, ...]
+    output_pins: Tuple[str, ...]
+    expressions: Dict[str, str]
+    _evaluate: Callable[[Inputs], Outputs]
+    #: Unateness per (input_pin, output_pin) arc.
+    senses: Dict[Tuple[str, str], TimingSense] = field(default_factory=dict)
+    is_sequential: bool = False
+    is_latch: bool = False
+    clock_pin: str = ""
+
+    def evaluate(self, inputs: Inputs) -> Outputs:
+        """Evaluate the combinational function of the cell.
+
+        Sequential cells raise: their output depends on state, which the
+        netlist simulator tracks separately.
+        """
+        if self.is_sequential:
+            raise CatalogError(f"{self.name} is sequential; evaluate via the simulator")
+        missing = [pin for pin in self.input_pins if pin not in inputs]
+        if missing:
+            raise CatalogError(f"{self.name}.evaluate: missing inputs {missing}")
+        return self._evaluate(inputs)
+
+    def arcs(self) -> List[Tuple[str, str]]:
+        """Timing-arc topology as (input_pin, output_pin) pairs."""
+        if self.is_sequential:
+            return [(self.clock_pin, out) for out in self.output_pins]
+        return [
+            (inp, out)
+            for out in self.output_pins
+            for inp in self.input_pins
+        ]
+
+    def sense(self, input_pin: str, output_pin: str) -> TimingSense:
+        """Unateness of the arc from ``input_pin`` to ``output_pin``."""
+        key = (input_pin, output_pin)
+        if key in self.senses:
+            return self.senses[key]
+        return TimingSense.NON_UNATE
+
+    @property
+    def data_input_pins(self) -> Tuple[str, ...]:
+        """Input pins excluding the clock (identical for combinational)."""
+        return tuple(p for p in self.input_pins if p != self.clock_pin)
+
+
+def _uniform_senses(
+    inputs: Tuple[str, ...], outputs: Tuple[str, ...], sense: TimingSense
+) -> Dict[Tuple[str, str], TimingSense]:
+    return {(i, o): sense for o in outputs for i in inputs}
+
+
+_LETTERS = ("A", "B", "C", "D")
+
+
+def _make_inv() -> CellFunction:
+    return CellFunction(
+        name="INV",
+        input_pins=("A",),
+        output_pins=("Z",),
+        expressions={"Z": "!A"},
+        _evaluate=lambda v: {"Z": not v["A"]},
+        senses={("A", "Z"): TimingSense.NEGATIVE_UNATE},
+    )
+
+
+def _make_buf() -> CellFunction:
+    return CellFunction(
+        name="BUF",
+        input_pins=("A",),
+        output_pins=("Z",),
+        expressions={"Z": "A"},
+        _evaluate=lambda v: {"Z": bool(v["A"])},
+        senses={("A", "Z"): TimingSense.POSITIVE_UNATE},
+    )
+
+
+def _make_nand(n: int) -> CellFunction:
+    pins = _LETTERS[:n]
+    expr = "!(" + "*".join(pins) + ")"
+    return CellFunction(
+        name=f"ND{n}",
+        input_pins=pins,
+        output_pins=("Z",),
+        expressions={"Z": expr},
+        _evaluate=lambda v, pins=pins: {"Z": not all(v[p] for p in pins)},
+        senses=_uniform_senses(pins, ("Z",), TimingSense.NEGATIVE_UNATE),
+    )
+
+
+def _make_nor(n: int) -> CellFunction:
+    pins = _LETTERS[:n]
+    expr = "!(" + "+".join(pins) + ")"
+    return CellFunction(
+        name=f"NR{n}",
+        input_pins=pins,
+        output_pins=("Z",),
+        expressions={"Z": expr},
+        _evaluate=lambda v, pins=pins: {"Z": not any(v[p] for p in pins)},
+        senses=_uniform_senses(pins, ("Z",), TimingSense.NEGATIVE_UNATE),
+    )
+
+
+def _make_nor2b() -> CellFunction:
+    """2-input NOR with a bubbled B input: Z = !(A + !B) = !A * B."""
+    return CellFunction(
+        name="NR2B",
+        input_pins=("A", "B"),
+        output_pins=("Z",),
+        expressions={"Z": "!(A+!B)"},
+        _evaluate=lambda v: {"Z": (not v["A"]) and bool(v["B"])},
+        senses={
+            ("A", "Z"): TimingSense.NEGATIVE_UNATE,
+            ("B", "Z"): TimingSense.POSITIVE_UNATE,
+        },
+    )
+
+
+def _make_or(n: int) -> CellFunction:
+    pins = _LETTERS[:n]
+    expr = "+".join(pins)
+    return CellFunction(
+        name=f"OR{n}",
+        input_pins=pins,
+        output_pins=("Z",),
+        expressions={"Z": expr},
+        _evaluate=lambda v, pins=pins: {"Z": any(v[p] for p in pins)},
+        senses=_uniform_senses(pins, ("Z",), TimingSense.POSITIVE_UNATE),
+    )
+
+
+def _make_xnor(n: int) -> CellFunction:
+    pins = _LETTERS[:n]
+    expr = "!(" + "^".join(pins) + ")"
+
+    def evaluate(v: Inputs, pins: Tuple[str, ...] = pins) -> Outputs:
+        parity = False
+        for pin in pins:
+            parity ^= bool(v[pin])
+        return {"Z": not parity}
+
+    return CellFunction(
+        name=f"XNR{n}",
+        input_pins=pins,
+        output_pins=("Z",),
+        expressions={"Z": expr},
+        _evaluate=evaluate,
+        senses=_uniform_senses(pins, ("Z",), TimingSense.NON_UNATE),
+    )
+
+
+def _make_mux2() -> CellFunction:
+    return CellFunction(
+        name="MUX2",
+        input_pins=("D0", "D1", "S"),
+        output_pins=("Z",),
+        expressions={"Z": "(D0*!S)+(D1*S)"},
+        _evaluate=lambda v: {"Z": bool(v["D1"]) if v["S"] else bool(v["D0"])},
+        senses={
+            ("D0", "Z"): TimingSense.POSITIVE_UNATE,
+            ("D1", "Z"): TimingSense.POSITIVE_UNATE,
+            ("S", "Z"): TimingSense.NON_UNATE,
+        },
+    )
+
+
+def _make_mux4() -> CellFunction:
+    def evaluate(v: Inputs) -> Outputs:
+        sel = (1 if v["S0"] else 0) | (2 if v["S1"] else 0)
+        return {"Z": bool(v[f"D{sel}"])}
+
+    return CellFunction(
+        name="MUX4",
+        input_pins=("D0", "D1", "D2", "D3", "S0", "S1"),
+        output_pins=("Z",),
+        expressions={
+            "Z": "(D0*!S0*!S1)+(D1*S0*!S1)+(D2*!S0*S1)+(D3*S0*S1)",
+        },
+        _evaluate=evaluate,
+        senses={
+            ("D0", "Z"): TimingSense.POSITIVE_UNATE,
+            ("D1", "Z"): TimingSense.POSITIVE_UNATE,
+            ("D2", "Z"): TimingSense.POSITIVE_UNATE,
+            ("D3", "Z"): TimingSense.POSITIVE_UNATE,
+            ("S0", "Z"): TimingSense.NON_UNATE,
+            ("S1", "Z"): TimingSense.NON_UNATE,
+        },
+    )
+
+
+def _make_half_adder() -> CellFunction:
+    return CellFunction(
+        name="ADDH",
+        input_pins=("A", "B"),
+        output_pins=("S", "CO"),
+        expressions={"S": "A^B", "CO": "A*B"},
+        _evaluate=lambda v: {
+            "S": bool(v["A"]) ^ bool(v["B"]),
+            "CO": bool(v["A"]) and bool(v["B"]),
+        },
+        senses={
+            ("A", "S"): TimingSense.NON_UNATE,
+            ("B", "S"): TimingSense.NON_UNATE,
+            ("A", "CO"): TimingSense.POSITIVE_UNATE,
+            ("B", "CO"): TimingSense.POSITIVE_UNATE,
+        },
+    )
+
+
+def _make_full_adder() -> CellFunction:
+    def evaluate(v: Inputs) -> Outputs:
+        a, b, ci = bool(v["A"]), bool(v["B"]), bool(v["CI"])
+        return {"S": a ^ b ^ ci, "CO": (a and b) or (a and ci) or (b and ci)}
+
+    return CellFunction(
+        name="ADDF",
+        input_pins=("A", "B", "CI"),
+        output_pins=("S", "CO"),
+        expressions={
+            "S": "A^B^CI",
+            "CO": "(A*B)+(A*CI)+(B*CI)",
+        },
+        _evaluate=evaluate,
+        senses={
+            ("A", "S"): TimingSense.NON_UNATE,
+            ("B", "S"): TimingSense.NON_UNATE,
+            ("CI", "S"): TimingSense.NON_UNATE,
+            ("A", "CO"): TimingSense.POSITIVE_UNATE,
+            ("B", "CO"): TimingSense.POSITIVE_UNATE,
+            ("CI", "CO"): TimingSense.POSITIVE_UNATE,
+        },
+    )
+
+
+def _make_dff(name: str, has_reset: bool, has_set: bool) -> CellFunction:
+    pins: List[str] = ["D", "CP"]
+    if has_reset:
+        pins.append("RN")
+    if has_set:
+        pins.append("SN")
+    return CellFunction(
+        name=name,
+        input_pins=tuple(pins),
+        output_pins=("Q",),
+        expressions={"Q": "IQ"},
+        _evaluate=lambda v: {"Q": False},
+        senses={("CP", "Q"): TimingSense.POSITIVE_UNATE},
+        is_sequential=True,
+        clock_pin="CP",
+    )
+
+
+def _make_latch() -> CellFunction:
+    return CellFunction(
+        name="LATQ",
+        input_pins=("D", "EN"),
+        output_pins=("Q",),
+        expressions={"Q": "IQ"},
+        _evaluate=lambda v: {"Q": False},
+        senses={("EN", "Q"): TimingSense.POSITIVE_UNATE},
+        is_sequential=True,
+        is_latch=True,
+        clock_pin="EN",
+    )
+
+
+def _build_registry() -> Dict[str, CellFunction]:
+    functions = [
+        _make_inv(),
+        _make_buf(),
+        _make_nand(2),
+        _make_nand(3),
+        _make_nand(4),
+        _make_nor(2),
+        _make_nor(3),
+        _make_nor(4),
+        _make_nor2b(),
+        _make_or(2),
+        _make_or(3),
+        _make_or(4),
+        _make_xnor(2),
+        _make_xnor(3),
+        _make_mux2(),
+        _make_mux4(),
+        _make_half_adder(),
+        _make_full_adder(),
+        _make_dff("DFF", has_reset=False, has_set=False),
+        _make_dff("DFFR", has_reset=True, has_set=False),
+        _make_dff("DFFS", has_reset=False, has_set=True),
+        _make_dff("DFFSR", has_reset=True, has_set=True),
+        _make_latch(),
+    ]
+    return {fn.name: fn for fn in functions}
+
+
+#: Registry of every cell-family behaviour, keyed by family name.
+FUNCTIONS: Dict[str, CellFunction] = _build_registry()
+
+
+def function_by_name(name: str) -> CellFunction:
+    """Look up a cell family's behaviour; raises for unknown families."""
+    try:
+        return FUNCTIONS[name]
+    except KeyError:
+        raise CatalogError(
+            f"unknown cell function {name!r}; available: {sorted(FUNCTIONS)}"
+        ) from None

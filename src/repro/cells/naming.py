@@ -1,0 +1,101 @@
+"""Cell naming convention of the paper (Appendix A).
+
+    "Logic function[Nr input pins]_[Special ability_]Drive strength"
+
+where bracketed parts are optional and a ``P`` between digits denotes a
+decimal separator.  Examples::
+
+    INV_1        inverter, drive strength 1
+    INV_0P5      inverter, drive strength 0.5
+    ND2_4        2-input NAND, drive strength 4
+    NR2B_2       2-input NOR with one bubbled input, drive strength 2
+    DFF_R_3      flip-flop with reset ability, drive strength 3
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import CatalogError
+
+_NAME_RE = re.compile(
+    r"""
+    ^(?P<function>[A-Z]+?)           # function mnemonic (INV, ND, NR, ...)
+    (?:
+        (?P<inputs>\d+)              # optional input count (ND2, NR4, ...)
+        (?P<ability>[A-Z]+)?         # optional ability after the count (NR2B)
+    )?
+    _(?P<strength>\d+(?:P\d+)?)$     # drive strength, P = decimal point
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class CellName:
+    """Decomposed cell name."""
+
+    function: str
+    n_inputs: Optional[int]
+    ability: str
+    strength: float
+
+    @property
+    def family(self) -> str:
+        """Family key: function + input count + ability (no strength)."""
+        parts = [self.function]
+        if self.n_inputs is not None:
+            parts.append(str(self.n_inputs))
+        if self.ability:
+            parts.append(self.ability)
+        return "".join(parts)
+
+
+def format_strength(strength: float) -> str:
+    """Format a drive strength using the paper's ``P`` decimal separator."""
+    if strength <= 0:
+        raise CatalogError(f"drive strength must be positive, got {strength}")
+    if float(strength).is_integer():
+        return str(int(strength))
+    text = f"{strength:g}"
+    return text.replace(".", "P")
+
+
+def parse_strength(text: str) -> float:
+    """Parse a ``P``-separated strength string back to a float."""
+    try:
+        return float(text.replace("P", "."))
+    except ValueError:
+        raise CatalogError(f"malformed drive strength {text!r}") from None
+
+
+def format_cell_name(
+    function: str,
+    strength: float,
+    n_inputs: Optional[int] = None,
+    ability: str = "",
+) -> str:
+    """Compose a cell name following the Appendix A convention."""
+    head = function
+    if n_inputs is not None:
+        head += str(n_inputs)
+    if ability:
+        head += ability
+    return f"{head}_{format_strength(strength)}"
+
+
+def parse_cell_name(name: str) -> CellName:
+    """Decompose a cell name; raises :class:`CatalogError` when malformed."""
+    match = _NAME_RE.match(name)
+    if match is None:
+        raise CatalogError(f"malformed cell name {name!r}")
+    inputs_text = match.group("inputs")
+    ability = match.group("ability") or ""
+    return CellName(
+        function=match.group("function"),
+        n_inputs=int(inputs_text) if inputs_text else None,
+        ability=ability,
+        strength=parse_strength(match.group("strength")),
+    )

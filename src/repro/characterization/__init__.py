@@ -1,0 +1,28 @@
+"""Characterization surrogate: the package's stand-in for SPICE.
+
+Turns :class:`~repro.cells.catalog.CellSpec` entries into Liberty cells
+with NLDM delay/transition LUTs, either nominally or under sampled
+process variation.  The analytical model is deliberately simple —
+effective-resistance switching with an alpha-power-law overdrive — but
+reproduces the qualitative structure the paper's tuning method relies
+on (sigma rising with slew and load, falling with drive strength).
+"""
+
+from repro.characterization.devices import CellElectricalView, network_geometry
+from repro.characterization.delaymodel import GateDelayModel, ArcTables
+from repro.characterization.grids import GridConfig, slew_grid, load_grid
+from repro.characterization.characterize import Characterizer
+from repro.characterization.power import PowerModel, leakage_statistics
+
+__all__ = [
+    "CellElectricalView",
+    "network_geometry",
+    "GateDelayModel",
+    "ArcTables",
+    "GridConfig",
+    "slew_grid",
+    "load_grid",
+    "Characterizer",
+    "PowerModel",
+    "leakage_statistics",
+]

@@ -1,0 +1,397 @@
+"""Library characterization driver (paper Sec. II + IV).
+
+Three products, all from the same underlying Monte-Carlo draws:
+
+* :meth:`Characterizer.nominal_library` — one library with zero
+  variation (the classic .lib);
+* :meth:`Characterizer.sample_libraries` — the N distinct libraries of
+  paper Sec. IV ("assume that N distinct libraries are created from a
+  Monte Carlo sampling"), to be combined by
+  :mod:`repro.statlib.builder` exactly as Fig. 2 describes;
+* :meth:`Characterizer.statistical_library` — the combined statistical
+  library computed directly (vectorized across samples).  This is the
+  fast path; the test-suite asserts it matches the Fig. 2 combine of
+  :meth:`sample_libraries` bit-for-bit.
+
+Determinism: all draws derive from one integer seed, and the draw order
+is the (stable) catalog order, so every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cells.catalog import SEQUENTIAL_SETUP_TIME, CellSpec
+from repro.characterization.delaymodel import GateDelayModel
+from repro.characterization.devices import CellElectricalView, network_geometry
+from repro.characterization.grids import GridConfig, load_grid, slew_grid
+from repro.errors import CharacterizationError
+from repro.liberty.model import (
+    Cell,
+    Library,
+    Lut,
+    LutTemplate,
+    OperatingConditions,
+    Pin,
+    PinDirection,
+    TimingArc,
+)
+from repro.variation.montecarlo import GlobalSigmas
+from repro.variation.pelgrom import PelgromModel
+from repro.variation.process import Corner, TechnologyParams, typical_corner
+
+#: Per-arc local draws: array of shape (4, N) holding
+#: (dvth_rise, dbeta_rise, dvth_fall, dbeta_fall) for N samples.
+ArcDraws = np.ndarray
+#: Per-cell draws keyed by (input_pin, output_pin).
+CellDraws = Dict[Tuple[str, str], ArcDraws]
+
+
+@dataclass(frozen=True)
+class GlobalDraws:
+    """Die-level draws shared by all cells, one entry per sample."""
+
+    dvth: np.ndarray
+    dbeta: np.ndarray
+    dlength_rel: np.ndarray
+
+    @staticmethod
+    def zeros(n_samples: int) -> "GlobalDraws":
+        zero = np.zeros(n_samples)
+        return GlobalDraws(zero, zero.copy(), zero.copy())
+
+
+class Characterizer:
+    """Characterizes catalog cells into Liberty libraries."""
+
+    def __init__(
+        self,
+        tech: Optional[TechnologyParams] = None,
+        corner: Optional[Corner] = None,
+        pelgrom: Optional[PelgromModel] = None,
+        grid: Optional[GridConfig] = None,
+        global_sigmas: Optional[GlobalSigmas] = None,
+        include_power: bool = False,
+    ):
+        self.base_tech = tech or TechnologyParams()
+        self.corner = corner or typical_corner()
+        self.tech = self.corner.apply(self.base_tech)
+        self.pelgrom = pelgrom or PelgromModel()
+        self.grid = grid or GridConfig()
+        self.global_sigmas = global_sigmas or GlobalSigmas()
+        self.model = GateDelayModel(self.tech)
+        #: When set, arcs also get switching-energy (and, for the
+        #: statistical library, energy-sigma) tables.
+        self.include_power = include_power
+        if include_power:
+            from repro.characterization.power import PowerModel
+
+            self.power_model = PowerModel(self.tech)
+
+    # ------------------------------------------------------------------
+    # Monte-Carlo draws
+    # ------------------------------------------------------------------
+
+    def sample_arc_draws(
+        self, specs: Sequence[CellSpec], n_samples: int, seed: int
+    ) -> Dict[str, CellDraws]:
+        """Draw the local-mismatch samples for every cell arc.
+
+        The returned structure is the single source of randomness for
+        both the per-sample libraries and the direct statistical
+        library, which is what makes the two paths agree exactly.
+        """
+        if n_samples < 2:
+            raise CharacterizationError("need at least 2 Monte-Carlo samples")
+        rng = np.random.default_rng(seed)
+        draws: Dict[str, CellDraws] = {}
+        for spec in specs:
+            cell_draws: CellDraws = {}
+            for input_pin, output_pin in spec.function.arcs():
+                drive = spec.drive(output_pin)
+                geo_up = network_geometry(self.tech, spec, drive, rise=True)
+                geo_down = network_geometry(self.tech, spec, drive, rise=False)
+                sigma = np.array([
+                    self.pelgrom.sigma_vth_stack(geo_up.width, geo_up.length, geo_up.stack),
+                    self.pelgrom.sigma_beta_rel_stack(geo_up.width, geo_up.length, geo_up.stack),
+                    self.pelgrom.sigma_vth_stack(
+                        geo_down.width, geo_down.length, geo_down.stack
+                    ),
+                    self.pelgrom.sigma_beta_rel_stack(
+                        geo_down.width, geo_down.length, geo_down.stack
+                    ),
+                ])
+                cell_draws[(input_pin, output_pin)] = (
+                    rng.standard_normal((4, n_samples)) * sigma[:, None]
+                )
+            draws[spec.name] = cell_draws
+        return draws
+
+    def sample_global_draws(self, n_samples: int, seed: int) -> GlobalDraws:
+        """Draw die-level (inter-die) variation, one per sample."""
+        rng = np.random.default_rng(seed)
+        sigmas = self.global_sigmas
+        return GlobalDraws(
+            dvth=rng.normal(0.0, sigmas.vth, n_samples),
+            dbeta=rng.normal(0.0, sigmas.beta_rel, n_samples),
+            dlength_rel=rng.normal(0.0, sigmas.length_rel, n_samples),
+        )
+
+    # ------------------------------------------------------------------
+    # Cell-level characterization
+    # ------------------------------------------------------------------
+
+    def _arc_tensors(
+        self,
+        spec: CellSpec,
+        output_pin: str,
+        draws: Optional[ArcDraws],
+        global_draws: Optional[GlobalDraws],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(rise delay, fall delay, rise transition, fall transition).
+
+        With draws of N samples the tensors have shape (N, n_s, n_l);
+        with ``draws=None`` (nominal) they are (n_s, n_l).
+        """
+        slews = slew_grid(self.grid)[:, None]
+        loads = load_grid(self.grid, spec)[None, :]
+        if draws is None:
+            dvth_r = dbeta_r = dvth_f = dbeta_f = 0.0
+            dlen: np.ndarray | float = 0.0
+        else:
+            dvth_r = draws[0][:, None, None]
+            dbeta_r = draws[1][:, None, None]
+            dvth_f = draws[2][:, None, None]
+            dbeta_f = draws[3][:, None, None]
+            dlen = 0.0
+            if global_draws is not None:
+                g_vth = global_draws.dvth[:, None, None]
+                g_beta = global_draws.dbeta[:, None, None]
+                dlen = global_draws.dlength_rel[:, None, None]
+                dvth_r = dvth_r + g_vth
+                dvth_f = dvth_f + g_vth
+                dbeta_r = dbeta_r + g_beta
+                dbeta_f = dbeta_f + g_beta
+        rise = self.model.arc_tables(
+            spec, output_pin, rise=True, slews=slews, loads=loads,
+            dvth=dvth_r, dbeta=dbeta_r, dlength_rel=dlen,
+        )
+        fall = self.model.arc_tables(
+            spec, output_pin, rise=False, slews=slews, loads=loads,
+            dvth=dvth_f, dbeta=dbeta_f, dlength_rel=dlen,
+        )
+        return rise.delay, fall.delay, rise.transition, fall.transition
+
+    def _make_cell_shell(self, spec: CellSpec) -> Cell:
+        """Cell with pins/areas/metadata but no timing tables yet."""
+        cell = Cell(
+            name=spec.name,
+            area=spec.area,
+            is_sequential=spec.is_sequential,
+            is_latch=spec.function.is_latch,
+            clock_pin=spec.function.clock_pin,
+            setup_time=SEQUENTIAL_SETUP_TIME if spec.is_sequential else 0.0,
+        )
+        view = CellElectricalView(spec, self.tech)
+        for pin_name in spec.function.input_pins:
+            cell.add_pin(Pin(
+                name=pin_name,
+                direction=PinDirection.INPUT,
+                capacitance=view.input_capacitance(pin_name),
+                is_clock=pin_name == spec.function.clock_pin,
+            ))
+        for pin_name in spec.function.output_pins:
+            cell.add_pin(Pin(
+                name=pin_name,
+                direction=PinDirection.OUTPUT,
+                function=spec.function.expressions.get(pin_name, ""),
+                max_capacitance=spec.max_load,
+            ))
+        return cell
+
+    def characterize_cell(
+        self,
+        spec: CellSpec,
+        draws: Optional[CellDraws] = None,
+        sample_index: Optional[int] = None,
+        global_draws: Optional[GlobalDraws] = None,
+        statistical: bool = False,
+    ) -> Cell:
+        """Characterize one cell.
+
+        * ``draws=None`` — nominal tables.
+        * ``draws + sample_index`` — tables of one Monte-Carlo sample.
+        * ``draws + statistical=True`` — mean tables in cell_rise/fall,
+          per-entry standard deviation in sigma_rise/fall (paper Fig. 2).
+        """
+        cell = self._make_cell_shell(spec)
+        slews = slew_grid(self.grid)
+        loads = load_grid(self.grid, spec)
+        template = f"tmpl_{self.grid.n_slew}x{self.grid.n_load}"
+
+        def lut(values: np.ndarray) -> Lut:
+            return Lut(slews, loads, values, template=template)
+
+        for input_pin, output_pin in spec.function.arcs():
+            arc_draws = None if draws is None else draws[(input_pin, output_pin)]
+            if arc_draws is not None and sample_index is not None:
+                arc_draws = arc_draws[:, sample_index : sample_index + 1]
+            rise_d, fall_d, rise_t, fall_t = self._arc_tensors(
+                spec, output_pin, arc_draws, global_draws
+            )
+            arc = TimingArc(
+                related_pin=input_pin,
+                timing_sense=spec.function.sense(input_pin, output_pin),
+            )
+            if draws is None:
+                arc.cell_rise = lut(rise_d)
+                arc.cell_fall = lut(fall_d)
+                arc.rise_transition = lut(rise_t)
+                arc.fall_transition = lut(fall_t)
+            elif statistical:
+                arc.cell_rise = lut(rise_d.mean(axis=0))
+                arc.cell_fall = lut(fall_d.mean(axis=0))
+                arc.rise_transition = lut(rise_t.mean(axis=0))
+                arc.fall_transition = lut(fall_t.mean(axis=0))
+                arc.sigma_rise = lut(rise_d.std(axis=0, ddof=1))
+                arc.sigma_fall = lut(fall_d.std(axis=0, ddof=1))
+            else:
+                if sample_index is None:
+                    raise CharacterizationError(
+                        "sample characterization needs a sample_index"
+                    )
+                arc.cell_rise = lut(rise_d[0])
+                arc.cell_fall = lut(fall_d[0])
+                arc.rise_transition = lut(rise_t[0])
+                arc.fall_transition = lut(fall_t[0])
+            if self.include_power:
+                self._attach_power(
+                    arc, spec, output_pin, arc_draws, statistical, lut
+                )
+            cell.pin(output_pin).timing.append(arc)
+        return cell
+
+    def _attach_power(
+        self, arc, spec, output_pin, arc_draws, statistical, lut
+    ) -> None:
+        """Add switching-energy tables to an arc (see ``include_power``)."""
+        slews = slew_grid(self.grid)[:, None]
+        loads = load_grid(self.grid, spec)[None, :]
+        energies = {}
+        for rise, vth_row, beta_row in (
+            (True, 0, 1),
+            (False, 2, 3),
+        ):
+            if arc_draws is None:
+                dvth: np.ndarray | float = 0.0
+                dbeta: np.ndarray | float = 0.0
+            else:
+                dvth = arc_draws[vth_row][:, None, None]
+                dbeta = arc_draws[beta_row][:, None, None]
+            energies[rise] = self.power_model.arc_energy(
+                spec, output_pin, rise, slews, loads, dvth=dvth, dbeta=dbeta
+            )
+        if arc_draws is None:
+            arc.power_rise = lut(energies[True])
+            arc.power_fall = lut(energies[False])
+        elif statistical:
+            arc.power_rise = lut(energies[True].mean(axis=0))
+            arc.power_fall = lut(energies[False].mean(axis=0))
+            arc.sigma_power_rise = lut(energies[True].std(axis=0, ddof=1))
+            arc.sigma_power_fall = lut(energies[False].std(axis=0, ddof=1))
+        else:
+            arc.power_rise = lut(energies[True][0])
+            arc.power_fall = lut(energies[False][0])
+
+    # ------------------------------------------------------------------
+    # Library-level drivers
+    # ------------------------------------------------------------------
+
+    def _make_library_shell(self, name: str) -> Library:
+        library = Library(
+            name=name,
+            operating_conditions=OperatingConditions(
+                name=self.corner.name,
+                voltage=self.corner.voltage,
+                temperature=self.corner.temperature,
+            ),
+        )
+        library.add_template(LutTemplate(name=f"tmpl_{self.grid.n_slew}x{self.grid.n_load}"))
+        return library
+
+    def nominal_library(
+        self, specs: Sequence[CellSpec], name: Optional[str] = None
+    ) -> Library:
+        """The nominal (zero-variation) library at this corner."""
+        library = self._make_library_shell(name or self.corner.name)
+        for spec in specs:
+            library.add_cell(self.characterize_cell(spec))
+        return library
+
+    def sample_libraries(
+        self,
+        specs: Sequence[CellSpec],
+        n_samples: int,
+        seed: int = 0,
+        include_global: bool = False,
+    ) -> List[Library]:
+        """The N distinct Monte-Carlo libraries of paper Sec. IV."""
+        draws = self.sample_arc_draws(specs, n_samples, seed)
+        global_draws = (
+            self.sample_global_draws(n_samples, seed + 1) if include_global else None
+        )
+        libraries: List[Library] = []
+        for k in range(n_samples):
+            library = self._make_library_shell(f"{self.corner.name}_mc{k:03d}")
+            sliced_global = None
+            if global_draws is not None:
+                sliced_global = GlobalDraws(
+                    dvth=global_draws.dvth[k : k + 1],
+                    dbeta=global_draws.dbeta[k : k + 1],
+                    dlength_rel=global_draws.dlength_rel[k : k + 1],
+                )
+            for spec in specs:
+                library.add_cell(
+                    self.characterize_cell(
+                        spec,
+                        draws=draws[spec.name],
+                        sample_index=k,
+                        global_draws=sliced_global,
+                    )
+                )
+            libraries.append(library)
+        return libraries
+
+    def statistical_library(
+        self,
+        specs: Sequence[CellSpec],
+        n_samples: int = 50,
+        seed: int = 0,
+        include_global: bool = False,
+        name: Optional[str] = None,
+    ) -> Library:
+        """The statistical library, computed directly (fast path).
+
+        Numerically identical to running :meth:`sample_libraries` with
+        the same arguments and combining them via
+        :func:`repro.statlib.builder.build_statistical_library`.
+        """
+        draws = self.sample_arc_draws(specs, n_samples, seed)
+        global_draws = (
+            self.sample_global_draws(n_samples, seed + 1) if include_global else None
+        )
+        library = self._make_library_shell(name or f"{self.corner.name}_stat")
+        library.is_statistical = True
+        for spec in specs:
+            library.add_cell(
+                self.characterize_cell(
+                    spec,
+                    draws=draws[spec.name],
+                    global_draws=global_draws,
+                    statistical=True,
+                )
+            )
+        return library

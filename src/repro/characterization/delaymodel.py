@@ -1,0 +1,213 @@
+"""Analytical gate delay / output-transition model.
+
+The model is the classic effective-resistance picture with an
+alpha-power-law drive::
+
+    R      = stack * k_res * L / (W_dev * (vdd - vth - dvth)^alpha) / (1 + dbeta)
+    delay  = ln(2) * R * (C_load + C_par)
+             + intrinsic_stages * t_internal
+             + k_slew_delay * slew_in * (vth + dvth) / vdd
+             + slew_in * dvth / (k_switch * vdd)
+    slew   = k_transition * R * (C_load + C_par) + k_feedthrough * slew_in
+
+The last delay term is the classic slow-edge mismatch amplification: a
+threshold shift ``dvth`` moves the instant the input crosses the
+switching point by ``dvth / slew_rate`` — it vanishes at nominal
+(dvth = 0) but makes the delay *sigma* grow with input slew, which is
+why the paper's slew-slope tuning bound has something to cut.
+
+Everything is vectorized with numpy broadcasting: the variation inputs
+(``dvth``/``dbeta``/``dlength_rel``) may be scalars or arrays of shape
+``(N, 1, 1)`` while slews/loads span a characterization grid of shape
+``(n_slew, 1)`` x ``(n_load,)`` — one call then characterizes all N
+Monte-Carlo samples of an arc at once, which is what makes building the
+50-sample statistical library fast.
+
+Variation enters through exactly the physics the paper leans on:
+
+* a threshold shift changes R through the overdrive term, so the delay
+  sensitivity to vth mismatch *grows with load* (the R*C term) and with
+  input slew — sigma surfaces rise towards high slew/load (Fig. 4);
+* mismatch sigma falls with device area (Pelgrom), so higher drive
+  strengths have flatter, lower sigma surfaces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.cells.catalog import CellSpec
+from repro.characterization.devices import CellElectricalView
+from repro.errors import CharacterizationError
+from repro.variation.process import TechnologyParams
+
+ArrayLike = Union[float, np.ndarray]
+
+_LN2 = math.log(2.0)
+#: Minimum gate overdrive (V) before the model refuses to evaluate.
+_MIN_OVERDRIVE = 0.05
+
+
+@dataclass(frozen=True)
+class ArcTables:
+    """Delay and output-transition values over a (slew x load) grid.
+
+    Shapes follow numpy broadcasting of the inputs; for grid inputs of
+    shape ``(n_s, 1)`` and ``(n_l,)`` with scalar variation the arrays
+    are ``(n_s, n_l)``; with an ``(N, 1, 1)`` variation axis they are
+    ``(N, n_s, n_l)``.
+    """
+
+    delay: np.ndarray
+    transition: np.ndarray
+
+
+class GateDelayModel:
+    """Evaluates arc delay/transition for catalog cells.
+
+    Parameters
+    ----------
+    tech:
+        Technology (possibly already shifted into a corner via
+        :meth:`repro.variation.process.Corner.apply`).
+    """
+
+    def __init__(self, tech: Optional[TechnologyParams] = None):
+        self.tech = tech or TechnologyParams()
+
+    # -- elementary quantities ---------------------------------------
+
+    def _overdrive(self, dvth: ArrayLike) -> np.ndarray:
+        headroom = self.tech.vdd - (self.tech.vth + np.asarray(dvth, dtype=float))
+        if np.any(headroom <= _MIN_OVERDRIVE):
+            raise CharacterizationError(
+                "threshold variation leaves no gate overdrive; "
+                f"min headroom {float(np.min(headroom)):.3f} V"
+            )
+        return np.power(headroom, self.tech.alpha)
+
+    def network_resistance(
+        self,
+        spec: CellSpec,
+        output_pin: str,
+        rise: bool,
+        dvth: ArrayLike = 0.0,
+        dbeta: ArrayLike = 0.0,
+        dlength_rel: ArrayLike = 0.0,
+    ) -> np.ndarray:
+        """Effective switching resistance of the arc's network (kOhm)."""
+        tech = self.tech
+        view = CellElectricalView(spec, tech)
+        drive = spec.drive(output_pin)
+        stack = drive.stack_rise if rise else drive.stack_fall
+        width = view.device_width(drive, rise)
+        mobility = tech.p_resistance_factor if rise else 1.0
+        length = tech.channel_length * (1.0 + np.asarray(dlength_rel, dtype=float))
+        resistance = (
+            stack * tech.k_res * mobility * length
+            / (width * self._overdrive(dvth))
+            / (1.0 + np.asarray(dbeta, dtype=float))
+        )
+        return np.asarray(resistance)
+
+    def internal_stage_delay(
+        self,
+        spec: CellSpec,
+        dvth: ArrayLike = 0.0,
+        dbeta: ArrayLike = 0.0,
+        dlength_rel: ArrayLike = 0.0,
+    ) -> np.ndarray:
+        """Delay of one internal (pre-output) stage (ns).
+
+        Internal stages drive their own gate load, so the R*C product —
+        and hence this delay — is independent of the internal width to
+        first order; variation still enters through the overdrive.
+        """
+        tech = self.tech
+        view = CellElectricalView(spec, tech)
+        s_int = view.internal_strength()
+        w_avg = 0.5 * (tech.w_unit_n + tech.w_unit_p) * s_int
+        length = tech.channel_length * (1.0 + np.asarray(dlength_rel, dtype=float))
+        mobility = 0.5 * (1.0 + tech.p_resistance_factor)
+        resistance = (
+            tech.k_res * mobility * length / (w_avg * self._overdrive(dvth))
+            / (1.0 + np.asarray(dbeta, dtype=float))
+        )
+        cap = (tech.c_gate + tech.c_diff) * (tech.w_unit_n + tech.w_unit_p) * s_int
+        return np.asarray(_LN2 * resistance * cap)
+
+    # -- the arc model -------------------------------------------------
+
+    def arc_tables(
+        self,
+        spec: CellSpec,
+        output_pin: str,
+        rise: bool,
+        slews: np.ndarray,
+        loads: np.ndarray,
+        dvth: ArrayLike = 0.0,
+        dbeta: ArrayLike = 0.0,
+        dlength_rel: ArrayLike = 0.0,
+    ) -> ArcTables:
+        """Delay and transition of one arc over slews x loads.
+
+        ``slews``/``loads`` are broadcast against each other (pass
+        ``slews[:, None]`` and ``loads[None, :]`` for a full grid) and
+        against the variation arguments.
+        """
+        tech = self.tech
+        view = CellElectricalView(spec, tech)
+        drive = spec.drive(output_pin)
+        slews = np.asarray(slews, dtype=float)
+        loads = np.asarray(loads, dtype=float)
+        if np.any(slews < 0) or np.any(loads < 0):
+            raise CharacterizationError("slew and load must be non-negative")
+
+        resistance = self.network_resistance(
+            spec, output_pin, rise, dvth=dvth, dbeta=dbeta, dlength_rel=dlength_rel
+        )
+        c_total = loads + view.parasitic_cap(drive)
+        rc_delay = _LN2 * resistance * c_total
+        dvth_arr = np.asarray(dvth, dtype=float)
+        vth_eff = tech.vth + dvth_arr
+        slew_delay = tech.k_slew_delay * slews * (vth_eff / tech.vdd)
+        slew_delay = slew_delay + slews * dvth_arr / (tech.k_switch * tech.vdd)
+        intrinsic = drive.intrinsic_stages * self.internal_stage_delay(
+            spec, dvth=dvth, dbeta=dbeta, dlength_rel=dlength_rel
+        )
+        delay = rc_delay + slew_delay + intrinsic
+        transition = tech.k_transition * resistance * c_total + tech.k_slew_feedthrough * slews
+        return ArcTables(delay=np.asarray(delay), transition=np.asarray(transition))
+
+    def arc_delay(
+        self,
+        spec: CellSpec,
+        output_pin: str,
+        rise: bool,
+        slew: float,
+        load: float,
+        dvth: float = 0.0,
+        dbeta: float = 0.0,
+        dlength_rel: float = 0.0,
+    ) -> float:
+        """Scalar convenience wrapper around :meth:`arc_tables`."""
+        tables = self.arc_tables(
+            spec, output_pin, rise,
+            np.asarray(slew), np.asarray(load),
+            dvth=dvth, dbeta=dbeta, dlength_rel=dlength_rel,
+        )
+        return float(tables.delay)
+
+    def vth_sensitivity(
+        self, spec: CellSpec, output_pin: str, rise: bool, slew: float, load: float
+    ) -> float:
+        """Numerical d(delay)/d(vth) in ns/V (positive: slower when vth
+        rises); used by tests to validate the sigma structure."""
+        eps = 1e-4
+        hi = self.arc_delay(spec, output_pin, rise, slew, load, dvth=eps)
+        lo = self.arc_delay(spec, output_pin, rise, slew, load, dvth=-eps)
+        return (hi - lo) / (2.0 * eps)

@@ -1,0 +1,61 @@
+"""Characterization grids (paper Sec. II).
+
+The slew grid is identical for every cell ("the slew range for the
+different inverter cells is identical", Fig. 4), ranging from a steep
+to a shallow input edge.  The load grid scales with drive strength:
+"cells with low drive strengths are not designed to drive a high output
+load ... the output load range for cells with different drive strengths
+is different".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cells.catalog import CellSpec
+from repro.errors import CharacterizationError
+
+
+@dataclass(frozen=True)
+class GridConfig:
+    """Grid shape and ranges used during characterization."""
+
+    #: Number of slew points (LUT rows).
+    n_slew: int = 7
+    #: Number of load points (LUT columns).
+    n_load: int = 7
+    #: Fastest characterized input transition (ns).
+    slew_min: float = 0.008
+    #: Slowest characterized input transition (ns).
+    slew_max: float = 1.2
+    #: Smallest characterized load (pF) — a near-unloaded output.
+    load_min: float = 0.0002
+
+    def __post_init__(self) -> None:
+        if self.n_slew < 2 or self.n_load < 2:
+            raise CharacterizationError("grids need at least 2 points per axis")
+        if not (0 < self.slew_min < self.slew_max):
+            raise CharacterizationError("slew range must satisfy 0 < min < max")
+        if self.load_min <= 0:
+            raise CharacterizationError("load_min must be positive")
+
+
+def slew_grid(config: GridConfig) -> np.ndarray:
+    """The shared input-transition axis (geometric spacing, ns)."""
+    return np.geomspace(config.slew_min, config.slew_max, config.n_slew)
+
+
+def load_grid(config: GridConfig, spec: CellSpec) -> np.ndarray:
+    """The per-cell output-load axis (geometric spacing, pF).
+
+    The top of the range is the cell's ``max_load`` (proportional to
+    drive strength, see the catalog), so the LUT covers exactly the
+    loads the cell is designed to drive.
+    """
+    if spec.max_load <= config.load_min:
+        raise CharacterizationError(
+            f"{spec.name}: max_load {spec.max_load} pF below grid minimum"
+        )
+    return np.geomspace(config.load_min, spec.max_load, config.n_load)

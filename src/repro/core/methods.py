@@ -1,0 +1,112 @@
+"""The five tuning methods and their constraint parameters (Table 2).
+
+=============================  ==========  =============  =================
+method                         clustering  swept bound    paper name
+=============================  ==========  =============  =================
+``cell_strength_slew_slope``   strength    slew slope     Cell strength based slew slope bound
+``cell_strength_load_slope``   strength    load slope     Cell strength based load slope bound
+``cell_slew_slope``            cell        slew slope     Cell based slew slope bound
+``cell_load_slope``            cell        load slope     Cell based load slope bound
+``sigma_ceiling``              global      sigma ceiling  Cell based sigma ceiling
+=============================  ==========  =============  =================
+
+"During the cell selection stage, only one parameter is varied while
+the other two stay at the default value" — defaults (Table 2):
+load slope 1, slew slope 0.06, sigma ceiling 100.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import TuningError
+
+#: Table 2 default constraint parameters (the non-swept values).
+DEFAULT_BOUNDS: Dict[str, float] = {
+    "load_slope": 1.0,
+    "slew_slope": 0.06,
+    "sigma_ceiling": 100.0,
+}
+
+#: Table 2 sweep values per bound kind.
+SWEEP_VALUES: Dict[str, Tuple[float, ...]] = {
+    "load_slope": (1.0, 0.05, 0.03, 0.01),
+    "slew_slope": (1.0, 0.05, 0.03, 0.01),
+    "sigma_ceiling": (0.04, 0.03, 0.02, 0.01),
+}
+
+
+@dataclass(frozen=True)
+class TuningMethod:
+    """One of the paper's five tuning methods."""
+
+    name: str
+    #: ``strength`` (per drive strength), ``cell`` (individual) or
+    #: ``global`` (sigma ceiling: one threshold for everything).
+    clustering: str
+    #: Which bound the method sweeps: ``load_slope``, ``slew_slope`` or
+    #: ``sigma_ceiling``.
+    kind: str
+    #: Human-readable name as printed in the paper's figures.
+    paper_name: str = ""
+
+    def bounds(self, parameter: float) -> Dict[str, float]:
+        """Full bound set with ``parameter`` substituted for the swept
+        bound and Table 2 defaults for the others."""
+        if parameter <= 0:
+            raise TuningError(f"{self.name}: constraint parameter must be positive")
+        bounds = dict(DEFAULT_BOUNDS)
+        bounds[self.kind] = float(parameter)
+        return bounds
+
+    def sweep_values(self) -> Tuple[float, ...]:
+        """The Table 2 sweep values for this method's bound."""
+        return SWEEP_VALUES[self.kind]
+
+
+TUNING_METHODS: Dict[str, TuningMethod] = {
+    method.name: method
+    for method in (
+        TuningMethod(
+            name="cell_strength_slew_slope",
+            clustering="strength",
+            kind="slew_slope",
+            paper_name="Cell strength based slew slope bound",
+        ),
+        TuningMethod(
+            name="cell_strength_load_slope",
+            clustering="strength",
+            kind="load_slope",
+            paper_name="Cell strength based load slope bound",
+        ),
+        TuningMethod(
+            name="cell_slew_slope",
+            clustering="cell",
+            kind="slew_slope",
+            paper_name="Cell based slew slope bound",
+        ),
+        TuningMethod(
+            name="cell_load_slope",
+            clustering="cell",
+            kind="load_slope",
+            paper_name="Cell based load slope bound",
+        ),
+        TuningMethod(
+            name="sigma_ceiling",
+            clustering="global",
+            kind="sigma_ceiling",
+            paper_name="Cell based sigma ceiling",
+        ),
+    )
+}
+
+
+def method_by_name(name: str) -> TuningMethod:
+    """Look up one of the five methods by its short name."""
+    try:
+        return TUNING_METHODS[name]
+    except KeyError:
+        raise TuningError(
+            f"unknown tuning method {name!r}; available: {sorted(TUNING_METHODS)}"
+        ) from None

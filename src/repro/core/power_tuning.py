@@ -1,0 +1,94 @@
+"""Power-targeted library tuning (the paper's Sec. III extension).
+
+"The methods which will be described can also be adjusted to measure
+the influence of local variation on other properties, such as
+transition power."  This module performs that adjustment: the same
+two-stage tuning — threshold, binary LUT, largest rectangle, per-pin
+window — driven by the *switching-energy sigma* tables a power-enabled
+characterization produces (``Characterizer(include_power=True)``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.binary_lut import binarize_at_most
+from repro.core.rectangle import largest_rectangle
+from repro.core.restriction import SlewLoadWindow, window_from_rectangle
+from repro.core.tuner import WindowMap
+from repro.errors import TuningError
+from repro.liberty.model import Library, Lut, Pin
+
+
+def pin_equivalent_power_sigma(pin: Pin) -> Lut:
+    """Worst-case energy-sigma LUT of an output pin (max over arcs)."""
+    tables = [table for arc in pin.timing for table in arc.power_sigma_tables()]
+    if not tables:
+        raise TuningError(
+            f"pin {pin.name} has no energy-sigma tables — characterize with "
+            "Characterizer(include_power=True)"
+        )
+    return Lut.elementwise_max(tables)
+
+
+def restrict_pin_power(pin: Pin, ceiling: float) -> Optional[SlewLoadWindow]:
+    """Window of acceptable energy sigma, or None when nothing fits."""
+    if ceiling <= 0:
+        raise TuningError("power-sigma ceiling must be positive")
+    equivalent = pin_equivalent_power_sigma(pin)
+    binary = binarize_at_most(equivalent.values, ceiling)
+    rectangle = largest_rectangle(binary)
+    if rectangle is None:
+        return None
+    return window_from_rectangle(equivalent, rectangle)
+
+
+def power_sigma_windows(library: Library, ceiling: float) -> WindowMap:
+    """Tune the whole library against an energy-sigma ceiling (pJ)."""
+    windows: WindowMap = {}
+    for cell in library:
+        for pin in cell.output_pins():
+            windows[(cell.name, pin.name)] = restrict_pin_power(pin, ceiling)
+    if not windows:
+        raise TuningError(f"library {library.name} has no output pins to tune")
+    return windows
+
+
+def window_overlap(
+    a: Optional[SlewLoadWindow], b: Optional[SlewLoadWindow]
+) -> float:
+    """Jaccard overlap of two windows in (slew x load) area.
+
+    1.0 = identical, 0.0 = disjoint (or one side excluded).
+    """
+    if a is None or b is None:
+        return 1.0 if a is b else 0.0
+    slew_lo = max(a.min_slew, b.min_slew)
+    slew_hi = min(a.max_slew, b.max_slew)
+    load_lo = max(a.min_load, b.min_load)
+    load_hi = min(a.max_load, b.max_load)
+    inter = max(0.0, slew_hi - slew_lo) * max(0.0, load_hi - load_lo)
+    area_a = (a.max_slew - a.min_slew) * (a.max_load - a.min_load)
+    area_b = (b.max_slew - b.min_slew) * (b.max_load - b.min_load)
+    union = area_a + area_b - inter
+    if union <= 0:
+        return 1.0  # both degenerate
+    return inter / union
+
+
+def compare_window_maps(
+    delay_windows: WindowMap, power_windows: WindowMap
+) -> Dict[Tuple[str, str], float]:
+    """Per-pin overlap between delay-driven and power-driven tuning.
+
+    Both metrics cut the high-slew/high-load corner, but not
+    identically: delay sigma is dominated by the R*C sensitivity,
+    energy sigma by the short-circuit (slew) term — so the windows
+    correlate without coinciding.
+    """
+    if set(delay_windows) != set(power_windows):
+        raise TuningError("window maps cover different pins")
+    return {
+        key: window_overlap(delay_windows[key], power_windows[key])
+        for key in delay_windows
+    }

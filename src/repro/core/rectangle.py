@@ -1,0 +1,135 @@
+"""Largest-rectangle extraction (paper Algorithm 1).
+
+Given a binary LUT, find the largest all-ones axis-aligned rectangle,
+preferring — among equal areas — the one "starting as close as
+possible to the origin".  The paper's pseudo-code scans lower-left
+corners (``ll_x`` outer, then ``ll_y``) and upper-right corners
+(``ur_x``, then ``ur_y``) and replaces the best only on *strictly*
+larger area, so the tie-break is the scan order itself.  Both
+implementations below preserve that order exactly:
+
+* :func:`largest_rectangle_paper` — the literal quadruple loop with an
+  explicit all-ones check (O(N^3 M^3)); kept as executable
+  specification;
+* :func:`largest_rectangle` — a summed-area-table version that checks
+  each candidate in O(1) and vectorizes the two inner loops; the
+  property-based tests assert it returns bit-identical results.
+
+Conventions: the matrix is indexed ``[row, col]`` = ``[slew, load]``;
+in the paper's MATLAB code ``x`` is the column (load) index and ``y``
+the row (slew) index.  Returned coordinates are 0-based and inclusive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import TuningError
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """An inclusive rectangle of LUT entries."""
+
+    row_lo: int
+    col_lo: int
+    row_hi: int
+    col_hi: int
+
+    @property
+    def area(self) -> int:
+        """Number of entries covered."""
+        return (self.row_hi - self.row_lo + 1) * (self.col_hi - self.col_lo + 1)
+
+    @property
+    def far_corner(self) -> tuple:
+        """The (row, col) furthest from the origin — where the sigma
+        threshold is read (paper Fig. 6, marked entry)."""
+        return (self.row_hi, self.col_hi)
+
+    def contains(self, row: int, col: int) -> bool:
+        """True when (row, col) lies inside the rectangle."""
+        return self.row_lo <= row <= self.row_hi and self.col_lo <= col <= self.col_hi
+
+
+def _check_binary(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix, dtype=bool)
+    if matrix.ndim != 2 or matrix.size == 0:
+        raise TuningError(f"binary LUT must be a non-empty 2-D matrix, got {matrix.shape}")
+    return matrix
+
+
+def largest_rectangle_paper(matrix: np.ndarray) -> Optional[Rectangle]:
+    """Literal Algorithm 1 (executable specification, O(N^3 M^3)).
+
+    Returns ``None`` when the matrix contains no ones (the paper's code
+    returns all-zero coordinates with ``best_area = 0``).
+    """
+    matrix = _check_binary(matrix)
+    n_rows, n_cols = matrix.shape
+    best_area = 0
+    best: Optional[Rectangle] = None
+    for ll_x in range(n_cols):           # paper: for ll_x = 1:N
+        for ll_y in range(n_rows):       # paper: for ll_y = 1:M
+            for ur_x in range(ll_x, n_cols):
+                for ur_y in range(ll_y, n_rows):
+                    area = (ur_x - ll_x + 1) * (ur_y - ll_y + 1)
+                    if area > best_area and matrix[ll_y : ur_y + 1, ll_x : ur_x + 1].all():
+                        best_area = area
+                        best = Rectangle(row_lo=ll_y, col_lo=ll_x, row_hi=ur_y, col_hi=ur_x)
+    return best
+
+
+def largest_rectangle(matrix: np.ndarray) -> Optional[Rectangle]:
+    """Optimized Algorithm 1 with identical results and tie-breaking.
+
+    A summed-area table makes the all-ones test O(1); for each
+    lower-left corner the two inner loops are evaluated vectorized and
+    the first maximal candidate *in the paper's scan order* is kept.
+    """
+    matrix = _check_binary(matrix)
+    n_rows, n_cols = matrix.shape
+    # summed[i, j] = number of ones in matrix[:i, :j]
+    summed = np.zeros((n_rows + 1, n_cols + 1), dtype=np.int64)
+    summed[1:, 1:] = np.cumsum(np.cumsum(matrix, axis=0), axis=1)
+
+    best_area = 0
+    best: Optional[Rectangle] = None
+    heights = np.arange(1, n_rows + 1)
+    for ll_x in range(n_cols):
+        for ll_y in range(n_rows):
+            if not matrix[ll_y, ll_x]:
+                continue
+            widths = np.arange(1, n_cols - ll_x + 1)
+            # ones[h-1, w-1] = ones in rows [ll_y, ll_y+h), cols [ll_x, ll_x+w)
+            hs = heights[: n_rows - ll_y]
+            ones = (
+                summed[ll_y + hs[:, None], ll_x + widths[None, :]]
+                - summed[ll_y, ll_x + widths[None, :]]
+                - summed[ll_y + hs[:, None], ll_x]
+                + summed[ll_y, ll_x]
+            )
+            areas = hs[:, None] * widths[None, :]
+            full = ones == areas
+            if not full.any():
+                continue
+            candidate_areas = np.where(full, areas, 0)
+            local_best = int(candidate_areas.max())
+            if local_best <= best_area:
+                continue
+            # Paper scan order for this corner: ur_x (width) outer,
+            # ur_y (height) inner -> first maximal in column-major order.
+            flat = candidate_areas.T.ravel()  # width-major
+            first = int(np.argmax(flat == local_best))
+            w_index, h_index = divmod(first, hs.size)
+            best_area = local_best
+            best = Rectangle(
+                row_lo=ll_y,
+                col_lo=ll_x,
+                row_hi=ll_y + int(hs[h_index]) - 1,
+                col_hi=ll_x + int(widths[w_index]) - 1,
+            )
+    return best

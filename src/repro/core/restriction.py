@@ -1,0 +1,120 @@
+"""Look-up-table restriction (paper Sec. VI.C).
+
+"The synthesis tool only allows the confinement of a look-up table
+based on output pins.  Thus, the worst case situation has to be taken
+into account."  Per output pin:
+
+1. build the maximum equivalent LUT over every sigma table of the
+   pin's timing arcs;
+2. binarize against the extracted threshold (smaller = logic one);
+3. run the largest-rectangle algorithm;
+4. map the rectangle coordinates onto the physical axes: the minimum
+   and maximum slew/load values the synthesis tool may use the pin at.
+
+A pin whose binary LUT has no ones at all (its sigma exceeds the
+threshold everywhere) gets ``None`` — the cell is effectively removed
+from the library, the coarse behaviour classic library tuning would
+have produced for every restricted cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.binary_lut import binarize_at_most
+from repro.core.rectangle import Rectangle, largest_rectangle
+from repro.errors import TuningError
+from repro.liberty.model import Cell, Lut, Pin
+
+
+@dataclass(frozen=True)
+class SlewLoadWindow:
+    """Allowed operating window of an output pin (inclusive, ns / pF)."""
+
+    min_slew: float
+    max_slew: float
+    min_load: float
+    max_load: float
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.min_slew <= self.max_slew):
+            raise TuningError(f"invalid slew window [{self.min_slew}, {self.max_slew}]")
+        if not (0 <= self.min_load <= self.max_load):
+            raise TuningError(f"invalid load window [{self.min_load}, {self.max_load}]")
+
+    def allows(self, slew: float, load: float, tolerance: float = 1e-9) -> bool:
+        """True when an instance at (input slew, output load) is legal."""
+        return (
+            self.min_slew - tolerance <= slew <= self.max_slew + tolerance
+            and self.min_load - tolerance <= load <= self.max_load + tolerance
+        )
+
+    def slack_to(self, slew: float, load: float) -> float:
+        """Worst normalized violation; >= 0 when (slew, load) is legal.
+
+        Used by the synthesizer to rank candidate cells: the most
+        negative dimension dominates.
+        """
+        margins = (
+            (slew - self.min_slew) / max(self.max_slew, 1e-12),
+            (self.max_slew - slew) / max(self.max_slew, 1e-12),
+            (load - self.min_load) / max(self.max_load, 1e-12),
+            (self.max_load - load) / max(self.max_load, 1e-12),
+        )
+        return min(margins)
+
+
+def full_window(lut: Lut) -> SlewLoadWindow:
+    """The unrestricted window covering the whole characterized grid."""
+    return SlewLoadWindow(
+        min_slew=float(lut.index_1[0]),
+        max_slew=float(lut.index_1[-1]),
+        min_load=float(lut.index_2[0]),
+        max_load=float(lut.index_2[-1]),
+    )
+
+
+def pin_equivalent_sigma(pin: Pin) -> Lut:
+    """Maximum equivalent sigma LUT of an output pin (worst arc/table)."""
+    tables = [table for arc in pin.timing for table in arc.sigma_tables()]
+    if not tables:
+        raise TuningError(
+            f"pin {pin.name} has no sigma tables — restriction needs a "
+            "statistical library"
+        )
+    return Lut.elementwise_max(tables)
+
+
+def window_from_rectangle(lut: Lut, rectangle: Rectangle) -> SlewLoadWindow:
+    """Map rectangle index coordinates onto the LUT's physical axes."""
+    return SlewLoadWindow(
+        min_slew=float(lut.index_1[rectangle.row_lo]),
+        max_slew=float(lut.index_1[rectangle.row_hi]),
+        min_load=float(lut.index_2[rectangle.col_lo]),
+        max_load=float(lut.index_2[rectangle.col_hi]),
+    )
+
+
+def restrict_pin(pin: Pin, threshold: float) -> Optional[SlewLoadWindow]:
+    """Restrict one output pin against a sigma threshold.
+
+    Returns the allowed window, or ``None`` when no LUT entry is
+    acceptable (pin unusable under this tuning).
+    """
+    if threshold <= 0:
+        raise TuningError("sigma threshold must be positive")
+    equivalent = pin_equivalent_sigma(pin)
+    binary = binarize_at_most(equivalent.values, threshold)
+    rectangle = largest_rectangle(binary)
+    if rectangle is None:
+        return None
+    return window_from_rectangle(equivalent, rectangle)
+
+
+def restrict_cell(cell: Cell, threshold: float) -> Dict[str, Optional[SlewLoadWindow]]:
+    """Restrict every output pin of a cell; see :func:`restrict_pin`."""
+    return {
+        pin.name: restrict_pin(pin, threshold)
+        for pin in cell.output_pins()
+    }

@@ -1,0 +1,107 @@
+"""Export tuning windows as synthesis tool constraints (SDC-style).
+
+The paper's method hands the LUT restrictions to the synthesis tool as
+per-pin bounds ("a minimum and maximum slew and load value can be
+defined which effectively binds the synthesis tool", Sec. VI).  In
+tool terms these are per-library-pin ``set_max_transition`` /
+``set_max_capacitance`` (and the rarer ``set_min_*``) commands applied
+to library cells; this module writes exactly that script, plus a
+parser to read one back — so a tuning result can round-trip through
+the same artifact a commercial flow would consume.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional, Tuple
+
+from repro.core.restriction import SlewLoadWindow
+from repro.core.tuner import TuningResult, WindowMap
+from repro.errors import TuningError
+
+_HEADER = "# slew/load windows from statistical library tuning"
+
+
+def write_sdc(result: TuningResult) -> str:
+    """Serialize a tuning result as an SDC-style constraint script.
+
+    Excluded pins become ``set_dont_use`` on their cell — the classic
+    coarse mechanism the paper's fine-grained method degrades to when
+    no LUT region is acceptable.
+    """
+    lines = [
+        _HEADER,
+        f"# method: {result.method.name}  parameter: {result.parameter:g}",
+    ]
+    dont_use = sorted(result.excluded_cells)
+    for cell in dont_use:
+        lines.append(f"set_dont_use [get_lib_cells {cell}]")
+    for (cell, pin), window in sorted(result.windows.items()):
+        if window is None:
+            continue  # covered by set_dont_use
+        target = f"[get_lib_pins {cell}/{pin}]"
+        lines.append(f"set_max_transition {window.max_slew:.6g} {target}")
+        lines.append(f"set_max_capacitance {window.max_load:.6g} {target}")
+        if window.min_slew > 0:
+            lines.append(f"set_min_transition {window.min_slew:.6g} {target}")
+        if window.min_load > 0:
+            lines.append(f"set_min_capacitance {window.min_load:.6g} {target}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+_COMMAND_RE = re.compile(
+    r"^set_(?P<kind>max|min)_(?P<what>transition|capacitance)\s+"
+    r"(?P<value>[\d.eE+-]+)\s+\[get_lib_pins\s+(?P<cell>[\w]+)/(?P<pin>[\w]+)\]$"
+)
+_DONT_USE_RE = re.compile(r"^set_dont_use \[get_lib_cells\s+(?P<cell>[\w]+)\]$")
+
+
+def parse_sdc(text: str) -> Tuple[WindowMap, Tuple[str, ...]]:
+    """Parse a window script back into (windows, excluded cells).
+
+    Pins without explicit min bounds get 0 (unrestricted below), the
+    convention :func:`write_sdc` uses.
+    """
+    bounds: Dict[Tuple[str, str], Dict[str, float]] = {}
+    excluded = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        dont_use = _DONT_USE_RE.match(line)
+        if dont_use:
+            excluded.append(dont_use.group("cell"))
+            continue
+        match = _COMMAND_RE.match(line)
+        if match is None:
+            raise TuningError(f"sdc line {line_no}: cannot parse {line!r}")
+        key = (match.group("cell"), match.group("pin"))
+        bound = f"{match.group('kind')}_{match.group('what')}"
+        bounds.setdefault(key, {})[bound] = float(match.group("value"))
+
+    windows: WindowMap = {}
+    for key, pin_bounds in bounds.items():
+        try:
+            windows[key] = SlewLoadWindow(
+                min_slew=pin_bounds.get("min_transition", 0.0),
+                max_slew=pin_bounds["max_transition"],
+                min_load=pin_bounds.get("min_capacitance", 0.0),
+                max_load=pin_bounds["max_capacitance"],
+            )
+        except KeyError as missing:
+            raise TuningError(
+                f"pin {key[0]}/{key[1]}: missing {missing} in sdc"
+            ) from None
+    for cell in excluded:
+        # excluded cells carry explicit None windows for every pin the
+        # script knows about (callers merge with the library's pin list)
+        for key in [k for k in windows if k[0] == cell]:
+            windows[key] = None
+    return windows, tuple(excluded)
+
+
+def write_sdc_file(result: TuningResult, path: str) -> None:
+    """Write the constraint script to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_sdc(result))

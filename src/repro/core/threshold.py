@@ -1,0 +1,115 @@
+"""Threshold extraction (paper Sec. VI.B).
+
+For the slope-bound methods, a sigma threshold is extracted per cell
+cluster:
+
+1. build the *maximum equivalent LUT* — per-entry maximum over every
+   sigma table of every cell in the cluster;
+2. convert it to slew and load slope tables (eqs. 12-13);
+3. binarize each against its slope bound (entries *smaller* than the
+   bound become logic one) and AND the two binary tables;
+4. find the largest all-ones rectangle (Algorithm 1) and read the
+   sigma at the rectangle coordinate furthest from the origin.
+
+The sigma-ceiling method skips all of this: its bound *is* the
+threshold ("the sigma ceiling is used as threshold on its own").
+
+LUTs are combined **by index position**, as the paper's equations
+operate on table indices; all catalog LUTs share one grid shape, and
+cells of equal drive strength share physical axes as well.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.binary_lut import binarize_below, combine_and
+from repro.core.rectangle import Rectangle, largest_rectangle
+from repro.core.slope import load_slope_table, slew_slope_table
+from repro.errors import TuningError
+from repro.liberty.model import Cell, Lut
+
+
+def equivalent_sigma_lut(cells: Iterable[Cell]) -> Lut:
+    """Maximum equivalent sigma LUT of a cluster, combined by entry.
+
+    The returned LUT reuses the first table's axes; only the index
+    structure is meaningful for mixed-strength clusters.
+    """
+    tables: List[Lut] = []
+    for cell in cells:
+        for _pin, arc in cell.arcs():
+            tables.extend(arc.sigma_tables())
+    if not tables:
+        raise TuningError(
+            "cluster has no sigma tables — threshold extraction needs a "
+            "statistical library (see repro.statlib)"
+        )
+    first = tables[0]
+    for table in tables[1:]:
+        if table.shape != first.shape:
+            raise TuningError(
+                f"cluster mixes LUT shapes {table.shape} vs {first.shape}"
+            )
+    stacked = np.stack([t.values for t in tables])
+    return first.with_values(stacked.max(axis=0))
+
+
+def slope_binary_lut(
+    equivalent: Lut, load_bound: float, slew_bound: float
+) -> np.ndarray:
+    """Binary LUT of acceptably flat entries (steps 2-3 above)."""
+    if load_bound <= 0 or slew_bound <= 0:
+        raise TuningError("slope bounds must be positive")
+    slew_binary = binarize_below(slew_slope_table(equivalent.values), slew_bound)
+    load_binary = binarize_below(load_slope_table(equivalent.values), load_bound)
+    return combine_and(slew_binary, load_binary)
+
+
+def extract_slope_threshold(
+    cells: Iterable[Cell], load_bound: float, slew_bound: float
+) -> Tuple[float, Rectangle]:
+    """Extract the cluster's sigma threshold (steps 1-4 above).
+
+    Returns the threshold and the flat-region rectangle it came from.
+    The origin entry of both slope tables is zero by construction, so a
+    rectangle always exists.
+    """
+    equivalent = equivalent_sigma_lut(cells)
+    binary = slope_binary_lut(equivalent, load_bound, slew_bound)
+    rectangle = largest_rectangle(binary)
+    if rectangle is None:  # pragma: no cover - origin is always flat
+        raise TuningError("slope binary LUT has no flat region")
+    row, col = rectangle.far_corner
+    return float(equivalent.values[row, col]), rectangle
+
+
+def ceiling_threshold(ceiling: float) -> float:
+    """The sigma-ceiling method's threshold: the ceiling itself."""
+    if ceiling <= 0:
+        raise TuningError("sigma ceiling must be positive")
+    return float(ceiling)
+
+
+def threshold_for_cluster(
+    cells: Iterable[Cell],
+    kind: str,
+    load_bound: float,
+    slew_bound: float,
+    sigma_ceiling: float,
+) -> float:
+    """Dispatch threshold extraction for one cluster.
+
+    ``kind`` is one of ``load_slope``/``slew_slope``/``sigma_ceiling``;
+    the two bounds not being swept stay at their Table 2 defaults.
+    """
+    if kind == "sigma_ceiling":
+        return ceiling_threshold(sigma_ceiling)
+    if kind in ("load_slope", "slew_slope"):
+        threshold, _rect = extract_slope_threshold(cells, load_bound, slew_bound)
+        # The ceiling default (100 ns) never binds, but honor it anyway
+        # so custom combined sweeps behave sensibly.
+        return min(threshold, sigma_ceiling)
+    raise TuningError(f"unknown threshold kind {kind!r}")

@@ -1,0 +1,127 @@
+"""Library-tuning orchestration: method + parameter -> per-pin windows.
+
+Combines the stages of paper Sec. VI: cluster the statistical library,
+extract a sigma threshold per cluster, and restrict every cell's
+output-pin LUTs against its cluster's threshold.  The resulting
+:class:`TuningResult` is what the synthesizer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.clusters import cluster_by_strength, cluster_individually
+from repro.core.methods import TuningMethod, method_by_name
+from repro.core.restriction import SlewLoadWindow, restrict_cell
+from repro.core.threshold import threshold_for_cluster
+from repro.errors import TuningError
+from repro.liberty.model import Cell, Library
+
+#: (cell name, output pin name) -> allowed window (None = pin unusable).
+WindowMap = Dict[Tuple[str, str], Optional[SlewLoadWindow]]
+
+
+@dataclass
+class TuningResult:
+    """Outcome of tuning a statistical library with one method/parameter."""
+
+    method: TuningMethod
+    parameter: float
+    #: Extracted sigma threshold per cluster key.
+    thresholds: Dict[str, float]
+    #: Per-(cell, pin) slew/load windows.
+    windows: WindowMap
+    #: Cells whose every output pin became unusable.
+    excluded_cells: List[str] = field(default_factory=list)
+
+    def window(self, cell_name: str, pin_name: str) -> Optional[SlewLoadWindow]:
+        """Window of a cell pin; raises for unknown pins."""
+        try:
+            return self.windows[(cell_name, pin_name)]
+        except KeyError:
+            raise TuningError(f"no tuning window for {cell_name}.{pin_name}") from None
+
+    def is_cell_usable(self, cell_name: str) -> bool:
+        """False when tuning removed every output pin of the cell."""
+        return cell_name not in set(self.excluded_cells)
+
+    def usable_fraction(self) -> float:
+        """Fraction of output pins that kept a non-empty window."""
+        if not self.windows:
+            raise TuningError("tuning produced no windows")
+        usable = sum(1 for window in self.windows.values() if window is not None)
+        return usable / len(self.windows)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.method.name}(param={self.parameter:g}): "
+            f"{len(self.thresholds)} thresholds, "
+            f"{self.usable_fraction():.1%} pins usable, "
+            f"{len(self.excluded_cells)} cells excluded"
+        )
+
+
+class LibraryTuner:
+    """Tunes a statistical library (paper Sec. VI end-to-end)."""
+
+    def __init__(self, library: Library):
+        if not library.is_statistical:
+            raise TuningError(
+                f"library {library.name} is not statistical; build one with "
+                "repro.statlib or Characterizer.statistical_library"
+            )
+        self.library = library
+
+    def _clusters(self, method: TuningMethod) -> Dict[str, List[Cell]]:
+        if method.clustering == "strength":
+            return cluster_by_strength(self.library)
+        if method.clustering == "cell":
+            return cluster_individually(self.library)
+        if method.clustering == "global":
+            return {"global": list(self.library)}
+        raise TuningError(f"unknown clustering {method.clustering!r}")
+
+    def tune(
+        self, method: Union[TuningMethod, str], parameter: float
+    ) -> TuningResult:
+        """Run the two-stage tuning and return the window map."""
+        if isinstance(method, str):
+            method = method_by_name(method)
+        bounds = method.bounds(parameter)
+        clusters = self._clusters(method)
+
+        thresholds: Dict[str, float] = {}
+        for key, cells in clusters.items():
+            thresholds[key] = threshold_for_cluster(
+                cells,
+                kind=method.kind,
+                load_bound=bounds["load_slope"],
+                slew_bound=bounds["slew_slope"],
+                sigma_ceiling=bounds["sigma_ceiling"],
+            )
+
+        windows: WindowMap = {}
+        excluded: List[str] = []
+        for key, cells in clusters.items():
+            threshold = thresholds[key]
+            for cell in cells:
+                cell_windows = restrict_cell(cell, threshold)
+                for pin_name, window in cell_windows.items():
+                    windows[(cell.name, pin_name)] = window
+                if all(window is None for window in cell_windows.values()):
+                    excluded.append(cell.name)
+        return TuningResult(
+            method=method,
+            parameter=parameter,
+            thresholds=thresholds,
+            windows=windows,
+            excluded_cells=sorted(excluded),
+        )
+
+    def sweep(self, method: Union[TuningMethod, str]) -> Dict[float, TuningResult]:
+        """Tune with every Table 2 sweep value of the method's bound."""
+        if isinstance(method, str):
+            method = method_by_name(method)
+        return {value: self.tune(method, value) for value in method.sweep_values()}

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the package derives from :class:`ReproError`, so
+callers embedding the library can catch a single base class.  Subclasses
+are scoped per subsystem and carry enough context in their message to be
+actionable without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class LibertyError(ReproError):
+    """Problems in the Liberty (.lib) substrate."""
+
+
+class LibertyParseError(LibertyError):
+    """Raised when a .lib file cannot be tokenized or parsed.
+
+    Carries the 1-based ``line`` where the problem was detected.
+    """
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class LutError(LibertyError):
+    """Raised for malformed look-up tables or invalid LUT operations."""
+
+
+class CharacterizationError(ReproError):
+    """Raised when cell characterization cannot proceed."""
+
+
+class CatalogError(ReproError):
+    """Raised for unknown cells or malformed cell names in the catalog."""
+
+
+class NetlistError(ReproError):
+    """Raised for structurally invalid netlists (dangling nets, cycles...)."""
+
+
+class TimingError(ReproError):
+    """Raised by the STA engine (unconstrained graphs, missing arcs...)."""
+
+
+class SynthesisError(ReproError):
+    """Raised when synthesis cannot map or legalize a design."""
+
+
+class TuningError(ReproError):
+    """Raised by the library-tuning core (bad thresholds, empty regions...)."""
+
+
+class VariationError(ReproError):
+    """Raised by the process-variation substrate."""

@@ -1,0 +1,36 @@
+"""One module per table and figure of the paper's evaluation.
+
+Every experiment takes an :class:`~repro.experiments.base.ExperimentContext`
+(which wraps a :class:`~repro.flow.experiment.TuningFlow` and caches the
+derived clock periods) and returns an
+:class:`~repro.experiments.base.ExperimentResult` — structured rows plus
+a text rendering that prints the same series the paper reports.
+
+The mapping to the paper:
+
+========  =====================================================
+fig01     variability-vs-sigma metric pitfall (Sec. III, Fig. 1)
+fig02     statistical-library construction (Sec. IV, Fig. 2)
+fig03     bilinear interpolation (Sec. V.A, Fig. 3)
+fig04     INV sigma surfaces across drive strengths (Fig. 4)
+fig05     drive-strength-6 cluster surfaces (Fig. 5)
+fig06     largest-rectangle extraction (Fig. 6)
+fig07     whole-library sigma surface (Fig. 7)
+table1    clock periods incl. minimum-period search (Table 1)
+fig08     clock period vs area sweep (Fig. 8)
+table2    constraint parameter sets (Table 2)
+fig09     cell-usage histograms baseline vs tuned (Fig. 9)
+fig10     best sigma reduction under 10% area (Fig. 10)
+table3    winning constraint parameters (Table 3)
+fig11     sigma-ceiling tradeoff sweep (Fig. 11)
+fig12     path-depth histograms (Fig. 12)
+fig13     path sigma vs depth (Fig. 13)
+fig14     mean + 3 sigma per path (Fig. 14)
+fig15     corner scaling of extracted paths (Fig. 15)
+fig16     local vs total variation share (Fig. 16)
+========  =====================================================
+"""
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+
+__all__ = ["ExperimentContext", "ExperimentResult"]

@@ -1,0 +1,45 @@
+"""Fig. 5 — sigma surfaces of the drive-strength-6 cell cluster.
+
+"Not all cells seem to have an identical load range or slope (e.g.
+NR4_6)" — the cluster mixes topologies, which is exactly why the
+strength-based threshold uses the cluster *maximum* equivalent LUT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.clusters import cluster_by_strength
+from repro.core.slope import load_slope_table
+from repro.core.threshold import equivalent_sigma_lut
+from repro.experiments.base import ExperimentContext, ExperimentResult
+
+
+def run(context: ExperimentContext, strength_key_name: str = "strength_6") -> ExperimentResult:
+    """Build this experiment's rows (see the module docstring)."""
+    library = context.flow.statistical_library
+    clusters = cluster_by_strength(library)
+    cluster = clusters[strength_key_name]
+    rows = []
+    for cell in sorted(cluster, key=lambda c: c.name)[:14]:
+        # one timing arc per cell, as in the paper's figure
+        arc = cell.output_pins()[0].timing[0]
+        sigma = arc.sigma_fall
+        rows.append({
+            "cell": cell.name,
+            "load_max_pF": float(sigma.index_2[-1]),
+            "sigma_max": float(sigma.values.max()),
+            "load_grad_max": float(np.abs(load_slope_table(sigma.values)).max()),
+        })
+    equivalent = equivalent_sigma_lut(cluster)
+    spread = max(r["sigma_max"] for r in rows) / min(r["sigma_max"] for r in rows)
+    return ExperimentResult(
+        experiment_id="fig05",
+        title=f"Sigma surfaces of the {strength_key_name} cluster",
+        rows=rows,
+        notes=(
+            f"{len(cluster)} cells in cluster; per-cell sigma_max spread "
+            f"{spread:.1f}x; cluster max-equivalent sigma_max "
+            f"{float(equivalent.values.max()):.4f} ns"
+        ),
+    )

@@ -1,0 +1,50 @@
+"""Fig. 7 — all cell-delay sigma LUTs of the TT library combined.
+
+The paper's surface plot becomes a per-index-position envelope: for
+each (slew, load) grid position, the min / median / max sigma across
+every arc of every cell — the landscape the Table 2 bounds cut into.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Build this experiment's rows (see the module docstring)."""
+    library = context.flow.statistical_library
+    stacks = []
+    n_tables = 0
+    for cell in library:
+        for _pin, arc in cell.arcs():
+            for table in arc.sigma_tables():
+                stacks.append(table.values)
+                n_tables += 1
+    stacked = np.stack(stacks)
+
+    rows = []
+    shape = stacked.shape[1:]
+    for i in (0, shape[0] // 2, shape[0] - 1):
+        for j in (0, shape[1] // 2, shape[1] - 1):
+            rows.append({
+                "slew_idx": i,
+                "load_idx": j,
+                "sigma_min": float(stacked[:, i, j].min()),
+                "sigma_median": float(np.median(stacked[:, i, j])),
+                "sigma_max": float(stacked[:, i, j].max()),
+            })
+    ceiling_cut = {
+        ceiling: float((stacked <= ceiling).mean())
+        for ceiling in (0.04, 0.03, 0.02, 0.01)
+    }
+    return ExperimentResult(
+        experiment_id="fig07",
+        title=f"Library-wide sigma envelope over {n_tables} sigma LUTs",
+        rows=rows,
+        notes=(
+            "fraction of all LUT entries under each Table 2 ceiling: "
+            + ", ".join(f"{c:g}ns: {f:.0%}" for c, f in ceiling_cut.items())
+        ),
+    )

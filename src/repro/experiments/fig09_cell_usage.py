@@ -1,0 +1,93 @@
+"""Fig. 9 — cell-use histograms, baseline vs tuned synthesis.
+
+Paper observations, verified here:
+
+* basic cells (NAND, NOR, INV, flip-flops) are the most used;
+* the time-constrained synthesis uses a larger variety of simple cells,
+  the relaxed one more dedicated cells (adders);
+* the restricted (tuned) design uses more inverters (buffering) and
+  shifts to higher drive strengths of the same function (NR2B_1 ->
+  NR2B_2/3 in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.cells.naming import parse_cell_name
+from repro.experiments.base import ExperimentContext, ExperimentResult
+
+
+def _histogram(run) -> Dict[str, int]:
+    return run.cell_histogram()
+
+
+def _family_usage(histogram: Dict[str, int]) -> Dict[str, int]:
+    usage: Dict[str, int] = {}
+    for cell, count in histogram.items():
+        family = parse_cell_name(cell).family
+        usage[family] = usage.get(family, 0) + count
+    return usage
+
+
+def _mean_strength(histogram: Dict[str, int]) -> float:
+    total = sum(histogram.values())
+    return sum(
+        parse_cell_name(cell).strength * count for cell, count in histogram.items()
+    ) / total
+
+
+def run(
+    context: ExperimentContext,
+    tuned_method: str = "sigma_ceiling",
+    tuned_parameter: Optional[float] = None,
+) -> ExperimentResult:
+    """Build this experiment's rows (see the module docstring)."""
+    flow = context.flow
+    periods = context.standard_periods()
+    if tuned_parameter is None:
+        tuned_parameter = 0.03
+    rows = []
+    inverter_deltas: Dict[float, Tuple[int, int]] = {}
+    for point in ("high", "low"):
+        period = periods[point]
+        baseline = flow.baseline(period)
+        tuned = flow.tuned(period, tuned_method, tuned_parameter)
+        base_hist = _histogram(baseline)
+        tuned_hist = _histogram(tuned)
+        listed = sorted(
+            set(base_hist) | set(tuned_hist),
+            key=lambda c: -(base_hist.get(c, 0) + tuned_hist.get(c, 0)),
+        )
+        for cell in listed:
+            if max(base_hist.get(cell, 0), tuned_hist.get(cell, 0)) <= context.usage_cut:
+                continue
+            rows.append({
+                "clock_ns": period,
+                "cell": cell,
+                "baseline_uses": base_hist.get(cell, 0),
+                "tuned_uses": tuned_hist.get(cell, 0),
+            })
+        base_inv = _family_usage(base_hist).get("INV", 0)
+        tuned_inv = _family_usage(tuned_hist).get("INV", 0)
+        inverter_deltas[period] = (base_inv, tuned_inv)
+
+    high, low = periods["high"], periods["low"]
+    base_high = _histogram(flow.baseline(high))
+    base_low = _histogram(flow.baseline(low))
+    variety_high = len([c for c, n in base_high.items() if n > context.usage_cut])
+    variety_low = len([c for c, n in base_low.items() if n > context.usage_cut])
+    tuned_high = _histogram(flow.tuned(high, tuned_method, tuned_parameter))
+    return ExperimentResult(
+        experiment_id="fig09",
+        title=f"Cell use baseline vs {tuned_method}({tuned_parameter:g}) "
+              f"(cells used > {context.usage_cut}x)",
+        rows=rows,
+        notes=(
+            f"cell variety above cut: high-perf {variety_high} vs relaxed "
+            f"{variety_low}; inverter use at high-perf: baseline "
+            f"{inverter_deltas[high][0]} -> tuned {inverter_deltas[high][1]}; "
+            f"mean drive strength baseline {_mean_strength(base_high):.2f} -> "
+            f"tuned {_mean_strength(tuned_high):.2f}"
+        ),
+    )

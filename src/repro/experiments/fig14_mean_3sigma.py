@@ -1,0 +1,63 @@
+"""Fig. 14 — mean + 3 sigma path delay per depth, baseline vs tuned.
+
+The paper's per-path scatter becomes per-depth aggregates: mean path
+delay, worst mu+3sigma, and the count of paths whose mu+3sigma exceeds
+the effective clock (the would-fail population); tuning makes the
+population more homogeneous and lowers the worst case (2.23 -> 2.19 ns
+in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+
+
+def run(
+    context: ExperimentContext,
+    method: str = "sigma_ceiling",
+    parameter: float = 0.03,
+    period: Optional[float] = None,
+) -> ExperimentResult:
+    """Build this experiment's rows (see the module docstring)."""
+    flow = context.flow
+    clock = period if period is not None else context.high_performance_period
+    effective = clock - flow.config.guard_band
+    rows: List[dict] = []
+    summary = {}
+    for label, run_at in (
+        ("baseline", flow.baseline(clock)),
+        ("tuned", flow.tuned(clock, method, parameter)),
+    ):
+        by_depth: Dict[int, List] = {}
+        for stats in run_at.stats.path_stats:
+            by_depth.setdefault(stats.depth, []).append(stats)
+        for depth in sorted(by_depth):
+            stats = by_depth[depth]
+            rows.append({
+                "design": label,
+                "depth": depth,
+                "mean_delay": float(np.mean([s.mean for s in stats])),
+                "worst_mu_plus_3s": float(max(s.three_sigma for s in stats)),
+            })
+        three_sigmas = [s.three_sigma for s in run_at.stats.path_stats]
+        summary[label] = {
+            "worst": max(three_sigmas),
+            "violating": sum(1 for v in three_sigmas if v > effective),
+        }
+    return ExperimentResult(
+        experiment_id="fig14",
+        title=f"mean + 3 sigma per path depth at {clock:g} ns "
+              f"(effective {effective:g} ns)",
+        rows=rows,
+        notes=(
+            f"worst mu+3sigma: baseline {summary['baseline']['worst']:.4f} ns "
+            f"-> tuned {summary['tuned']['worst']:.4f} ns; paths above the "
+            f"effective clock: baseline {summary['baseline']['violating']} -> "
+            f"tuned {summary['tuned']['violating']} "
+            "(paper: worst case 2.23 -> 2.19 ns)"
+        ),
+    )

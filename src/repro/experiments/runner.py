@@ -1,0 +1,76 @@
+"""Run every table/figure experiment and collect the results."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    base,
+    ext_corner_tuning,
+    fig01_metric,
+    fig02_statlib,
+    fig03_bilinear,
+    fig04_inv_surfaces,
+    fig05_strength6,
+    fig06_rectangle,
+    fig07_library_surface,
+    fig08_period_area,
+    fig09_cell_usage,
+    fig10_method_comparison,
+    fig11_tradeoff,
+    fig12_path_depth,
+    fig13_sigma_vs_depth,
+    fig14_mean_3sigma,
+    fig15_corners,
+    fig16_local_share,
+    table1_clock_periods,
+    table2_parameters,
+    table3_winning_params,
+)
+from repro.experiments.base import ExperimentContext, ExperimentResult
+
+#: Experiment id -> run() callable, in paper order.
+ALL_EXPERIMENTS: Dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
+    "fig01": fig01_metric.run,
+    "fig02": fig02_statlib.run,
+    "fig03": fig03_bilinear.run,
+    "fig04": fig04_inv_surfaces.run,
+    "fig05": fig05_strength6.run,
+    "fig06": fig06_rectangle.run,
+    "fig07": fig07_library_surface.run,
+    "table1": table1_clock_periods.run,
+    "fig08": fig08_period_area.run,
+    "table2": table2_parameters.run,
+    "fig09": fig09_cell_usage.run,
+    "fig10": fig10_method_comparison.run,
+    "table3": table3_winning_params.run,
+    "fig11": fig11_tradeoff.run,
+    "fig12": fig12_path_depth.run,
+    "fig13": fig13_sigma_vs_depth.run,
+    "fig14": fig14_mean_3sigma.run,
+    "fig15": fig15_corners.run,
+    "fig16": fig16_local_share.run,
+    "extcorner": ext_corner_tuning.run,
+}
+
+#: Experiments that only touch the library (no synthesis) — cheap.
+LIBRARY_ONLY = ("fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
+                "table2")
+
+
+def run_experiments(
+    context: Optional[ExperimentContext] = None,
+    ids: Optional[List[str]] = None,
+) -> Dict[str, ExperimentResult]:
+    """Run the selected experiments (all by default) and return them."""
+    context = context or ExperimentContext()
+    chosen = ids if ids is not None else list(ALL_EXPERIMENTS)
+    results: Dict[str, ExperimentResult] = {}
+    for experiment_id in chosen:
+        results[experiment_id] = ALL_EXPERIMENTS[experiment_id](context)
+    return results
+
+
+def report(results: Dict[str, ExperimentResult]) -> str:
+    """Text report over a set of experiment results."""
+    return "\n\n".join(result.to_text() for result in results.values())

@@ -1,0 +1,34 @@
+"""End-to-end flows: characterize -> tune -> synthesize -> measure.
+
+:class:`~repro.flow.experiment.TuningFlow` is the façade the examples
+and benchmarks drive: it owns the catalog, the statistical library, the
+tuner and a memo of synthesis runs, and exposes the paper's comparison
+metrics (sigma reduction vs area increase) per tuning method, parameter
+and clock period.
+"""
+
+from repro.flow.experiment import FlowConfig, SynthesisRun, TuningFlow
+from repro.flow.metrics import TuningComparison, best_under_area_cap, compare_runs
+from repro.flow.minperiod import minimum_clock_period, period_area_sweep
+from repro.flow.pathmc import PathMonteCarlo, pick_paths_by_depth
+from repro.flow.yieldmodel import (
+    required_uncertainty,
+    timing_yield,
+    uncertainty_reduction,
+)
+
+__all__ = [
+    "FlowConfig",
+    "SynthesisRun",
+    "TuningFlow",
+    "TuningComparison",
+    "best_under_area_cap",
+    "compare_runs",
+    "minimum_clock_period",
+    "period_area_sweep",
+    "PathMonteCarlo",
+    "pick_paths_by_depth",
+    "required_uncertainty",
+    "timing_yield",
+    "uncertainty_reduction",
+]

@@ -1,0 +1,233 @@
+"""The end-to-end tuning experiment flow.
+
+One :class:`TuningFlow` owns everything the evaluation needs:
+
+* the 304-cell catalog and its statistical library (N Monte-Carlo
+  samples at the typical corner);
+* the :class:`~repro.core.tuner.LibraryTuner`;
+* a memo of synthesis runs keyed by (method, parameter, clock period),
+  since both Fig. 10 and Table 3 reuse the same sweep.
+
+Two scales are provided: ``FlowConfig.paper()`` (the ~18k-gate
+microcontroller, 50 MC samples — the paper's setup) and
+``FlowConfig.quick()`` (a scaled-down controller, 30 samples) which
+keeps the full pipeline and its trends but runs each synthesis in a few
+seconds; benchmarks default to quick and honor ``REPRO_SCALE=paper``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cells.catalog import CellSpec, build_catalog
+from repro.characterization.characterize import Characterizer
+from repro.core.tuner import LibraryTuner, TuningResult
+from repro.errors import ReproError
+from repro.flow.metrics import TuningComparison, compare_runs
+from repro.liberty.model import Library
+from repro.netlist.generators.microcontroller import (
+    MicrocontrollerParams,
+    build_microcontroller,
+)
+from repro.netlist.model import Netlist
+from repro.sta.engine import TimingResult
+from repro.sta.paths import TimingPath, extract_worst_paths
+from repro.sta.statistics import DesignStatistics, design_statistics
+from repro.synth.constraints import SynthesisConstraints
+from repro.synth.synthesizer import SynthesisResult, synthesize
+from repro.units import GUARD_BAND_NS
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """Scale and determinism knobs of a flow."""
+
+    design: MicrocontrollerParams = field(default_factory=MicrocontrollerParams)
+    n_samples: int = 50
+    seed: int = 0
+    guard_band: float = GUARD_BAND_NS
+
+    @staticmethod
+    def paper() -> "FlowConfig":
+        """The paper's setup: ~18k-gate design, 50 MC libraries."""
+        return FlowConfig()
+
+    @staticmethod
+    def quick() -> "FlowConfig":
+        """Scaled-down setup preserving the trends (for benches/tests)."""
+        return FlowConfig(
+            design=MicrocontrollerParams(
+                width=16,
+                regfile_bits=3,
+                mult_width=10,
+                n_timers=2,
+                timer_width=12,
+                control_gates=2200,
+                status_width=48,
+                n_uarts=1,
+                gpio_width=8,
+            ),
+            n_samples=30,
+        )
+
+    @staticmethod
+    def from_environment() -> "FlowConfig":
+        """``REPRO_SCALE=paper`` selects the full-scale flow."""
+        scale = os.environ.get("REPRO_SCALE", "quick").lower()
+        if scale == "paper":
+            return FlowConfig.paper()
+        if scale == "quick":
+            return FlowConfig.quick()
+        raise ReproError(f"unknown REPRO_SCALE {scale!r} (use 'quick' or 'paper')")
+
+
+@dataclass
+class SynthesisRun:
+    """A synthesis outcome plus the paper's measurements on it."""
+
+    clock_period: float
+    result: SynthesisResult
+    paths: List[TimingPath]
+    stats: DesignStatistics
+
+    @property
+    def met(self) -> bool:
+        return self.result.met
+
+    @property
+    def area(self) -> float:
+        return self.result.area
+
+    @property
+    def design_sigma(self) -> float:
+        """Eq. (11) design sigma over worst endpoint paths."""
+        return self.stats.sigma
+
+    @property
+    def timing(self) -> TimingResult:
+        return self.result.timing
+
+    def cell_histogram(self) -> Dict[str, int]:
+        """Bound-cell usage of the run (paper Fig. 9)."""
+        return self.result.cell_histogram()
+
+    def depth_histogram(self) -> Dict[int, int]:
+        """Worst-path count per depth (paper Fig. 12)."""
+        histogram: Dict[int, int] = {}
+        for path in self.paths:
+            histogram[path.depth] = histogram.get(path.depth, 0) + 1
+        return dict(sorted(histogram.items()))
+
+
+class TuningFlow:
+    """Characterize once, tune and synthesize many times (memoized)."""
+
+    def __init__(self, config: Optional[FlowConfig] = None):
+        self.config = config or FlowConfig.paper()
+        self._specs: Optional[List[CellSpec]] = None
+        self._characterizer: Optional[Characterizer] = None
+        self._statistical: Optional[Library] = None
+        self._tuner: Optional[LibraryTuner] = None
+        self._tunings: Dict[Tuple[str, float], TuningResult] = {}
+        self._runs: Dict[Tuple[str, float, float], SynthesisRun] = {}
+
+    # ------------------------------------------------------------------
+    # Lazy stages
+    # ------------------------------------------------------------------
+
+    @property
+    def specs(self) -> List[CellSpec]:
+        if self._specs is None:
+            self._specs = build_catalog()
+        return self._specs
+
+    @property
+    def characterizer(self) -> Characterizer:
+        if self._characterizer is None:
+            self._characterizer = Characterizer()
+        return self._characterizer
+
+    @property
+    def statistical_library(self) -> Library:
+        if self._statistical is None:
+            self._statistical = self.characterizer.statistical_library(
+                self.specs, n_samples=self.config.n_samples, seed=self.config.seed
+            )
+        return self._statistical
+
+    @property
+    def tuner(self) -> LibraryTuner:
+        if self._tuner is None:
+            self._tuner = LibraryTuner(self.statistical_library)
+        return self._tuner
+
+    def tuning(self, method: str, parameter: float) -> TuningResult:
+        """Memoized tuning result for (method, parameter)."""
+        key = (method, parameter)
+        if key not in self._tunings:
+            self._tunings[key] = self.tuner.tune(method, parameter)
+        return self._tunings[key]
+
+    def build_design(self) -> Netlist:
+        """A fresh copy of the evaluation design."""
+        return build_microcontroller(self.config.design)
+
+    # ------------------------------------------------------------------
+    # Synthesis runs
+    # ------------------------------------------------------------------
+
+    def _run(self, constraints: SynthesisConstraints) -> SynthesisRun:
+        netlist = self.build_design()
+        result = synthesize(netlist, self.statistical_library, constraints)
+        paths = extract_worst_paths(result.timing)
+        stats = design_statistics(paths, self.statistical_library)
+        return SynthesisRun(
+            clock_period=constraints.clock_period,
+            result=result,
+            paths=paths,
+            stats=stats,
+        )
+
+    def baseline(self, clock_period: float) -> SynthesisRun:
+        """Baseline (untuned) synthesis at a clock period (memoized)."""
+        key = ("baseline", 0.0, clock_period)
+        if key not in self._runs:
+            self._runs[key] = self._run(
+                SynthesisConstraints(
+                    clock_period=clock_period, guard_band=self.config.guard_band
+                )
+            )
+        return self._runs[key]
+
+    def tuned(self, clock_period: float, method: str, parameter: float) -> SynthesisRun:
+        """Tuned synthesis at a clock period (memoized)."""
+        key = (method, parameter, clock_period)
+        if key not in self._runs:
+            tuning = self.tuning(method, parameter)
+            self._runs[key] = self._run(
+                SynthesisConstraints(
+                    clock_period=clock_period,
+                    guard_band=self.config.guard_band,
+                    windows=tuning.windows,
+                )
+            )
+        return self._runs[key]
+
+    def compare(
+        self, clock_period: float, method: str, parameter: float
+    ) -> TuningComparison:
+        """Baseline-vs-tuned comparison (paper Figs. 10-11 data point)."""
+        baseline = self.baseline(clock_period)
+        tuned = self.tuned(clock_period, method, parameter)
+        return compare_runs(baseline, tuned, method, parameter)
+
+    def sweep_method(
+        self, clock_period: float, method: str, parameters: Optional[List[float]] = None
+    ) -> List[TuningComparison]:
+        """Compare every Table 2 parameter of a method at one period."""
+        from repro.core.methods import method_by_name
+
+        values = parameters or list(method_by_name(method).sweep_values())
+        return [self.compare(clock_period, method, value) for value in values]

@@ -1,0 +1,81 @@
+"""Comparison metrics of the evaluation (paper Figs. 10-11).
+
+The paper reports, per tuning method and clock period, the *relative
+sigma decrease* and *relative area increase* of the tuned synthesis
+against the baseline, and picks per method the parameter achieving the
+highest sigma reduction with an area increase below 10%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class TuningComparison:
+    """Baseline-vs-tuned outcome for one (method, parameter, period)."""
+
+    method: str
+    parameter: float
+    clock_period: float
+    baseline_sigma: float
+    tuned_sigma: float
+    baseline_area: float
+    tuned_area: float
+    #: Whether the tuned synthesis met timing (infeasible runs are
+    #: excluded from the Fig. 10 selection).
+    tuned_met: bool = True
+
+    @property
+    def sigma_reduction(self) -> float:
+        """Fractional sigma decrease (positive = tuned is better)."""
+        return (self.baseline_sigma - self.tuned_sigma) / self.baseline_sigma
+
+    @property
+    def area_increase(self) -> float:
+        """Fractional area increase (positive = tuned is bigger)."""
+        return (self.tuned_area - self.baseline_area) / self.baseline_area
+
+    def summary(self) -> str:
+        """One-line human-readable comparison."""
+        return (
+            f"{self.method}(param={self.parameter:g}) @ {self.clock_period:g} ns: "
+            f"sigma {self.baseline_sigma:.4f} -> {self.tuned_sigma:.4f} "
+            f"({self.sigma_reduction:+.1%}), area {self.baseline_area:.0f} -> "
+            f"{self.tuned_area:.0f} ({self.area_increase:+.1%})"
+        )
+
+
+def compare_runs(baseline, tuned, method: str, parameter: float) -> TuningComparison:
+    """Build a comparison from two :class:`~repro.flow.experiment.
+    SynthesisRun` objects at the same clock period."""
+    if abs(baseline.clock_period - tuned.clock_period) > 1e-12:
+        raise ReproError("comparing runs at different clock periods")
+    return TuningComparison(
+        method=method,
+        parameter=parameter,
+        clock_period=baseline.clock_period,
+        baseline_sigma=baseline.design_sigma,
+        tuned_sigma=tuned.design_sigma,
+        baseline_area=baseline.area,
+        tuned_area=tuned.area,
+        tuned_met=tuned.met,
+    )
+
+
+def best_under_area_cap(
+    comparisons: Iterable[TuningComparison], area_cap: float = 0.10
+) -> Optional[TuningComparison]:
+    """Fig. 10 selection: highest sigma reduction with area < cap.
+
+    Only feasible (timing-met) tuned runs qualify.  Returns ``None``
+    when no parameter of the sweep stayed under the cap (the paper's
+    bars then simply would not appear).
+    """
+    eligible = [c for c in comparisons if c.tuned_met and c.area_increase < area_cap]
+    if not eligible:
+        return None
+    return max(eligible, key=lambda c: c.sigma_reduction)

@@ -1,0 +1,78 @@
+"""Minimum clock period search and period/area sweeps.
+
+Paper Sec. VII: "The minimum clock period is found by reducing the
+clock period until the synthesis fails to provide a design with
+positive slack", and Fig. 8 plots clock period against total cell area
+(the relaxed constraint sits where the curve flattens).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: A synthesis probe: period -> (met, area).
+SynthesisProbe = Callable[[float], Tuple[bool, float]]
+
+
+def minimum_clock_period(
+    probe: SynthesisProbe,
+    lower: float,
+    upper: float,
+    resolution: float = 0.01,
+) -> float:
+    """Binary-search the smallest period the probe can still meet.
+
+    ``upper`` must be feasible and ``lower`` infeasible (both are
+    verified); the search stops when the bracket is ``resolution`` wide
+    and returns the feasible end.
+    """
+    if lower >= upper:
+        raise ReproError(f"need lower < upper, got [{lower}, {upper}]")
+    met_low, _ = probe(lower)
+    if met_low:
+        raise ReproError(
+            f"lower bound {lower} ns already meets timing; tighten it"
+        )
+    met_high, _ = probe(upper)
+    if not met_high:
+        raise ReproError(f"upper bound {upper} ns fails timing; relax it")
+    feasible = upper
+    infeasible = lower
+    while feasible - infeasible > resolution:
+        middle = 0.5 * (feasible + infeasible)
+        met, _area = probe(middle)
+        if met:
+            feasible = middle
+        else:
+            infeasible = middle
+    return feasible
+
+
+def period_area_sweep(
+    probe: SynthesisProbe, periods: Sequence[float]
+) -> List[Dict[str, float]]:
+    """Fig. 8 data: area (and feasibility) per clock period."""
+    rows: List[Dict[str, float]] = []
+    for period in periods:
+        met, area = probe(period)
+        rows.append({"clock_period": period, "area": area, "met": float(met)})
+    return rows
+
+
+def find_relaxed_period(rows: List[Dict[str, float]], flatness: float = 0.02) -> float:
+    """The knee of the period/area curve (paper: 10 ns).
+
+    Returns the smallest period from which area stays within
+    ``flatness`` of the final (most relaxed) area.
+    """
+    feasible = [r for r in rows if r["met"]]
+    if not feasible:
+        raise ReproError("no feasible points in the sweep")
+    feasible.sort(key=lambda r: r["clock_period"])
+    final_area = feasible[-1]["area"]
+    for row in feasible:
+        if row["area"] <= final_area * (1.0 + flatness):
+            return row["clock_period"]
+    return feasible[-1]["clock_period"]

@@ -1,0 +1,120 @@
+"""Clock-uncertainty and timing-yield model.
+
+The paper's motivation (Sec. III): "Local variations are taken into
+account ... by adding an uncertainty factor to the desired clock
+period. ... If one could reduce the impact of local variation, one
+could also reduce the clock uncertainty.  A lower clock uncertainty
+means that the desired clock period can be decreased resulting in a
+faster design."
+
+This module quantifies that chain for a synthesized design:
+
+* per-path failure probability at a clock: P(delay > effective period)
+  under the Gaussian path model (mu, sigma from eqs. 5/10);
+* design timing yield: product over the worst endpoint paths
+  (independent-path approximation, consistent with rho = 0);
+* the *clock uncertainty* needed for a target yield: the guard band g
+  such that yield(T - g) >= target — tuned designs need a smaller g,
+  which is exactly the speed-up the paper promises.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.sta.statistics import PathStatistics
+
+
+def _phi(z: np.ndarray) -> np.ndarray:
+    """Standard normal CDF."""
+    return 0.5 * (1.0 + np.vectorize(math.erf)(z / math.sqrt(2.0)))
+
+
+def path_failure_probability(stats: PathStatistics, effective_period: float) -> float:
+    """P(path delay > effective period) under the Gaussian model."""
+    if stats.sigma <= 0:
+        return 0.0 if stats.mean <= effective_period else 1.0
+    z = (effective_period - stats.mean) / stats.sigma
+    return float(1.0 - _phi(np.asarray(z)))
+
+
+def timing_yield(
+    path_stats: Sequence[PathStatistics], effective_period: float
+) -> float:
+    """Design timing yield: every endpoint path must make the clock.
+
+    Independent-path approximation (the rho = 0 counterpart at design
+    level); a conservative lower bound when paths share logic.
+    """
+    if not path_stats:
+        raise ReproError("timing yield needs at least one path")
+    log_yield = 0.0
+    for stats in path_stats:
+        survive = 1.0 - path_failure_probability(stats, effective_period)
+        if survive <= 0.0:
+            return 0.0
+        log_yield += math.log(survive)
+    return math.exp(log_yield)
+
+
+def required_uncertainty(
+    path_stats: Sequence[PathStatistics],
+    clock_period: float,
+    target_yield: float = 0.997,
+    resolution: float = 1e-4,
+) -> float:
+    """Smallest clock uncertainty (guard band, ns) hitting the yield.
+
+    Bisects g in [0, clock_period): yield at effective period
+    ``clock_period - g`` is monotone in g... inverted: larger g means a
+    *smaller* effective budget, so we search for the g where the
+    *design built for T - g* still yields when variation eats into the
+    margin — concretely: yield(T) evaluated with paths as-built, with
+    the uncertainty g being the margin between the worst mu and T.
+
+    Operationally: find the smallest g with
+    ``timing_yield(stats, mu_margined period) >= target`` where the
+    period available to the paths is the full T and g absorbs sigma:
+    ``yield(T) >= target`` when every path satisfies
+    ``mu + z(target) * sigma <= T - 0``; we return
+    ``g = max(0, max_i(mu_i + z*sigma_i) - max_i(mu_i))`` refined by
+    bisection on the exact joint yield.
+    """
+    if not 0.0 < target_yield < 1.0:
+        raise ReproError("target yield must be in (0, 1)")
+    worst_mean = max(s.mean for s in path_stats)
+
+    def yield_with_uncertainty(g: float) -> float:
+        # the paths must fit in worst_mean + g (the period the designer
+        # would have to choose to absorb variation)
+        return timing_yield(path_stats, worst_mean + g)
+
+    low, high = 0.0, clock_period
+    if yield_with_uncertainty(high) < target_yield:
+        raise ReproError("target yield unreachable within one clock period")
+    while high - low > resolution:
+        mid = 0.5 * (low + high)
+        if yield_with_uncertainty(mid) >= target_yield:
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def uncertainty_reduction(
+    baseline_stats: Sequence[PathStatistics],
+    tuned_stats: Sequence[PathStatistics],
+    clock_period: float,
+    target_yield: float = 0.997,
+) -> float:
+    """Fractional clock-uncertainty reduction tuning buys (paper's
+    motivating speed-up: a smaller guard band = a faster clock)."""
+    base = required_uncertainty(baseline_stats, clock_period, target_yield)
+    tuned = required_uncertainty(tuned_stats, clock_period, target_yield)
+    if base <= 0:
+        raise ReproError("baseline uncertainty is zero; nothing to reduce")
+    return (base - tuned) / base

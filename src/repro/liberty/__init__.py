@@ -1,0 +1,42 @@
+"""Liberty (.lib) substrate: data model, LUT math, parser and writer.
+
+This subpackage models the subset of the Liberty standard the paper's
+flow relies on: non-linear delay model (NLDM) look-up tables indexed by
+input transition and output load, grouped per timing arc, per pin, per
+cell.  The same model holds nominal libraries (delay values), the
+Monte-Carlo sample libraries, and the *statistical* library (mean and
+sigma values) of paper Sec. IV.
+"""
+
+from repro.liberty.model import (
+    Library,
+    Cell,
+    Pin,
+    PinDirection,
+    TimingArc,
+    TimingSense,
+    LutTemplate,
+    Lut,
+    OperatingConditions,
+)
+from repro.liberty.lut import bilinear_interpolate, bilinear_interpolate_many
+from repro.liberty.parser import parse_liberty, parse_liberty_file
+from repro.liberty.writer import write_liberty, write_liberty_file
+
+__all__ = [
+    "Library",
+    "Cell",
+    "Pin",
+    "PinDirection",
+    "TimingArc",
+    "TimingSense",
+    "LutTemplate",
+    "Lut",
+    "OperatingConditions",
+    "bilinear_interpolate",
+    "bilinear_interpolate_many",
+    "parse_liberty",
+    "parse_liberty_file",
+    "write_liberty",
+    "write_liberty_file",
+]

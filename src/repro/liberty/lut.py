@@ -1,0 +1,119 @@
+"""Bilinear interpolation over NLDM look-up tables (paper Sec. V.A).
+
+The paper interpolates along the load axis first (eqs. 2-3) and then
+along the slew axis (eq. 4).  Bilinear interpolation is symmetric in
+the order of axes, so the implementation below follows numpy's
+broadcasting-friendly formulation; :func:`bilinear_interpolate_paper`
+implements the equations literally and the test-suite checks the two
+agree to machine precision.
+
+Out-of-range queries are *clamped* to the table edges, the conservative
+convention used by synthesis/STA tools when a cell is (illegally)
+operated outside its characterized range.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.liberty.model import Lut
+
+
+def _bracket(axis: np.ndarray, value: float) -> Tuple[int, int, float]:
+    """Return (lo, hi, t) so that ``axis[lo] .. axis[hi]`` brackets value.
+
+    ``t`` is the interpolation fraction in [0, 1]; values outside the
+    axis are clamped to the first/last segment endpoint (t=0 or t=1).
+    """
+    n = axis.size
+    if value <= axis[0]:
+        return 0, 1, 0.0
+    if value >= axis[-1]:
+        return n - 2, n - 1, 1.0
+    hi = int(np.searchsorted(axis, value, side="left"))
+    lo = hi - 1
+    t = (value - axis[lo]) / (axis[hi] - axis[lo])
+    return lo, hi, float(t)
+
+
+def bilinear_interpolate(lut: Lut, slew: float, load: float) -> float:
+    """Interpolate ``lut`` at (slew, load) with edge clamping.
+
+    Parameters
+    ----------
+    lut:
+        Table with ``index_1`` = input slew (ns) and ``index_2`` =
+        output load (pF).
+    slew, load:
+        Query point.  Points outside the characterized grid are clamped
+        to the grid boundary.
+    """
+    i0, i1, ts = _bracket(lut.index_1, float(slew))
+    j0, j1, tl = _bracket(lut.index_2, float(load))
+    v = lut.values
+    top = v[i0, j0] * (1.0 - tl) + v[i0, j1] * tl
+    bot = v[i1, j0] * (1.0 - tl) + v[i1, j1] * tl
+    return float(top * (1.0 - ts) + bot * ts)
+
+
+def bilinear_interpolate_paper(lut: Lut, slew: float, load: float) -> float:
+    """Literal transcription of paper eqs. (2)-(4).
+
+    With Q11 = Q(L_i, S_j), Q21 = Q(L_{i+1}, S_j), Q12 = Q(L_i, S_{j+1})
+    and Q22 = Q(L_{i+1}, S_{j+1})::
+
+        P1 = (L_{i+1} - L)/(L_{i+1} - L_i) * Q11 + (L - L_i)/(L_{i+1} - L_i) * Q21
+        P2 = (L_{i+1} - L)/(L_{i+1} - L_i) * Q12 + (L - L_i)/(L_{i+1} - L_i) * Q22
+        X  = (S_{j+1} - S)/(S_{j+1} - S_j) * P1  + (S - S_j)/(S_{j+1} - S_j) * P2
+
+    Present for documentation and cross-validation; callers should use
+    :func:`bilinear_interpolate`, which is equivalent and clamps.
+    """
+    slew_axis, load_axis = lut.index_1, lut.index_2
+    slew = float(min(max(slew, slew_axis[0]), slew_axis[-1]))
+    load = float(min(max(load, load_axis[0]), load_axis[-1]))
+    i0, i1, _ = _bracket(load_axis, load)
+    j0, j1, _ = _bracket(slew_axis, slew)
+    l_lo, l_hi = load_axis[i0], load_axis[i1]
+    s_lo, s_hi = slew_axis[j0], slew_axis[j1]
+    q11 = lut.values[j0, i0]
+    q21 = lut.values[j0, i1]
+    q12 = lut.values[j1, i0]
+    q22 = lut.values[j1, i1]
+    wl = (l_hi - load) / (l_hi - l_lo)
+    p1 = wl * q11 + (1.0 - wl) * q21
+    p2 = wl * q12 + (1.0 - wl) * q22
+    ws = (s_hi - slew) / (s_hi - s_lo)
+    return float(ws * p1 + (1.0 - ws) * p2)
+
+
+def bilinear_interpolate_many(lut: Lut, slews: np.ndarray, loads: np.ndarray) -> np.ndarray:
+    """Vectorized bilinear interpolation for arrays of query points.
+
+    ``slews`` and ``loads`` must be broadcast-compatible; the result has
+    their broadcast shape.  Used by the STA engine, which evaluates one
+    table for many instances at once.
+    """
+    slews = np.asarray(slews, dtype=float)
+    loads = np.asarray(loads, dtype=float)
+    s_axis, l_axis = lut.index_1, lut.index_2
+    s = np.clip(slews, s_axis[0], s_axis[-1])
+    load = np.clip(loads, l_axis[0], l_axis[-1])
+
+    si = np.clip(np.searchsorted(s_axis, s, side="left"), 1, s_axis.size - 1)
+    li = np.clip(np.searchsorted(l_axis, load, side="left"), 1, l_axis.size - 1)
+    s0, s1 = s_axis[si - 1], s_axis[si]
+    l0, l1 = l_axis[li - 1], l_axis[li]
+    ts = (s - s0) / (s1 - s0)
+    tl = (load - l0) / (l1 - l0)
+
+    v = lut.values
+    q00 = v[si - 1, li - 1]
+    q01 = v[si - 1, li]
+    q10 = v[si, li - 1]
+    q11 = v[si, li]
+    top = q00 * (1.0 - tl) + q01 * tl
+    bot = q10 * (1.0 - tl) + q11 * tl
+    return top * (1.0 - ts) + bot * ts

@@ -1,0 +1,365 @@
+"""Parser for the Liberty subset used by this package.
+
+The grammar covered is the classic Liberty group/attribute structure::
+
+    group_name (arg1, arg2) {
+        simple_attribute : value;
+        complex_attribute ("v1, v2", "v3, v4");
+        nested_group (...) { ... }
+    }
+
+which is enough to round-trip everything :mod:`repro.liberty.writer`
+emits: ``library``, ``operating_conditions``, ``lu_table_template``,
+``cell``, ``pin``, ``timing``, ``ff``/``latch`` markers and the NLDM
+value tables (including the non-standard ``sigma_rise``/``sigma_fall``
+tables that statistical libraries carry, see paper Sec. IV).
+
+The parser is two-stage: a tokenizer and a recursive-descent group
+parser building a generic AST (:class:`GroupNode`), followed by a
+mapping stage onto :mod:`repro.liberty.model` classes.  Keeping the AST
+generic means unknown attributes are preserved-by-ignoring rather than
+crashing, mirroring how production tools treat vendor extensions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import LibertyParseError
+from repro.liberty.model import (
+    Cell,
+    Library,
+    Lut,
+    LutTemplate,
+    OperatingConditions,
+    Pin,
+    PinDirection,
+    TimingArc,
+    TimingSense,
+)
+
+Scalar = Union[str, float, bool]
+
+
+@dataclass
+class GroupNode:
+    """Generic Liberty group: name, arguments, attributes, children."""
+
+    name: str
+    args: List[str] = field(default_factory=list)
+    attributes: Dict[str, Scalar] = field(default_factory=dict)
+    complex_attributes: Dict[str, List[str]] = field(default_factory=dict)
+    children: List["GroupNode"] = field(default_factory=list)
+
+    def child(self, name: str) -> Optional["GroupNode"]:
+        """First child group called ``name``, or None."""
+        for node in self.children:
+            if node.name == name:
+                return node
+        return None
+
+    def children_named(self, name: str) -> List["GroupNode"]:
+        """All child groups called ``name``."""
+        return [node for node in self.children if node.name == name]
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>/\*.*?\*/)            # block comment
+  | (?P<string>"(?:[^"\\]|\\.)*")     # double-quoted string
+  | (?P<punct>[{}();:,])              # structural punctuation
+  | (?P<word>[^\s{}();:,"]+)          # identifiers, numbers, units
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    line: int
+
+
+def tokenize(text: str) -> List[_Token]:
+    """Tokenize Liberty text, dropping comments and ``\\`` line joins."""
+    tokens: List[_Token] = []
+    pos = 0
+    line = 1
+    text = text.replace("\\\n", " ")
+    while pos < len(text):
+        ch = text[pos]
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise LibertyParseError(f"unexpected character {ch!r}", line)
+        kind = str(match.lastgroup)
+        token_text = match.group()
+        if kind != "comment":
+            tokens.append(_Token(kind, token_text, line))
+        line += token_text.count("\n")
+        pos = match.end()
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Recursive-descent group parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> Optional[_Token]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise LibertyParseError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self._next()
+        if token.text != text:
+            raise LibertyParseError(f"expected {text!r}, got {token.text!r}", token.line)
+        return token
+
+    def parse_group(self) -> GroupNode:
+        """Parse ``name (args) { body }``."""
+        name_token = self._next()
+        if name_token.kind != "word":
+            raise LibertyParseError(
+                f"expected group name, got {name_token.text!r}", name_token.line
+            )
+        node = GroupNode(name=name_token.text)
+        self._expect("(")
+        node.args = self._parse_arg_list()
+        self._expect("{")
+        self._parse_body(node)
+        return node
+
+    def _parse_arg_list(self) -> List[str]:
+        args: List[str] = []
+        while True:
+            token = self._next()
+            if token.text == ")":
+                return args
+            if token.text == ",":
+                continue
+            args.append(_unquote(token.text))
+
+    def _parse_body(self, node: GroupNode) -> None:
+        while True:
+            token = self._peek()
+            if token is None:
+                raise LibertyParseError(f"unterminated group {node.name}")
+            if token.text == "}":
+                self._next()
+                # optional trailing ';' after a closing brace
+                nxt = self._peek()
+                if nxt is not None and nxt.text == ";":
+                    self._next()
+                return
+            self._parse_statement(node)
+
+    def _parse_statement(self, node: GroupNode) -> None:
+        name_token = self._next()
+        if name_token.kind != "word":
+            raise LibertyParseError(
+                f"expected statement, got {name_token.text!r}", name_token.line
+            )
+        sep = self._next()
+        if sep.text == ":":
+            value_parts: List[str] = []
+            while True:
+                token = self._next()
+                if token.text == ";":
+                    break
+                value_parts.append(_unquote(token.text))
+            node.attributes[name_token.text] = _coerce(" ".join(value_parts))
+            return
+        if sep.text == "(":
+            args = self._parse_arg_list()
+            after = self._peek()
+            if after is not None and after.text == "{":
+                self._next()
+                child = GroupNode(name=name_token.text, args=args)
+                self._parse_body(child)
+                node.children.append(child)
+                return
+            # complex attribute: values (...);
+            if after is not None and after.text == ";":
+                self._next()
+            node.complex_attributes.setdefault(name_token.text, []).extend(args)
+            return
+        raise LibertyParseError(
+            f"expected ':' or '(' after {name_token.text!r}, got {sep.text!r}", sep.line
+        )
+
+
+def _unquote(text: str) -> str:
+    if len(text) >= 2 and text.startswith('"') and text.endswith('"'):
+        return text[1:-1]
+    return text
+
+
+def _coerce(text: str) -> Scalar:
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+# ---------------------------------------------------------------------------
+# AST -> model mapping
+# ---------------------------------------------------------------------------
+
+_TABLE_SLOTS = (
+    "cell_rise",
+    "cell_fall",
+    "rise_transition",
+    "fall_transition",
+    "sigma_rise",
+    "sigma_fall",
+    "power_rise",
+    "power_fall",
+    "sigma_power_rise",
+    "sigma_power_fall",
+)
+
+
+def _parse_index(values: List[str]) -> Tuple[float, ...]:
+    numbers: List[float] = []
+    for chunk in values:
+        numbers.extend(float(v) for v in chunk.replace(",", " ").split())
+    return tuple(numbers)
+
+
+def _node_to_lut(node: GroupNode, templates: Dict[str, LutTemplate]) -> Lut:
+    template_name = node.args[0] if node.args else ""
+    index_1 = _parse_index(node.complex_attributes.get("index_1", []))
+    index_2 = _parse_index(node.complex_attributes.get("index_2", []))
+    if not index_1 or not index_2:
+        template = templates.get(template_name)
+        if template is None:
+            raise LibertyParseError(
+                f"table {node.name} has no indices and unknown template {template_name!r}"
+            )
+        index_1 = index_1 or template.index_1
+        index_2 = index_2 or template.index_2
+    rows = node.complex_attributes.get("values", [])
+    matrix = [[float(v) for v in row.replace(",", " ").split()] for row in rows]
+    return Lut(index_1, index_2, matrix, template=template_name)
+
+
+def _node_to_arc(node: GroupNode, templates: Dict[str, LutTemplate]) -> TimingArc:
+    sense_text = str(node.attributes.get("timing_sense", "negative_unate"))
+    arc = TimingArc(
+        related_pin=str(node.attributes.get("related_pin", "")),
+        timing_sense=TimingSense(sense_text),
+    )
+    for child in node.children:
+        if child.name in _TABLE_SLOTS:
+            setattr(arc, child.name, _node_to_lut(child, templates))
+    return arc
+
+
+def _node_to_pin(node: GroupNode, templates: Dict[str, LutTemplate]) -> Pin:
+    direction = PinDirection(str(node.attributes.get("direction", "input")))
+    pin = Pin(
+        name=node.args[0],
+        direction=direction,
+        capacitance=float(node.attributes.get("capacitance", 0.0) or 0.0),
+        function=str(node.attributes.get("function", "") or ""),
+        max_capacitance=float(node.attributes.get("max_capacitance", 0.0) or 0.0),
+        is_clock=bool(node.attributes.get("clock", False)),
+    )
+    for child in node.children_named("timing"):
+        pin.timing.append(_node_to_arc(child, templates))
+    return pin
+
+
+def _node_to_cell(node: GroupNode, templates: Dict[str, LutTemplate]) -> Cell:
+    cell = Cell(name=node.args[0], area=float(node.attributes.get("area", 0.0) or 0.0))
+    ff_node = node.child("ff")
+    latch_node = node.child("latch")
+    if ff_node is not None or latch_node is not None:
+        cell.is_sequential = True
+        cell.is_latch = latch_node is not None
+        seq = ff_node if ff_node is not None else latch_node
+        assert seq is not None
+        cell.clock_pin = str(seq.attributes.get("clocked_on", "") or "").strip()
+        cell.setup_time = float(seq.attributes.get("setup_time", 0.0) or 0.0)
+    for child in node.children_named("pin"):
+        cell.add_pin(_node_to_pin(child, templates))
+    if cell.clock_pin and cell.clock_pin in cell.pins:
+        cell.pins[cell.clock_pin].is_clock = True
+    return cell
+
+
+def parse_liberty(text: str) -> Library:
+    """Parse Liberty text into a :class:`~repro.liberty.model.Library`."""
+    tokens = tokenize(text)
+    if not tokens:
+        raise LibertyParseError("empty liberty source")
+    root = _Parser(tokens).parse_group()
+    if root.name != "library":
+        raise LibertyParseError(f"top-level group is {root.name!r}, expected 'library'")
+
+    library = Library(name=root.args[0] if root.args else "unnamed")
+    library.is_statistical = bool(root.attributes.get("statistical", False))
+    library.time_unit = str(root.attributes.get("time_unit", "1ns")).replace("1", "") or "ns"
+
+    oc_node = root.child("operating_conditions")
+    if oc_node is not None:
+        library.operating_conditions = OperatingConditions(
+            name=oc_node.args[0] if oc_node.args else "TT",
+            process=float(oc_node.attributes.get("process", 1.0) or 1.0),
+            voltage=float(oc_node.attributes.get("voltage", 1.1) or 1.1),
+            temperature=float(oc_node.attributes.get("temperature", 25.0) or 25.0),
+        )
+
+    for tmpl_node in root.children_named("lu_table_template"):
+        library.add_template(
+            LutTemplate(
+                name=tmpl_node.args[0],
+                variable_1=str(tmpl_node.attributes.get("variable_1", "input_net_transition")),
+                variable_2=str(
+                    tmpl_node.attributes.get("variable_2", "total_output_net_capacitance")
+                ),
+                index_1=_parse_index(tmpl_node.complex_attributes.get("index_1", [])),
+                index_2=_parse_index(tmpl_node.complex_attributes.get("index_2", [])),
+            )
+        )
+
+    for cell_node in root.children_named("cell"):
+        library.add_cell(_node_to_cell(cell_node, library.templates))
+    return library
+
+
+def parse_liberty_file(path: str) -> Library:
+    """Parse the Liberty file at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_liberty(handle.read())

@@ -1,0 +1,127 @@
+"""Writer emitting the Liberty subset the parser understands.
+
+``parse_liberty(write_liberty(lib))`` reconstructs an equivalent
+library; the round-trip is property-tested in
+``tests/liberty/test_roundtrip.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.liberty.model import Cell, Library, Lut, Pin, PinDirection, TimingArc
+
+_INDENT = "  "
+
+
+def _fmt(value: float) -> str:
+    """Format a float compactly but losslessly enough for round-trips."""
+    return f"{value:.9g}"
+
+
+def _format_index(values: np.ndarray) -> str:
+    return '"' + ", ".join(_fmt(v) for v in values) + '"'
+
+
+def _emit_lut(lines: List[str], name: str, lut: Lut, depth: int) -> None:
+    pad = _INDENT * depth
+    template = lut.template or "delay_template"
+    lines.append(f"{pad}{name} ({template}) {{")
+    lines.append(f"{pad}{_INDENT}index_1 ({_format_index(lut.index_1)});")
+    lines.append(f"{pad}{_INDENT}index_2 ({_format_index(lut.index_2)});")
+    lines.append(f"{pad}{_INDENT}values ( \\")
+    for i, row in enumerate(lut.values):
+        row_text = '"' + ", ".join(_fmt(v) for v in row) + '"'
+        trailer = ", \\" if i < lut.values.shape[0] - 1 else " \\"
+        lines.append(f"{pad}{_INDENT * 2}{row_text}{trailer}")
+    lines.append(f"{pad}{_INDENT});")
+    lines.append(f"{pad}}}")
+
+
+def _emit_arc(lines: List[str], arc: TimingArc, depth: int) -> None:
+    pad = _INDENT * depth
+    lines.append(f"{pad}timing () {{")
+    lines.append(f'{pad}{_INDENT}related_pin : "{arc.related_pin}";')
+    lines.append(f"{pad}{_INDENT}timing_sense : {arc.timing_sense.value};")
+    for slot in ("cell_rise", "cell_fall", "rise_transition", "fall_transition",
+                 "sigma_rise", "sigma_fall", "power_rise", "power_fall",
+                 "sigma_power_rise", "sigma_power_fall"):
+        lut = getattr(arc, slot)
+        if lut is not None:
+            _emit_lut(lines, slot, lut, depth + 1)
+    lines.append(f"{pad}}}")
+
+
+def _emit_pin(lines: List[str], pin: Pin, depth: int) -> None:
+    pad = _INDENT * depth
+    lines.append(f"{pad}pin ({pin.name}) {{")
+    lines.append(f"{pad}{_INDENT}direction : {pin.direction.value};")
+    if pin.direction is PinDirection.INPUT:
+        lines.append(f"{pad}{_INDENT}capacitance : {_fmt(pin.capacitance)};")
+        if pin.is_clock:
+            lines.append(f"{pad}{_INDENT}clock : true;")
+    else:
+        if pin.function:
+            lines.append(f'{pad}{_INDENT}function : "{pin.function}";')
+        if pin.max_capacitance:
+            lines.append(f"{pad}{_INDENT}max_capacitance : {_fmt(pin.max_capacitance)};")
+    for arc in pin.timing:
+        _emit_arc(lines, arc, depth + 1)
+    lines.append(f"{pad}}}")
+
+
+def _emit_cell(lines: List[str], cell: Cell, depth: int) -> None:
+    pad = _INDENT * depth
+    lines.append(f"{pad}cell ({cell.name}) {{")
+    lines.append(f"{pad}{_INDENT}area : {_fmt(cell.area)};")
+    if cell.is_sequential:
+        group = "latch" if cell.is_latch else "ff"
+        lines.append(f"{pad}{_INDENT}{group} (IQ, IQN) {{")
+        lines.append(f'{pad}{_INDENT * 2}clocked_on : "{cell.clock_pin}";')
+        lines.append(f"{pad}{_INDENT * 2}setup_time : {_fmt(cell.setup_time)};")
+        lines.append(f"{pad}{_INDENT}}}")
+    for pin in cell.pins.values():
+        _emit_pin(lines, pin, depth + 1)
+    lines.append(f"{pad}}}")
+
+
+def write_liberty(library: Library) -> str:
+    """Serialize ``library`` to Liberty text."""
+    lines: List[str] = []
+    lines.append(f"library ({library.name}) {{")
+    lines.append(f'{_INDENT}time_unit : "1{library.time_unit}";')
+    lines.append(f"{_INDENT}capacitive_load_unit (1, {library.cap_unit.lower()});")
+    if library.is_statistical:
+        lines.append(f"{_INDENT}statistical : true;")
+    oc = library.operating_conditions
+    lines.append(f"{_INDENT}operating_conditions ({oc.name}) {{")
+    lines.append(f"{_INDENT * 2}process : {_fmt(oc.process)};")
+    lines.append(f"{_INDENT * 2}voltage : {_fmt(oc.voltage)};")
+    lines.append(f"{_INDENT * 2}temperature : {_fmt(oc.temperature)};")
+    lines.append(f"{_INDENT}}}")
+    for template in library.templates.values():
+        lines.append(f"{_INDENT}lu_table_template ({template.name}) {{")
+        lines.append(f"{_INDENT * 2}variable_1 : {template.variable_1};")
+        lines.append(f"{_INDENT * 2}variable_2 : {template.variable_2};")
+        if template.index_1:
+            lines.append(
+                f"{_INDENT * 2}index_1 ({_format_index(np.asarray(template.index_1))});"
+            )
+        if template.index_2:
+            lines.append(
+                f"{_INDENT * 2}index_2 ({_format_index(np.asarray(template.index_2))});"
+            )
+        lines.append(f"{_INDENT}}}")
+    for cell in library:
+        _emit_cell(lines, cell, 1)
+    lines.append("}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_liberty_file(library: Library, path: str) -> None:
+    """Write ``library`` to the file at ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_liberty(library))

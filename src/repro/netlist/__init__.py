@@ -1,0 +1,29 @@
+"""Gate-level netlist substrate.
+
+A :class:`~repro.netlist.model.Netlist` is a technology-independent
+gate-level design: instances reference cell *families* from
+:mod:`repro.cells.functions` (``ND2``, ``ADDF``, ``DFF``...), and the
+synthesizer later binds each instance to a concrete drive strength
+(``ND2_4``).  The subpackage also provides a functional simulator
+(used to verify the generators bit-for-bit against Python semantics)
+and parametric generators up to the ~20k-gate microcontroller design
+the paper evaluates on.
+"""
+
+from repro.netlist.model import Instance, Net, Netlist, PinRef, PortDirection
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.simulate import simulate, simulate_sequence
+from repro.netlist.verilog import parse_verilog, write_verilog
+
+__all__ = [
+    "Instance",
+    "Net",
+    "Netlist",
+    "PinRef",
+    "PortDirection",
+    "NetlistBuilder",
+    "simulate",
+    "simulate_sequence",
+    "parse_verilog",
+    "write_verilog",
+]

@@ -1,0 +1,386 @@
+"""Structural netlist builder.
+
+Thin layer over :class:`~repro.netlist.model.Netlist` that the design
+generators use: auto-named gate emitters for every catalog family,
+hierarchical naming scopes, and word-level helpers (buses, ripple
+adders, mux trees, one-hot decoders, registers).
+
+Gate emitters return the output net name(s); word helpers operate on
+``List[str]`` buses, least-significant bit first.
+
+The builder only emits families that exist in the catalog (there is no
+AND/XOR family, so ``and_`` and ``xor`` are emitted as NAND+INV and
+XNOR+INV — the same freedom a synthesis tool has when a library lacks
+a function, see paper Sec. VII.A).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.model import Netlist
+
+Bus = List[str]
+
+
+class NetlistBuilder:
+    """Builds a netlist with auto-named instances and nets."""
+
+    def __init__(self, name: str):
+        self.netlist = Netlist(name)
+        self._scopes: List[str] = []
+        self._counters: Dict[str, int] = {}
+        self._tie_nets: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # Naming
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def scope(self, name: str) -> Iterator[None]:
+        """Hierarchical naming scope: nested emitters get the prefix."""
+        self._scopes.append(name)
+        try:
+            yield
+        finally:
+            self._scopes.pop()
+
+    def fresh(self, kind: str) -> str:
+        """Fresh hierarchical name for an instance or net."""
+        prefix = "/".join(self._scopes) + "/" if self._scopes else ""
+        key = f"{prefix}{kind}"
+        index = self._counters.get(key, 0)
+        self._counters[key] = index + 1
+        return f"{key}{index}"
+
+    # ------------------------------------------------------------------
+    # Ports and constants
+    # ------------------------------------------------------------------
+
+    def input(self, name: str) -> str:
+        """Primary input; returns its net."""
+        return self.netlist.add_input_port(name)
+
+    def input_bus(self, name: str, width: int) -> Bus:
+        """Bus of primary inputs ``name[0..width-1]``, LSB first."""
+        return [self.input(f"{name}[{i}]") for i in range(width)]
+
+    def output(self, name: str, net: str) -> None:
+        """Primary output fed by ``net``."""
+        self.netlist.add_output_port(name, net)
+
+    def output_bus(self, name: str, nets: Sequence[str]) -> None:
+        """Bus of primary outputs, LSB first."""
+        for i, net in enumerate(nets):
+            self.output(f"{name}[{i}]", net)
+
+    def clock(self, name: str = "clk") -> str:
+        """Clock input port."""
+        net = self.input(name)
+        self.netlist.set_clock(name)
+        return net
+
+    def tie(self, value: int) -> str:
+        """Constant 0/1 net, realized as a lazily created input port.
+
+        The surrogate library has no tie cells, so constants enter as
+        dedicated primary inputs (arrival 0, never timing-critical).
+        """
+        if value not in (0, 1):
+            raise NetlistError(f"tie value must be 0 or 1, got {value}")
+        if value not in self._tie_nets:
+            self._tie_nets[value] = self.input(f"tie{value}")
+        return self._tie_nets[value]
+
+    @property
+    def tie_values(self) -> Dict[str, int]:
+        """Port name -> constant value, for the simulator."""
+        return {net: value for value, net in self._tie_nets.items()}
+
+    # ------------------------------------------------------------------
+    # Gate emitters
+    # ------------------------------------------------------------------
+
+    def _emit(
+        self,
+        family: str,
+        connections: Dict[str, str],
+        outs: Sequence[str],
+        out_nets: Optional[Dict[str, str]] = None,
+    ) -> List[str]:
+        name = self.fresh(family.lower())
+        resolved = {pin: f"{name}.{pin}" for pin in outs}
+        if out_nets:
+            resolved.update(out_nets)
+        connections = dict(connections)
+        connections.update(resolved)
+        self.netlist.add_instance(name, family, connections)
+        return [resolved[pin] for pin in outs]
+
+    def inv(self, a: str, out: Optional[str] = None) -> str:
+        """Inverter; returns the Z net."""
+        return self._emit("INV", {"A": a}, ["Z"], {"Z": out} if out else None)[0]
+
+    def buf(self, a: str) -> str:
+        """Buffer; returns the Z net."""
+        return self._emit("BUF", {"A": a}, ["Z"])[0]
+
+    def nand(self, a: str, b: str) -> str:
+        """2-input NAND."""
+        return self._emit("ND2", {"A": a, "B": b}, ["Z"])[0]
+
+    def nand3(self, a: str, b: str, c: str) -> str:
+        """3-input NAND."""
+        return self._emit("ND3", {"A": a, "B": b, "C": c}, ["Z"])[0]
+
+    def nand4(self, a: str, b: str, c: str, d: str) -> str:
+        """4-input NAND."""
+        return self._emit("ND4", {"A": a, "B": b, "C": c, "D": d}, ["Z"])[0]
+
+    def nor(self, a: str, b: str) -> str:
+        """2-input NOR."""
+        return self._emit("NR2", {"A": a, "B": b}, ["Z"])[0]
+
+    def nor2b(self, a: str, b: str) -> str:
+        """Z = !A * B (NOR with bubbled B input)."""
+        return self._emit("NR2B", {"A": a, "B": b}, ["Z"])[0]
+
+    def nor3(self, a: str, b: str, c: str) -> str:
+        """3-input NOR."""
+        return self._emit("NR3", {"A": a, "B": b, "C": c}, ["Z"])[0]
+
+    def nor4(self, a: str, b: str, c: str, d: str) -> str:
+        """4-input NOR."""
+        return self._emit("NR4", {"A": a, "B": b, "C": c, "D": d}, ["Z"])[0]
+
+    def or_(self, a: str, b: str) -> str:
+        """2-input OR."""
+        return self._emit("OR2", {"A": a, "B": b}, ["Z"])[0]
+
+    def or3(self, a: str, b: str, c: str) -> str:
+        """3-input OR."""
+        return self._emit("OR3", {"A": a, "B": b, "C": c}, ["Z"])[0]
+
+    def or4(self, a: str, b: str, c: str, d: str) -> str:
+        """4-input OR."""
+        return self._emit("OR4", {"A": a, "B": b, "C": c, "D": d}, ["Z"])[0]
+
+    def and_(self, a: str, b: str) -> str:
+        """AND via NAND + INV (no AND family in the catalog)."""
+        return self.inv(self.nand(a, b))
+
+    def and3(self, a: str, b: str, c: str) -> str:
+        """3-input AND (NAND + INV)."""
+        return self.inv(self.nand3(a, b, c))
+
+    def and4(self, a: str, b: str, c: str, d: str) -> str:
+        """4-input AND (NAND + INV)."""
+        return self.inv(self.nand4(a, b, c, d))
+
+    def xnor(self, a: str, b: str) -> str:
+        """2-input XNOR."""
+        return self._emit("XNR2", {"A": a, "B": b}, ["Z"])[0]
+
+    def xnor3(self, a: str, b: str, c: str) -> str:
+        """3-input XNOR."""
+        return self._emit("XNR3", {"A": a, "B": b, "C": c}, ["Z"])[0]
+
+    def xor(self, a: str, b: str) -> str:
+        """XOR via XNOR + INV (no XOR family in the catalog)."""
+        return self.inv(self.xnor(a, b))
+
+    def mux2(self, d0: str, d1: str, s: str, out: Optional[str] = None) -> str:
+        """2:1 mux (Z = S ? D1 : D0)."""
+        return self._emit(
+            "MUX2", {"D0": d0, "D1": d1, "S": s}, ["Z"], {"Z": out} if out else None
+        )[0]
+
+    def mux4(self, d0: str, d1: str, d2: str, d3: str, s0: str, s1: str) -> str:
+        """4:1 mux with a 2-bit one-per-pin select."""
+        return self._emit(
+            "MUX4", {"D0": d0, "D1": d1, "D2": d2, "D3": d3, "S0": s0, "S1": s1}, ["Z"]
+        )[0]
+
+    def addh(self, a: str, b: str) -> Tuple[str, str]:
+        """Half adder; returns (sum, carry)."""
+        s, co = self._emit("ADDH", {"A": a, "B": b}, ["S", "CO"])
+        return s, co
+
+    def addf(self, a: str, b: str, ci: str) -> Tuple[str, str]:
+        """Full adder; returns (sum, carry)."""
+        s, co = self._emit("ADDF", {"A": a, "B": b, "CI": ci}, ["S", "CO"])
+        return s, co
+
+    def dff(self, d: str, reset_n: Optional[str] = None, out: Optional[str] = None) -> str:
+        """Flip-flop on the design clock; returns Q."""
+        clock = self.netlist.clock
+        if not clock:
+            raise NetlistError("declare the clock before emitting flip-flops")
+        out_nets = {"Q": out} if out else None
+        if reset_n is None:
+            return self._emit("DFF", {"D": d, "CP": clock}, ["Q"], out_nets)[0]
+        return self._emit("DFFR", {"D": d, "CP": clock, "RN": reset_n}, ["Q"], out_nets)[0]
+
+    def latch(self, d: str, enable: str) -> str:
+        """Level-sensitive latch; returns Q."""
+        return self._emit("LATQ", {"D": d, "EN": enable}, ["Q"])[0]
+
+    # ------------------------------------------------------------------
+    # Word-level helpers (buses are LSB-first lists of nets)
+    # ------------------------------------------------------------------
+
+    def inv_word(self, a: Bus) -> Bus:
+        """Bitwise inversion of a bus."""
+        return [self.inv(bit) for bit in a]
+
+    def and_word(self, a: Bus, b: Bus) -> Bus:
+        """Bitwise AND of two buses."""
+        self._check_widths(a, b)
+        return [self.and_(x, y) for x, y in zip(a, b)]
+
+    def or_word(self, a: Bus, b: Bus) -> Bus:
+        """Bitwise OR of two buses."""
+        self._check_widths(a, b)
+        return [self.or_(x, y) for x, y in zip(a, b)]
+
+    def xor_word(self, a: Bus, b: Bus) -> Bus:
+        """Bitwise XOR of two buses."""
+        self._check_widths(a, b)
+        return [self.xor(x, y) for x, y in zip(a, b)]
+
+    def ripple_adder(self, a: Bus, b: Bus, carry_in: Optional[str] = None) -> Tuple[Bus, str]:
+        """Ripple-carry adder; returns (sum bus, carry out)."""
+        self._check_widths(a, b)
+        carry = carry_in if carry_in is not None else self.tie(0)
+        total: Bus = []
+        for x, y in zip(a, b):
+            s, carry = self.addf(x, y, carry)
+            total.append(s)
+        return total, carry
+
+    def subtractor(self, a: Bus, b: Bus) -> Tuple[Bus, str]:
+        """a - b via two's complement; returns (difference, carry_out)."""
+        return self.ripple_adder(a, self.inv_word(b), carry_in=self.tie(1))
+
+    def incrementer(self, a: Bus) -> Bus:
+        """a + 1 with a half-adder chain."""
+        carry = self.tie(1)
+        result: Bus = []
+        for bit in a:
+            s, carry = self.addh(bit, carry)
+            result.append(s)
+        return result
+
+    def equals(self, a: Bus, b: Bus) -> str:
+        """1 when the buses are equal (XNOR reduce-AND tree)."""
+        self._check_widths(a, b)
+        return self.reduce_and([self.xnor(x, y) for x, y in zip(a, b)])
+
+    def reduce_and(self, bits: Bus) -> str:
+        """AND-reduce a list of nets with a NAND+INV tree."""
+        if not bits:
+            raise NetlistError("reduce_and needs at least one net")
+        level = list(bits)
+        while len(level) > 1:
+            nxt: Bus = []
+            for index in range(0, len(level), 4):
+                chunk = level[index : index + 4]
+                if len(chunk) == 1:
+                    nxt.append(chunk[0])
+                elif len(chunk) == 2:
+                    nxt.append(self.inv(self.nand(*chunk)))
+                elif len(chunk) == 3:
+                    nxt.append(self.inv(self.nand3(*chunk)))
+                else:
+                    nxt.append(self.inv(self.nand4(*chunk)))
+            level = nxt
+        return level[0]
+
+    def reduce_or(self, bits: Bus) -> str:
+        """OR-reduce a list of nets with an OR tree."""
+        if not bits:
+            raise NetlistError("reduce_or needs at least one net")
+        level = list(bits)
+        while len(level) > 1:
+            nxt: Bus = []
+            for index in range(0, len(level), 4):
+                chunk = level[index : index + 4]
+                if len(chunk) == 1:
+                    nxt.append(chunk[0])
+                elif len(chunk) == 2:
+                    nxt.append(self.or_(*chunk))
+                elif len(chunk) == 3:
+                    nxt.append(self.or3(*chunk))
+                else:
+                    nxt.append(self.or4(*chunk))
+            level = nxt
+        return level[0]
+
+    def mux_word(self, d0: Bus, d1: Bus, select: str) -> Bus:
+        """Per-bit 2:1 mux between two buses."""
+        self._check_widths(d0, d1)
+        return [self.mux2(x, y, select) for x, y in zip(d0, d1)]
+
+    def mux4_word(self, words: Sequence[Bus], s0: str, s1: str) -> Bus:
+        """Per-bit 4:1 mux across four buses."""
+        if len(words) != 4:
+            raise NetlistError("mux4_word needs exactly 4 input words")
+        width = len(words[0])
+        for word in words:
+            if len(word) != width:
+                raise NetlistError("mux4_word inputs must share a width")
+        return [
+            self.mux4(words[0][i], words[1][i], words[2][i], words[3][i], s0, s1)
+            for i in range(width)
+        ]
+
+    def mux_tree(self, words: Sequence[Bus], select: Bus) -> Bus:
+        """General 2^k:1 word multiplexer from MUX2 layers."""
+        if len(words) != (1 << len(select)):
+            raise NetlistError(
+                f"mux_tree: {len(words)} words need a {len(select)}-bit select "
+                f"covering {1 << len(select)} words"
+            )
+        level = [list(word) for word in words]
+        for bit in select:
+            level = [
+                self.mux_word(level[i], level[i + 1], bit)
+                for i in range(0, len(level), 2)
+            ]
+        return level[0]
+
+    def decoder(self, select: Bus) -> Bus:
+        """k-to-2^k one-hot decoder."""
+        inverted = [self.inv(bit) for bit in select]
+        outputs: Bus = []
+        for code in range(1 << len(select)):
+            terms = [
+                select[i] if (code >> i) & 1 else inverted[i]
+                for i in range(len(select))
+            ]
+            outputs.append(self.reduce_and(terms))
+        return outputs
+
+    def register(self, d: Bus, reset_n: Optional[str] = None) -> Bus:
+        """Word of flip-flops."""
+        return [self.dff(bit, reset_n) for bit in d]
+
+    def register_en(self, d: Bus, enable: str, reset_n: Optional[str] = None) -> Bus:
+        """Register with load-enable: q <= enable ? d : q.
+
+        The feedback is wired by pre-naming the flip-flop output net.
+        """
+        qs: Bus = []
+        for bit in d:
+            q_net = self.fresh("qen")
+            mux = self.mux2(q_net, bit, enable)
+            self.dff(mux, reset_n, out=q_net)
+            qs.append(q_net)
+        return qs
+
+    @staticmethod
+    def _check_widths(a: Bus, b: Bus) -> None:
+        if len(a) != len(b):
+            raise NetlistError(f"bus width mismatch: {len(a)} vs {len(b)}")

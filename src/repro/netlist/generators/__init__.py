@@ -1,0 +1,48 @@
+"""Parametric gate-level design generators.
+
+Every generator is deterministic (seeded where randomness is used) and
+verified bit-for-bit against Python semantics by the test-suite.  The
+top-level product is :func:`~repro.netlist.generators.microcontroller.
+build_microcontroller`, the ~20k-gate evaluation design standing in for
+the paper's 32-bit CPU + AHB microcontroller.
+"""
+
+from repro.netlist.generators.arithmetic import (
+    build_ripple_adder,
+    build_carry_select_adder,
+    carry_select_adder,
+    less_than,
+)
+from repro.netlist.generators.shifter import barrel_shifter, build_barrel_shifter
+from repro.netlist.generators.multiplier import array_multiplier, build_array_multiplier
+from repro.netlist.generators.alu import Alu, AluPorts, build_alu
+from repro.netlist.generators.regfile import register_file, RegisterFilePorts
+from repro.netlist.generators.control import random_logic, decode_rom
+from repro.netlist.generators.peripherals import timer, uart_tx, gpio_block
+from repro.netlist.generators.microcontroller import (
+    MicrocontrollerParams,
+    build_microcontroller,
+)
+
+__all__ = [
+    "build_ripple_adder",
+    "build_carry_select_adder",
+    "carry_select_adder",
+    "less_than",
+    "barrel_shifter",
+    "build_barrel_shifter",
+    "array_multiplier",
+    "build_array_multiplier",
+    "Alu",
+    "AluPorts",
+    "build_alu",
+    "register_file",
+    "RegisterFilePorts",
+    "random_logic",
+    "decode_rom",
+    "timer",
+    "uart_tx",
+    "gpio_block",
+    "MicrocontrollerParams",
+    "build_microcontroller",
+]

@@ -1,0 +1,113 @@
+"""32-bit-class ALU generator.
+
+Operations (3-bit opcode, LSB-first select)::
+
+    0  ADD   a + b
+    1  SUB   a - b
+    2  AND   a & b
+    3  OR    a | b
+    4  XOR   a ^ b
+    5  SHL   a << b[0:k]
+    6  SHR   a >> b[0:k]
+    7  PASS  b
+
+Flags: zero (result == 0), carry (of ADD/SUB), negative (MSB).
+The adder doubles as subtractor through XOR pre-conditioning of the B
+operand — the standard trick, and it keeps the carry chain shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import NetlistError
+from repro.netlist.builder import Bus, NetlistBuilder
+from repro.netlist.generators.shifter import barrel_shifter
+from repro.netlist.model import Netlist
+
+#: Python reference semantics, used by the equivalence tests.
+OPERATIONS = ("ADD", "SUB", "AND", "OR", "XOR", "SHL", "SHR", "PASS")
+
+
+def reference_alu(op: int, a: int, b: int, width: int) -> int:
+    """Bit-true Python model of the ALU result."""
+    mask = (1 << width) - 1
+    shift = b & (width - 1)
+    results = {
+        0: a + b,
+        1: a - b,
+        2: a & b,
+        3: a | b,
+        4: a ^ b,
+        5: a << shift,
+        6: a >> shift,
+        7: b,
+    }
+    return results[op] & mask
+
+
+@dataclass
+class AluPorts:
+    """Nets of an emitted ALU."""
+
+    result: Bus
+    zero: str
+    carry: str
+    negative: str
+
+
+class Alu:
+    """In-builder ALU emitter (see module docstring for the opcodes)."""
+
+    def __init__(self, builder: NetlistBuilder, width: int):
+        if width < 2:
+            raise NetlistError("ALU width must be >= 2")
+        self.builder = builder
+        self.width = width
+
+    def emit(self, a: Bus, b: Bus, op: Bus) -> AluPorts:
+        """Emit the ALU for operands ``a``/``b`` and 3-bit opcode."""
+        builder = self.builder
+        if len(a) != self.width or len(b) != self.width:
+            raise NetlistError("ALU operand width mismatch")
+        if len(op) != 3:
+            raise NetlistError("ALU opcode must be 3 bits")
+        with builder.scope(builder.fresh("alu")):
+            is_sub = builder.and_(op[0], builder.inv(op[1]))  # op == 1
+            b_adder = [builder.xor(bit, is_sub) for bit in b]
+            add_res, carry = builder.ripple_adder(a, b_adder, carry_in=is_sub)
+
+            and_res = builder.and_word(a, b)
+            or_res = builder.or_word(a, b)
+            xor_res = builder.xor_word(a, b)
+
+            shift_bits = max(1, (self.width - 1).bit_length())
+            amount = b[:shift_bits]
+            shl_res = barrel_shifter(builder, a, amount, left=True)
+            shr_res = barrel_shifter(builder, a, amount, left=False)
+
+            # 8:1 word mux on (op0, op1, op2); ADD/SUB share the adder.
+            lo = builder.mux4_word([add_res, add_res, and_res, or_res], op[0], op[1])
+            hi = builder.mux4_word([xor_res, shl_res, shr_res, b], op[0], op[1])
+            result = builder.mux_word(lo, hi, op[2])
+
+            zero = builder.inv(builder.reduce_or(result))
+            return AluPorts(
+                result=result, zero=zero, carry=carry, negative=result[-1]
+            )
+
+
+def build_alu(width: int, name: str = "") -> Netlist:
+    """Standalone ALU design with ports a, b, op, r, zero, carry, neg."""
+    builder = NetlistBuilder(name or f"alu{width}")
+    a = builder.input_bus("a", width)
+    b = builder.input_bus("b", width)
+    op = builder.input_bus("op", 3)
+    ports = Alu(builder, width).emit(a, b, op)
+    builder.output_bus("r", ports.result)
+    builder.output("zero", ports.zero)
+    builder.output("carry", ports.carry)
+    builder.output("neg", ports.negative)
+    builder.netlist.validate()
+    return builder.netlist

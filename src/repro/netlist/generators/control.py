@@ -1,0 +1,135 @@
+"""Control/decode logic generators.
+
+Real microcontrollers are dominated by irregular control logic:
+instruction decoders, interrupt priority logic, bus handshakes.  Two
+seeded generators reproduce that texture:
+
+* :func:`random_logic` — a layered random gate network (acyclic by
+  construction) with a target gate count; every layer draws gates and
+  fanins from a ``numpy`` generator, so a seed fully determines the
+  netlist;
+* :func:`decode_rom` — a two-level AND/OR "PLA" decoding an opcode
+  field into control lines, the shape of a synthesized instruction
+  decoder.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import NetlistError
+from repro.netlist.builder import Bus, NetlistBuilder
+
+#: Gate families the random network draws from, with sampling weights
+#: roughly matching the paper's Fig. 9 histogram (NAND/NOR/INV heavy).
+_RANDOM_GATES = (
+    ("INV", 1, 0.18),
+    ("ND2", 2, 0.26),
+    ("NR2", 2, 0.20),
+    ("ND3", 3, 0.08),
+    ("NR3", 3, 0.06),
+    ("OR2", 2, 0.07),
+    ("XNR2", 2, 0.06),
+    ("MUX2", 3, 0.05),
+    ("ND4", 4, 0.04),
+)
+
+
+def random_logic(
+    builder: NetlistBuilder,
+    inputs: Bus,
+    n_gates: int,
+    n_outputs: int,
+    seed: int,
+    n_layers: int = 12,
+) -> Bus:
+    """Emit a layered random gate network of bounded logic depth.
+
+    The gates are organized into ``n_layers`` layers; each gate draws
+    its fanins from the outputs of the two preceding layers (and the
+    primary inputs), so the network depth is at most ``n_layers`` —
+    giving the short/medium control paths of a real decoder rather
+    than accidental thousand-gate chains.  Returns ``n_outputs`` nets
+    sampled from the last layer.
+    """
+    if not inputs:
+        raise NetlistError("random_logic needs at least one input net")
+    if n_outputs > n_gates:
+        raise NetlistError("cannot tap more outputs than gates")
+    if n_layers < 1:
+        raise NetlistError("need at least one layer")
+    rng = np.random.default_rng(seed)
+    names = [g[0] for g in _RANDOM_GATES]
+    weights = np.array([g[2] for g in _RANDOM_GATES])
+    weights = weights / weights.sum()
+    fanins = {g[0]: g[1] for g in _RANDOM_GATES}
+
+    per_layer = max(n_outputs, (n_gates + n_layers - 1) // n_layers)
+    emitted = 0
+    previous: List[Bus] = [list(inputs)]
+    with builder.scope(builder.fresh("rnd")):
+        while emitted < n_gates:
+            sources = previous[-1] + (previous[-2] if len(previous) > 1 else [])
+            layer: Bus = []
+            for _ in range(min(per_layer, n_gates - emitted)):
+                family = names[int(rng.choice(len(names), p=weights))]
+                k = fanins[family]
+                picks = [sources[int(rng.integers(len(sources)))] for _ in range(k)]
+                if family == "INV":
+                    net = builder.inv(picks[0])
+                elif family == "ND2":
+                    net = builder.nand(picks[0], picks[1])
+                elif family == "NR2":
+                    net = builder.nor(picks[0], picks[1])
+                elif family == "ND3":
+                    net = builder.nand3(*picks)
+                elif family == "NR3":
+                    net = builder.nor3(*picks)
+                elif family == "OR2":
+                    net = builder.or_(picks[0], picks[1])
+                elif family == "XNR2":
+                    net = builder.xnor(picks[0], picks[1])
+                elif family == "MUX2":
+                    net = builder.mux2(picks[0], picks[1], picks[2])
+                else:  # ND4
+                    net = builder.nand4(*picks)
+                layer.append(net)
+                emitted += 1
+            previous.append(layer)
+        last = previous[-1]
+        if len(last) < n_outputs:
+            last = last + previous[-2]
+        indices = rng.choice(len(last), size=n_outputs, replace=False)
+        return [last[int(i)] for i in sorted(indices)]
+
+
+def decode_rom(
+    builder: NetlistBuilder,
+    opcode: Bus,
+    n_outputs: int,
+    seed: int,
+    terms_per_output: int = 3,
+) -> Bus:
+    """Two-level AND/OR decode of an opcode field into control lines.
+
+    Each output ORs a few random minterm-like AND terms over the opcode
+    bits and their complements — the canonical PLA structure of an
+    instruction decoder.
+    """
+    if not opcode:
+        raise NetlistError("decode_rom needs opcode bits")
+    rng = np.random.default_rng(seed)
+    with builder.scope(builder.fresh("dec")):
+        inverted = [builder.inv(bit) for bit in opcode]
+        literals = list(opcode) + inverted
+        outputs: Bus = []
+        for _ in range(n_outputs):
+            terms: Bus = []
+            for _ in range(terms_per_output):
+                k = int(rng.integers(2, min(4, len(literals)) + 1))
+                picks = rng.choice(len(literals), size=k, replace=False)
+                terms.append(builder.reduce_and([literals[int(i)] for i in picks]))
+            outputs.append(builder.reduce_or(terms))
+        return outputs

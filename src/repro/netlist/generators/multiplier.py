@@ -1,0 +1,53 @@
+"""Array multiplier.
+
+Classic carry-save array: AND partial products, rows of full/half
+adders, final ripple for the upper half.  An n x m array produces the
+design's deepest combinational paths (~n + m full-adder stages), which
+is what gives the microcontroller its paper-like 50+-cell worst paths.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import NetlistError
+from repro.netlist.builder import Bus, NetlistBuilder
+from repro.netlist.model import Netlist
+
+
+def array_multiplier(builder: NetlistBuilder, a: Bus, b: Bus) -> Bus:
+    """Unsigned product of ``a`` (n bits) and ``b`` (m bits): n+m bits."""
+    if not a or not b:
+        raise NetlistError("multiplier operands must be non-empty")
+    with builder.scope(builder.fresh("mul")):
+        # partial products: pp[j][i] = a[i] & b[j]
+        partials: List[Bus] = [
+            [builder.and_(a_bit, b_bit) for a_bit in a] for b_bit in b
+        ]
+        # accumulate row by row with ripple adders (carry-propagate
+        # per row; simple, deep, and easy to verify).
+        accum: Bus = list(partials[0])
+        result: Bus = []
+        for row_index in range(1, len(b)):
+            result.append(accum[0])
+            row = partials[row_index]
+            upper = accum[1:]
+            carry = builder.tie(0)
+            summed: Bus = []
+            for i in range(len(a)):
+                left = upper[i] if i < len(upper) else builder.tie(0)
+                s, carry = builder.addf(left, row[i], carry)
+                summed.append(s)
+            accum = summed + [carry]
+        result.extend(accum)
+        return result
+
+
+def build_array_multiplier(width_a: int, width_b: int, name: str = "") -> Netlist:
+    """Standalone multiplier design with ports a, b, p."""
+    builder = NetlistBuilder(name or f"mult{width_a}x{width_b}")
+    a = builder.input_bus("a", width_a)
+    b = builder.input_bus("b", width_b)
+    builder.output_bus("p", array_multiplier(builder, a, b))
+    builder.netlist.validate()
+    return builder.netlist

@@ -1,0 +1,72 @@
+"""Peripheral blocks: timers, UART transmitter, GPIO.
+
+Small sequential blocks contributing the short and medium paths of a
+microcontroller (the population where the paper finds local variation
+dominating, Sec. VII.C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import NetlistError
+from repro.netlist.builder import Bus, NetlistBuilder
+
+
+@dataclass
+class TimerPorts:
+    """Nets of an emitted timer."""
+
+    count: Bus
+    match: str
+
+
+def timer(
+    builder: NetlistBuilder, width: int, compare_value: Bus, enable: str, reset_n: str
+) -> TimerPorts:
+    """Free-running up-counter with a compare-match output."""
+    if len(compare_value) != width:
+        raise NetlistError("compare bus width must match the timer width")
+    with builder.scope(builder.fresh("tmr")):
+        count_nets = [builder.fresh("cnt") for _ in range(width)]
+        incremented = builder.incrementer(count_nets)
+        next_count = builder.mux_word(count_nets, incremented, enable)
+        for d, q in zip(next_count, count_nets):
+            builder.dff(d, reset_n=reset_n, out=q)
+        match = builder.equals(count_nets, compare_value)
+        return TimerPorts(count=list(count_nets), match=match)
+
+
+def uart_tx(builder: NetlistBuilder, data: Bus, load: str, reset_n: str) -> str:
+    """Parallel-load shift register: the heart of a UART transmitter.
+
+    Returns the serial output net (LSB shifted out first).
+    """
+    if not data:
+        raise NetlistError("uart_tx needs data bits")
+    with builder.scope(builder.fresh("uart")):
+        stage_nets = [builder.fresh("sh") for _ in range(len(data))]
+        zero = builder.tie(0)
+        for i, q in enumerate(stage_nets):
+            shifted_in = stage_nets[i + 1] if i + 1 < len(stage_nets) else zero
+            d = builder.mux2(shifted_in, data[i], load)
+            builder.dff(d, reset_n=reset_n, out=q)
+        return stage_nets[0]
+
+
+def gpio_block(
+    builder: NetlistBuilder, bus_in: Bus, write: str, pins_in: Bus, reset_n: str
+) -> Bus:
+    """GPIO: output register + synchronized input sampling.
+
+    Returns the read-back bus (output register XOR-mixed with the
+    two-stage synchronized pin inputs, giving the block some logic).
+    """
+    if len(bus_in) != len(pins_in):
+        raise NetlistError("GPIO bus and pin widths must match")
+    with builder.scope(builder.fresh("gpio")):
+        out_reg = builder.register_en(bus_in, write, reset_n=reset_n)
+        sync1 = builder.register(pins_in, reset_n=reset_n)
+        sync2 = builder.register(sync1, reset_n=reset_n)
+        return builder.xor_word(out_reg, sync2)

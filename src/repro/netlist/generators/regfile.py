@@ -1,0 +1,51 @@
+"""Register file: write-decoded enable registers + mux-tree read ports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import NetlistError
+from repro.netlist.builder import Bus, NetlistBuilder
+
+
+@dataclass
+class RegisterFilePorts:
+    """Nets of an emitted register file."""
+
+    read_data: List[Bus]
+    #: Q buses of every register (exposed for simulation checks).
+    registers: List[Bus]
+
+
+def register_file(
+    builder: NetlistBuilder,
+    write_data: Bus,
+    write_address: Bus,
+    write_enable: str,
+    read_addresses: List[Bus],
+    reset_n: str = "",
+) -> RegisterFilePorts:
+    """Emit an ``2^k x width`` register file.
+
+    ``write_address`` and each read address are ``k``-bit buses; write
+    is gated by ``write_enable`` through a one-hot decoder.
+    """
+    n_regs = 1 << len(write_address)
+    for address in read_addresses:
+        if len(address) != len(write_address):
+            raise NetlistError("read/write address widths differ")
+    with builder.scope(builder.fresh("rf")):
+        select = builder.decoder(write_address)
+        enables = [builder.and_(bit, write_enable) for bit in select]
+        registers: List[Bus] = []
+        for reg in range(n_regs):
+            registers.append(
+                builder.register_en(
+                    write_data, enables[reg], reset_n=reset_n or None
+                )
+            )
+        read_data = [
+            builder.mux_tree(registers, address) for address in read_addresses
+        ]
+        return RegisterFilePorts(read_data=read_data, registers=registers)

@@ -1,0 +1,44 @@
+"""Barrel shifter: log-depth layers of 2:1 muxes."""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.netlist.builder import Bus, NetlistBuilder
+from repro.netlist.model import Netlist
+
+
+def barrel_shifter(
+    builder: NetlistBuilder, data: Bus, amount: Bus, left: bool = True
+) -> Bus:
+    """Shift ``data`` by the binary ``amount`` (zero fill).
+
+    ``amount`` needs ``ceil(log2(width))`` bits; each select bit adds
+    one mux layer shifting by ``2^k``.
+    """
+    width = len(data)
+    if (1 << len(amount)) < width:
+        raise NetlistError(
+            f"{len(amount)} shift bits cannot address a {width}-bit word"
+        )
+    zero = builder.tie(0)
+    current = list(data)
+    with builder.scope(builder.fresh("bsh")):
+        for k, select in enumerate(amount):
+            step = 1 << k
+            shifted: Bus = []
+            for i in range(width):
+                source = i - step if left else i + step
+                shifted.append(current[source] if 0 <= source < width else zero)
+            current = builder.mux_word(current, shifted, select)
+    return current
+
+
+def build_barrel_shifter(width: int, left: bool = True, name: str = "") -> Netlist:
+    """Standalone shifter design with ports d, sh, q."""
+    shift_bits = max(1, (width - 1).bit_length())
+    builder = NetlistBuilder(name or f"shifter{width}")
+    data = builder.input_bus("d", width)
+    amount = builder.input_bus("sh", shift_bits)
+    builder.output_bus("q", barrel_shifter(builder, data, amount, left=left))
+    builder.netlist.validate()
+    return builder.netlist

@@ -1,0 +1,126 @@
+"""Functional (cycle-accurate, two-valued) netlist simulation.
+
+Used by the test-suite to verify the design generators bit-for-bit
+against plain Python arithmetic: an adder netlist must add, the ALU
+must match its Python reference, the microcontroller's program counter
+must count.
+
+Semantics:
+
+* combinational instances evaluate in topological order via their
+  family's :meth:`~repro.cells.functions.CellFunction.evaluate`;
+* flip-flops sample D on the (implicit) rising clock edge of
+  :func:`step`; an inactive-low reset ``RN == 0`` forces Q to 0, an
+  inactive-low set ``SN == 0`` forces Q to 1 (set dominates);
+* latches are modelled clock-synchronously: transparent when EN is
+  high at the step boundary, otherwise holding — sufficient for the
+  generators, which only use latches in enable-gated storage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.model import Instance, Netlist
+
+NetValues = Dict[str, bool]
+State = Dict[str, bool]
+
+
+def _sequential_q_net(instance: Instance) -> str:
+    return instance.net_of(instance.function.output_pins[0])
+
+
+def evaluate_combinational(
+    netlist: Netlist, input_values: Mapping[str, bool], state: Mapping[str, bool]
+) -> NetValues:
+    """Evaluate every net for given primary inputs and register state."""
+    values: NetValues = {}
+    for port in netlist.input_ports():
+        if port not in input_values:
+            raise NetlistError(f"missing value for input port {port}")
+        values[port] = bool(input_values[port])
+    for instance in netlist.sequential_instances():
+        q_net = _sequential_q_net(instance)
+        values[q_net] = bool(state.get(q_net, False))
+    for instance in netlist.combinational_order():
+        inputs = {
+            pin: values[instance.net_of(pin)] for pin in instance.function.input_pins
+        }
+        outputs = instance.function.evaluate(inputs)
+        for pin, value in outputs.items():
+            values[instance.net_of(pin)] = bool(value)
+    return values
+
+
+def _next_state(netlist: Netlist, values: NetValues, state: Mapping[str, bool]) -> State:
+    next_state: State = {}
+    for instance in netlist.sequential_instances():
+        function = instance.function
+        q_net = _sequential_q_net(instance)
+        d_value = values[instance.net_of("D")]
+        if function.is_latch:
+            enable = values[instance.net_of("EN")]
+            next_state[q_net] = d_value if enable else bool(state.get(q_net, False))
+            continue
+        q_next = d_value
+        if "RN" in function.input_pins and not values[instance.net_of("RN")]:
+            q_next = False
+        if "SN" in function.input_pins and not values[instance.net_of("SN")]:
+            q_next = True
+        next_state[q_net] = q_next
+    return next_state
+
+
+def step(
+    netlist: Netlist, input_values: Mapping[str, bool], state: Mapping[str, bool]
+) -> Tuple[NetValues, State]:
+    """One clock cycle: evaluate, then advance every register."""
+    values = evaluate_combinational(netlist, input_values, state)
+    return values, _next_state(netlist, values, state)
+
+
+def output_values(netlist: Netlist, values: Mapping[str, bool]) -> Dict[str, bool]:
+    """Primary-output values from a net-value map."""
+    return {port: bool(values[netlist.port_net(port)]) for port in netlist.output_ports()}
+
+
+def simulate(
+    netlist: Netlist,
+    input_values: Mapping[str, bool],
+    state: Optional[Mapping[str, bool]] = None,
+) -> Dict[str, bool]:
+    """Combinational convenience: inputs -> primary outputs."""
+    values = evaluate_combinational(netlist, input_values, state or {})
+    return output_values(netlist, values)
+
+
+def simulate_sequence(
+    netlist: Netlist,
+    input_sequence: Iterable[Mapping[str, bool]],
+    initial_state: Optional[Mapping[str, bool]] = None,
+) -> List[Dict[str, bool]]:
+    """Clocked simulation over a sequence of input vectors.
+
+    Returns the primary-output values observed in each cycle (before
+    the clock edge of that cycle).
+    """
+    state: State = dict(initial_state or {})
+    observed: List[Dict[str, bool]] = []
+    for input_values in input_sequence:
+        values, state = step(netlist, input_values, state)
+        observed.append(output_values(netlist, values))
+    return observed
+
+
+def bus_value(values: Mapping[str, bool], bus: List[str]) -> int:
+    """Integer value of a LSB-first bus of nets."""
+    return sum(1 << i for i, net in enumerate(bus) if values[net])
+
+
+def int_to_bus_inputs(name: str, width: int, value: int) -> Dict[str, bool]:
+    """Input map driving bus ``name`` with an integer value."""
+    if value < 0 or value >= 1 << width:
+        raise NetlistError(f"value {value} does not fit in {width} bits")
+    return {f"{name}[{i}]": bool((value >> i) & 1) for i in range(width)}

@@ -1,0 +1,265 @@
+"""Structural Verilog export/import for netlists.
+
+A mapped netlist serializes to the gate-level Verilog a synthesis tool
+would hand to place-and-route::
+
+    module microcontroller (clk, rst_n, ...);
+      input clk;
+      output [31:0] mem_addr;
+      wire n42;
+      ND2_4 u123 (.A(n41), .B(n17), .Z(n42));
+    endmodule
+
+and the reader parses that subset back.  Escaping: the generators use
+hierarchical names (``alu0/add/fa3``, ``mux2.Z``) which are not legal
+Verilog identifiers, so they are emitted as escaped identifiers
+(``\\alu0/add/fa3 ``) per the Verilog standard.
+
+Bound cells are emitted as the module type when present, otherwise the
+technology-independent family — so both pre- and post-synthesis
+netlists round-trip.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.model import Netlist, PortDirection
+
+_SIMPLE_ID = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def _escape(name: str) -> str:
+    """Verilog identifier; escaped form for hierarchical names."""
+    if _SIMPLE_ID.match(name):
+        return name
+    return f"\\{name} "
+
+
+def _unescape(token: str) -> str:
+    if token.startswith("\\"):
+        return token[1:]
+    return token
+
+
+def _bus_ports(netlist: Netlist) -> Tuple[Dict[str, Tuple[int, PortDirection]], List[str]]:
+    """Group ``name[i]`` ports into buses; return (buses, scalar ports)."""
+    buses: Dict[str, Dict[int, PortDirection]] = {}
+    scalars: List[str] = []
+    pattern = re.compile(r"^(?P<base>.+)\[(?P<index>\d+)\]$")
+    for port, direction in netlist.ports.items():
+        match = pattern.match(port)
+        if match:
+            buses.setdefault(match.group("base"), {})[int(match.group("index"))] = direction
+        else:
+            scalars.append(port)
+    complete: Dict[str, Tuple[int, PortDirection]] = {}
+    for base, bits in list(buses.items()):
+        width = max(bits) + 1
+        directions = set(bits.values())
+        if set(bits) == set(range(width)) and len(directions) == 1:
+            complete[base] = (width, directions.pop())
+        else:  # ragged "bus": keep as scalars
+            for index in bits:
+                scalars.append(f"{base}[{index}]")
+    return complete, scalars
+
+
+def write_verilog(netlist: Netlist) -> str:
+    """Serialize the netlist as structural Verilog."""
+    buses, scalars = _bus_ports(netlist)
+    port_names = [_escape(p) for p in scalars] + [_escape(b) for b in buses]
+    lines = [f"module {_escape(netlist.name)} ("]
+    lines.append("  " + ",\n  ".join(port_names))
+    lines.append(");")
+
+    for port in scalars:
+        direction = netlist.ports[port].value
+        lines.append(f"  {direction} {_escape(port)};")
+    for base, (width, direction) in buses.items():
+        lines.append(f"  {direction.value} [{width - 1}:0] {_escape(base)};")
+
+    port_nets = set(netlist.ports)
+    for net in netlist.nets:
+        if net not in port_nets:
+            lines.append(f"  wire {_escape(net)};")
+
+    # output ports are separate from their driving nets in the model;
+    # connect them the way a tool would, with continuous assignments
+    for port, direction in netlist.ports.items():
+        if direction is PortDirection.OUTPUT:
+            net = netlist.port_net(port)
+            if net != port:
+                lines.append(
+                    f"  assign {_format_net(port, buses)} = {_format_net(net, buses)};"
+                )
+
+    for instance in netlist.instances.values():
+        module = instance.cell or instance.family
+        connections = ", ".join(
+            f".{pin}({_format_net(net, buses)})"
+            for pin, net in instance.connections.items()
+        )
+        lines.append(f"  {module} {_escape(instance.name)} ({connections});")
+    lines.append("endmodule")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _format_net(net: str, buses: Dict[str, Tuple[int, PortDirection]]) -> str:
+    match = re.match(r"^(?P<base>.+)\[(?P<index>\d+)\]$", net)
+    if match and match.group("base") in buses:
+        return f"{_escape(match.group('base'))}[{match.group('index')}]"
+    return _escape(net)
+
+
+# ---------------------------------------------------------------------------
+# Reader
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<escaped>\\[^\s]+)            # escaped identifier (ends at space)
+  | (?P<word>[A-Za-z_$][\w$]*)       # plain identifier / keyword
+  | (?P<number>\d+)
+  | (?P<punct>[()\[\];,.:=])
+    """,
+    re.VERBOSE,
+)
+
+_KNOWN_CELL = re.compile(r"^[A-Z][A-Z0-9]*(_\d+(P\d+)?)?$")
+
+
+def _tokenize(text: str) -> List[str]:
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    tokens: List[str] = []
+    for match in _TOKEN_RE.finditer(text):
+        tokens.append(match.group())
+    return tokens
+
+
+class _Reader:
+    def __init__(self, tokens: List[str]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise NetlistError("unexpected end of verilog input")
+        self._pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise NetlistError(f"verilog: expected {token!r}, got {got!r}")
+
+    def read_net(self) -> str:
+        base = _unescape(self.next())
+        if self.peek() == "[":
+            self.next()
+            index = self.next()
+            self.expect("]")
+            return f"{base}[{index}]"
+        return base
+
+
+def parse_verilog(text: str) -> Netlist:
+    """Parse the structural subset :func:`write_verilog` produces.
+
+    Cell references are split back into (family, cell): a module name
+    with a drive-strength suffix binds the instance, a bare family
+    leaves it unmapped.
+    """
+    from repro.cells.functions import FUNCTIONS
+    from repro.cells.naming import parse_cell_name
+
+    reader = _Reader(_tokenize(text))
+    reader.expect("module")
+    netlist = Netlist(_unescape(reader.next()))
+    reader.expect("(")
+    while reader.next() != ")":
+        pass
+    reader.expect(";")
+
+    pending_instances: List[Tuple[str, str, Dict[str, str]]] = []
+    declared: Dict[str, Tuple[str, int]] = {}
+    assigns: Dict[str, str] = {}
+    while True:
+        token = reader.next()
+        if token == "endmodule":
+            break
+        if token == "assign":
+            target = reader.read_net()
+            reader.expect("=")
+            assigns[target] = reader.read_net()
+            reader.expect(";")
+            continue
+        if token in ("input", "output", "wire"):
+            width = 1
+            if reader.peek() == "[":
+                reader.next()
+                high = int(reader.next())
+                reader.expect(":")
+                low = int(reader.next())
+                reader.expect("]")
+                width = high - low + 1
+            name = _unescape(reader.next())
+            reader.expect(";")
+            declared[name] = (token, width)
+            continue
+        # instance: <module> <name> ( .PIN(net), ... );
+        module = token
+        instance_name = _unescape(reader.next())
+        reader.expect("(")
+        connections: Dict[str, str] = {}
+        while True:
+            nxt = reader.next()
+            if nxt == ")":
+                break
+            if nxt == ",":
+                continue
+            if nxt != ".":
+                raise NetlistError(f"verilog: expected '.pin', got {nxt!r}")
+            pin = reader.next()
+            reader.expect("(")
+            connections[pin] = reader.read_net()
+            reader.expect(")")
+        reader.expect(";")
+        pending_instances.append((instance_name, module, connections))
+
+    # declare ports (inputs first so their nets exist as driven)
+    for name, (kind, width) in declared.items():
+        if kind != "input":
+            continue
+        if width == 1:
+            netlist.add_input_port(name)
+        else:
+            for index in range(width):
+                netlist.add_input_port(f"{name}[{index}]")
+    if "clk" in netlist.ports:
+        netlist.set_clock("clk")
+
+    for instance_name, module, connections in pending_instances:
+        if module in FUNCTIONS:
+            family, cell = module, ""
+        else:
+            parsed = parse_cell_name(module)
+            family, cell = parsed.family, module
+        instance = netlist.add_instance(instance_name, family, connections)
+        instance.cell = cell
+
+    for name, (kind, width) in declared.items():
+        if kind != "output":
+            continue
+        bits = [name] if width == 1 else [f"{name}[{i}]" for i in range(width)]
+        for bit in bits:
+            netlist.add_output_port(bit, assigns.get(bit, bit))
+    return netlist

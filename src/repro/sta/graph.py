@@ -1,0 +1,251 @@
+"""Timing-graph construction.
+
+The graph is an arc-level, array-oriented view of a mapped netlist:
+
+* **nets** are the timing nodes (every net has exactly one driver);
+* **arcs** connect an input net to an output net through a cell's
+  timing arc; arcs are grouped by (logic level of the driving
+  instance, LUT identity) so the engine can evaluate whole groups with
+  one vectorized bilinear interpolation;
+* **loads** are static per mapping: sink input-pin capacitances plus a
+  per-fanout wire estimate and output-port loads.
+
+Sequential cells split the graph: their CP->Q arc launches new source
+nets at the clock edge, and their D pins are endpoints checked against
+``period - guard_band - setup``.
+
+The netlist *topology* part of the graph (arc src/dst, levels,
+endpoints) is built once; :meth:`TimingGraph.remap` refreshes the parts
+that depend on the instance->cell binding (loads, LUT groups), which is
+what the synthesizer's sizing loop iterates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TimingError
+from repro.liberty.model import Cell, Library, TimingArc
+from repro.netlist.model import Instance, Netlist
+
+
+@dataclass(frozen=True)
+class StaConfig:
+    """Analysis conventions."""
+
+    #: Transition assumed at primary inputs (ns).
+    input_slew: float = 0.05
+    #: Transition of the (ideal) clock at sequential clock pins (ns).
+    clock_slew: float = 0.04
+    #: Wire capacitance added per sink pin (pF).
+    wire_cap_per_fanout: float = 0.00015
+    #: Load presented by a primary output (pF).
+    output_port_cap: float = 0.002
+    #: Slew assumed on an undriven/constant net (ns).
+    default_slew: float = 0.05
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A timing endpoint: FF data pin or primary output."""
+
+    net_id: int
+    kind: str  # "ff_data" | "output_port"
+    name: str  # "instance/D" or port name
+    #: Setup time to subtract from the required time (FF endpoints).
+    setup: float = 0.0
+
+
+@dataclass
+class ArcGroup:
+    """Arcs sharing LUTs and a logic level, evaluated together."""
+
+    cell: Cell
+    arc: TimingArc
+    indices: np.ndarray
+
+
+class TimingGraph:
+    """Array-oriented timing graph of a mapped netlist."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        library: Library,
+        config: Optional[StaConfig] = None,
+    ):
+        self.netlist = netlist
+        self.library = library
+        self.config = config or StaConfig()
+        self._build_topology()
+        self.remap()
+
+    # ------------------------------------------------------------------
+
+    def _cell_of(self, instance: Instance) -> Cell:
+        if not instance.cell:
+            raise TimingError(
+                f"instance {instance.name} is not bound to a library cell"
+            )
+        return self.library.cell(instance.cell)
+
+    def _build_topology(self) -> None:
+        """Mapping-independent structure: nets, arcs, levels, endpoints."""
+        netlist = self.netlist
+        self.net_ids: Dict[str, int] = {name: i for i, name in enumerate(netlist.nets)}
+        self.net_names: List[str] = list(netlist.nets)
+
+        clock_net = netlist.clock
+        self.clock_net_id = self.net_ids.get(clock_net, -1)
+        self.primary_input_ids = [
+            self.net_ids[p] for p in netlist.input_ports() if p != clock_net
+        ]
+
+        self.launch_instances: List[Instance] = list(netlist.sequential_instances())
+        self.endpoints: List[Endpoint] = []
+        for instance in self.launch_instances:
+            for pin in instance.function.data_input_pins:
+                self.endpoints.append(
+                    Endpoint(
+                        net_id=self.net_ids[instance.net_of(pin)],
+                        kind="ff_data",
+                        name=f"{instance.name}/{pin}",
+                    )
+                )
+        for port in netlist.output_ports():
+            self.endpoints.append(
+                Endpoint(
+                    net_id=self.net_ids[netlist.port_net(port)],
+                    kind="output_port",
+                    name=port,
+                )
+            )
+        if not self.endpoints:
+            raise TimingError("design has no timing endpoints")
+
+        levels = netlist.levelize()
+        order = netlist.combinational_order()
+        arc_src: List[int] = []
+        arc_dst: List[int] = []
+        arc_level: List[int] = []
+        self.arc_instance: List[str] = []
+        self.arc_related: List[str] = []
+        self.arc_out_pin: List[str] = []
+        for instance in order:
+            level = levels[instance.name]
+            for input_pin, output_pin in instance.function.arcs():
+                arc_src.append(self.net_ids[instance.net_of(input_pin)])
+                arc_dst.append(self.net_ids[instance.net_of(output_pin)])
+                arc_level.append(level)
+                self.arc_instance.append(instance.name)
+                self.arc_related.append(input_pin)
+                self.arc_out_pin.append(output_pin)
+
+        self.arc_src = np.asarray(arc_src, dtype=np.int64)
+        self.arc_dst = np.asarray(arc_dst, dtype=np.int64)
+        self.arc_level = np.asarray(arc_level, dtype=np.int64)
+        self.n_arcs = len(arc_src)
+
+        incoming: Dict[int, List[int]] = {}
+        for index, dst in enumerate(arc_dst):
+            incoming.setdefault(dst, []).append(index)
+        self.incoming_arcs = incoming
+
+        # per-net sink pin lists for fast load recomputation
+        self._net_sinks: List[List[Tuple[str, str]]] = []
+        self._net_port_sinks: List[int] = []
+        for name in self.net_names:
+            net = netlist.nets[name]
+            sinks = [
+                (sink.instance, sink.pin)
+                for sink in net.sinks
+                if sink.instance is not None
+            ]
+            self._net_sinks.append(sinks)
+            self._net_port_sinks.append(sum(1 for s in net.sinks if s.instance is None))
+
+    # ------------------------------------------------------------------
+
+    def remap(self) -> None:
+        """Refresh mapping-dependent state from ``instance.cell``.
+
+        Call after changing drive strengths; topology edits (buffer
+        insertion) need a full :class:`TimingGraph` rebuild instead.
+        """
+        netlist, config = self.netlist, self.config
+        # endpoint setups depend on the bound sequential cells
+        endpoints: List[Endpoint] = []
+        for endpoint in self.endpoints:
+            if endpoint.kind == "ff_data":
+                instance_name = endpoint.name.rsplit("/", 1)[0]
+                cell = self._cell_of(netlist.instance(instance_name))
+                endpoints.append(
+                    Endpoint(endpoint.net_id, endpoint.kind, endpoint.name, cell.setup_time)
+                )
+            else:
+                endpoints.append(endpoint)
+        self.endpoints = endpoints
+
+        # loads
+        loads = np.empty(len(self.net_names))
+        cell_cache: Dict[str, Cell] = {}
+        instances = netlist.instances
+        for net_id, sinks in enumerate(self._net_sinks):
+            total = config.wire_cap_per_fanout * (
+                len(sinks) + self._net_port_sinks[net_id]
+            )
+            total += config.output_port_cap * self._net_port_sinks[net_id]
+            for instance_name, pin in sinks:
+                cell_name = instances[instance_name].cell
+                cell = cell_cache.get(cell_name)
+                if cell is None:
+                    cell = cell_cache[cell_name] = self.library.cell(cell_name)
+                total += cell.pins[pin].capacitance
+            loads[net_id] = total
+        self.loads = loads
+
+        # arc groups keyed by (level, cell, in pin, out pin)
+        group_indices: Dict[Tuple[int, str, str, str], List[int]] = {}
+        for index in range(self.n_arcs):
+            key = (
+                int(self.arc_level[index]),
+                instances[self.arc_instance[index]].cell,
+                self.arc_related[index],
+                self.arc_out_pin[index],
+            )
+            group_indices.setdefault(key, []).append(index)
+        level_groups: List[Tuple[int, ArcGroup]] = []
+        for key in sorted(group_indices, key=lambda k: k[0]):
+            level, cell_name, input_pin, output_pin = key
+            cell = cell_cache.get(cell_name)
+            if cell is None:
+                cell = cell_cache[cell_name] = self.library.cell(cell_name)
+            arc = cell.pin(output_pin).arc_from(input_pin)
+            level_groups.append(
+                (
+                    level,
+                    ArcGroup(
+                        cell=cell,
+                        arc=arc,
+                        indices=np.asarray(group_indices[key], dtype=np.int64),
+                    ),
+                )
+            )
+        self.level_groups = level_groups
+
+    # ------------------------------------------------------------------
+
+    def total_area(self) -> float:
+        """Total cell area of the mapped design (um^2)."""
+        return sum(self._cell_of(i).area for i in self.netlist)
+
+    def cell_usage(self) -> Dict[str, int]:
+        """Bound-cell histogram (paper Fig. 9)."""
+        return self.netlist.cell_histogram()
+
+    def fanout_of(self, net_id: int) -> int:
+        """Number of sink pins on a net."""
+        return len(self._net_sinks[net_id]) + self._net_port_sinks[net_id]

@@ -1,0 +1,156 @@
+"""Worst-path extraction per unique endpoint.
+
+The paper's design-level metrics (Sec. V, eq. 11, Figs. 12-14) are
+built on "the worst case paths connected to a unique endpoint": for
+every flip-flop data pin and every output port, the single
+maximum-arrival path feeding it.  Paths are reconstructed by walking
+the timing graph backwards along the arcs that realized each net's
+arrival time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import TimingError
+from repro.sta.engine import TimingResult
+from repro.sta.graph import Endpoint
+
+_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One cell traversal on a path."""
+
+    instance: str
+    cell_name: str
+    related_pin: str
+    out_pin: str
+    input_net: str
+    output_net: str
+    #: Arc delay as timed (ns).
+    delay: float
+    #: Input slew used for the LUT lookup (ns).
+    slew: float
+    #: Output load used for the LUT lookup (pF).
+    load: float
+    #: True for the launching flip-flop's clock->Q step.
+    is_launch: bool = False
+
+
+@dataclass
+class TimingPath:
+    """A worst path ending at one endpoint."""
+
+    endpoint: Endpoint
+    steps: List[PathStep]
+    arrival: float
+    required: float
+
+    @property
+    def slack(self) -> float:
+        return self.required - self.arrival
+
+    @property
+    def depth(self) -> int:
+        """Number of cells on the path (launching FF included)."""
+        return len(self.steps)
+
+    def delays(self) -> np.ndarray:
+        """Per-step delays (ns)."""
+        return np.array([step.delay for step in self.steps])
+
+
+def _backtrack(result: TimingResult, endpoint: Endpoint) -> TimingPath:
+    graph = result.graph
+    config = graph.config
+    steps: List[PathStep] = []
+    net_id = endpoint.net_id
+    guard = 0
+    while True:
+        guard += 1
+        if guard > len(graph.net_names) + 2:
+            raise TimingError("path backtracking did not terminate")
+        incoming = graph.incoming_arcs.get(net_id)
+        if not incoming:
+            break  # reached a source net (PI or sequential Q)
+        best_arc = None
+        best_value = -np.inf
+        for arc_index in incoming:
+            src = graph.arc_src[arc_index]
+            value = result.arrival[src] + result.arc_delay[arc_index]
+            if value > best_value:
+                best_value = value
+                best_arc = arc_index
+        assert best_arc is not None
+        if best_value < result.arrival[net_id] - _TOLERANCE:
+            raise TimingError(
+                f"inconsistent arrivals while backtracking at net "
+                f"{graph.net_names[net_id]}"
+            )
+        src = int(graph.arc_src[best_arc])
+        instance_name = graph.arc_instance[best_arc]
+        instance = graph.netlist.instance(instance_name)
+        steps.append(
+            PathStep(
+                instance=instance_name,
+                cell_name=instance.cell,
+                related_pin=graph.arc_related[best_arc],
+                out_pin=graph.arc_out_pin[best_arc],
+                input_net=graph.net_names[src],
+                output_net=graph.net_names[net_id],
+                delay=float(result.arc_delay[best_arc]),
+                slew=float(result.slew[src]),
+                load=float(graph.loads[net_id]),
+            )
+        )
+        net_id = src
+
+    launch = result.launches.get(net_id)
+    if launch is not None:
+        steps.append(
+            PathStep(
+                instance=launch.instance,
+                cell_name=launch.cell_name,
+                related_pin=graph.netlist.instance(launch.instance).function.clock_pin,
+                out_pin=launch.out_pin,
+                input_net=graph.netlist.clock,
+                output_net=graph.net_names[launch.q_net],
+                delay=launch.delay,
+                slew=config.clock_slew,
+                load=float(graph.loads[launch.q_net]),
+                is_launch=True,
+            )
+        )
+    steps.reverse()
+    return TimingPath(
+        endpoint=endpoint,
+        steps=steps,
+        arrival=float(result.arrival[endpoint.net_id]),
+        required=result.endpoint_required(endpoint),
+    )
+
+
+def extract_worst_paths(
+    result: TimingResult, endpoints: Optional[List[Endpoint]] = None
+) -> List[TimingPath]:
+    """Worst path per unique endpoint (all endpoints by default)."""
+    chosen = endpoints if endpoints is not None else result.graph.endpoints
+    return [_backtrack(result, endpoint) for endpoint in chosen]
+
+
+def worst_path(result: TimingResult) -> TimingPath:
+    """The single most critical path of the design."""
+    return _backtrack(result, result.worst_endpoint())
+
+
+def depth_histogram(paths: List[TimingPath]) -> dict:
+    """Path count per depth (paper Fig. 12)."""
+    histogram: dict = {}
+    for path in paths:
+        histogram[path.depth] = histogram.get(path.depth, 0) + 1
+    return dict(sorted(histogram.items()))

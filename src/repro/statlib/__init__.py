@@ -1,0 +1,23 @@
+"""Statistical library construction (paper Sec. III-IV).
+
+Combines N Monte-Carlo sample libraries into one *statistical* library
+whose LUT entries hold the per-entry mean and standard deviation of the
+corresponding entries across the samples (paper Fig. 2), and provides
+the dispersion metrics the paper discusses in Sec. III (standard
+deviation vs coefficient of variation).
+"""
+
+from repro.statlib.stats import (
+    RunningStats,
+    coefficient_of_variation,
+    mean_sigma,
+)
+from repro.statlib.builder import build_statistical_library, check_library_compatible
+
+__all__ = [
+    "RunningStats",
+    "coefficient_of_variation",
+    "mean_sigma",
+    "build_statistical_library",
+    "check_library_compatible",
+]

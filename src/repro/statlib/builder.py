@@ -1,0 +1,137 @@
+"""Combine N Monte-Carlo libraries into a statistical library.
+
+This is the literal process of paper Fig. 2: for every cell, every
+LUT, every (slew, load) entry, collect the entry's value across the N
+libraries, compute mean and standard deviation, and store them at the
+same position of the statistical library.
+
+Delay tables produce both a mean table (stored as ``cell_rise`` /
+``cell_fall``) and a sigma table (``sigma_rise`` / ``sigma_fall``);
+transition tables keep their mean (STA needs mean slews to walk the
+design, paper Sec. V).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import LibertyError
+from repro.liberty.model import Cell, Library, Lut, Pin, TimingArc
+from repro.statlib.stats import RunningStats
+
+
+def check_library_compatible(reference: Library, other: Library) -> None:
+    """Verify two sample libraries are structurally identical.
+
+    The Fig. 2 combine is only meaningful when every library holds the
+    same cells with the same arcs over the same grids; this guards
+    against mixing characterization runs.
+    """
+    if set(reference.cells) != set(other.cells):
+        missing = set(reference.cells) ^ set(other.cells)
+        raise LibertyError(f"sample libraries disagree on cells: {sorted(missing)[:5]}")
+    for name, ref_cell in reference.cells.items():
+        other_cell = other.cells[name]
+        if len(ref_cell.pins) != len(other_cell.pins):
+            raise LibertyError(f"cell {name}: pin count mismatch between samples")
+        for pin_name, ref_pin in ref_cell.pins.items():
+            other_pin = other_cell.pins.get(pin_name)
+            if other_pin is None:
+                raise LibertyError(f"cell {name}: pin {pin_name} missing in a sample")
+            ref_arcs = [a.related_pin for a in ref_pin.timing]
+            other_arcs = [a.related_pin for a in other_pin.timing]
+            if ref_arcs != other_arcs:
+                raise LibertyError(f"cell {name}.{pin_name}: arc mismatch between samples")
+
+
+def _combine_tables(tables: Sequence[Lut]) -> RunningStats:
+    stats = RunningStats()
+    first = tables[0]
+    for table in tables:
+        if not table.same_axes(first):
+            raise LibertyError("sample LUTs have mismatched axes")
+        stats.update(table.values)
+    return stats
+
+
+def _combine_arc(arcs: Sequence[TimingArc]) -> TimingArc:
+    first = arcs[0]
+    combined = TimingArc(related_pin=first.related_pin, timing_sense=first.timing_sense)
+    for slot, sigma_slot in (("cell_rise", "sigma_rise"), ("cell_fall", "sigma_fall")):
+        tables = [getattr(arc, slot) for arc in arcs]
+        if any(t is None for t in tables):
+            continue
+        stats = _combine_tables(tables)
+        setattr(combined, slot, tables[0].with_values(stats.mean))
+        setattr(combined, sigma_slot, tables[0].with_values(stats.sigma(ddof=1)))
+    for slot in ("rise_transition", "fall_transition"):
+        tables = [getattr(arc, slot) for arc in arcs]
+        if any(t is None for t in tables):
+            continue
+        stats = _combine_tables(tables)
+        setattr(combined, slot, tables[0].with_values(stats.mean))
+    return combined
+
+
+def _combine_cell(cells: Sequence[Cell]) -> Cell:
+    first = cells[0]
+    combined = Cell(
+        name=first.name,
+        area=first.area,
+        is_sequential=first.is_sequential,
+        is_latch=first.is_latch,
+        clock_pin=first.clock_pin,
+        setup_time=first.setup_time,
+    )
+    for pin_name, ref_pin in first.pins.items():
+        new_pin = Pin(
+            name=ref_pin.name,
+            direction=ref_pin.direction,
+            capacitance=ref_pin.capacitance,
+            function=ref_pin.function,
+            max_capacitance=ref_pin.max_capacitance,
+            is_clock=ref_pin.is_clock,
+        )
+        for arc_index in range(len(ref_pin.timing)):
+            arcs = [cell.pins[pin_name].timing[arc_index] for cell in cells]
+            new_pin.timing.append(_combine_arc(arcs))
+        combined.add_pin(new_pin)
+    return combined
+
+
+def build_statistical_library(
+    libraries: Sequence[Library], name: str = ""
+) -> Library:
+    """Combine N sample libraries per paper Fig. 2.
+
+    Parameters
+    ----------
+    libraries:
+        At least two structurally identical Monte-Carlo sample
+        libraries (paper uses 50).
+    name:
+        Name of the resulting library; defaults to the first sample's
+        name with a ``_stat`` suffix.
+    """
+    if len(libraries) < 2:
+        raise LibertyError("need at least 2 sample libraries to build statistics")
+    reference = libraries[0]
+    for other in libraries[1:]:
+        check_library_compatible(reference, other)
+
+    result = Library(
+        name=name or f"{reference.name.rsplit('_mc', 1)[0]}_stat",
+        operating_conditions=reference.operating_conditions,
+        time_unit=reference.time_unit,
+        cap_unit=reference.cap_unit,
+    )
+    result.is_statistical = True
+    for template in reference.templates.values():
+        result.add_template(template)
+    cell_lists: List[List[Cell]] = [
+        [library.cells[cell_name] for library in libraries]
+        for cell_name in reference.cells
+    ]
+    for cells in cell_lists:
+        result.add_cell(_combine_cell(cells))
+    return result

@@ -1,0 +1,94 @@
+"""Dispersion metrics and streaming statistics (paper Sec. III).
+
+The paper weighs two candidate metrics for a cell's sensitivity to
+local variation:
+
+* the **coefficient of variation** (a.k.a. variability),
+  ``sigma / mu`` (paper eq. 1) — rejected, because two distributions
+  with identical variability can have very different absolute spread
+  (paper Fig. 1);
+* the **standard deviation** — adopted, since the synthesis tool
+  already optimizes the mean, so sigma alone captures the spread.
+
+Both are provided here; the Fig. 1 bench reproduces the selection
+pitfall numerically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def coefficient_of_variation(mean: float, sigma: float) -> float:
+    """Variability = sigma / mean (paper eq. 1)."""
+    if mean == 0:
+        raise ReproError("coefficient of variation undefined for zero mean")
+    return sigma / mean
+
+
+def mean_sigma(samples: Iterable[float], ddof: int = 1) -> Tuple[float, float]:
+    """Sample mean and standard deviation of an iterable of values."""
+    array = np.asarray(list(samples), dtype=float)
+    if array.size < 2:
+        raise ReproError("need at least 2 samples for a standard deviation")
+    return float(array.mean()), float(array.std(ddof=ddof))
+
+
+@dataclass
+class RunningStats:
+    """Welford streaming mean/variance accumulator.
+
+    Numerically stable for combining LUT entries across many sample
+    libraries without materializing the full sample tensor; supports
+    array-shaped observations so one accumulator handles a whole LUT.
+    """
+
+    count: int = 0
+    _mean: np.ndarray = None  # type: ignore[assignment]
+    _m2: np.ndarray = None  # type: ignore[assignment]
+
+    def update(self, value: np.ndarray) -> None:
+        """Fold one observation (scalar or array) into the statistics."""
+        value = np.asarray(value, dtype=float)
+        if self.count == 0:
+            self._mean = np.zeros_like(value)
+            self._m2 = np.zeros_like(value)
+        elif value.shape != self._mean.shape:
+            raise ReproError(
+                f"observation shape {value.shape} does not match {self._mean.shape}"
+            )
+        self.count += 1
+        delta = value - self._mean
+        self._mean = self._mean + delta / self.count
+        self._m2 = self._m2 + delta * (value - self._mean)
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Mean of the observations so far."""
+        if self.count == 0:
+            raise ReproError("no observations accumulated")
+        return self._mean
+
+    def sigma(self, ddof: int = 1) -> np.ndarray:
+        """Standard deviation (sample std by default, as the paper's
+        Monte-Carlo estimate)."""
+        if self.count < 2:
+            raise ReproError("need at least 2 observations for sigma")
+        if ddof >= self.count:
+            raise ReproError(f"ddof {ddof} too large for {self.count} observations")
+        return np.sqrt(self._m2 / (self.count - ddof))
+
+
+def normal_pdf(x: np.ndarray, mean: float, sigma: float) -> np.ndarray:
+    """Normal probability density (used by example plots/reports)."""
+    if sigma <= 0:
+        raise ReproError("sigma must be positive")
+    x = np.asarray(x, dtype=float)
+    z = (x - mean) / sigma
+    return np.exp(-0.5 * z * z) / (sigma * math.sqrt(2.0 * math.pi))

@@ -1,0 +1,27 @@
+"""Area accounting and comparison reports."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.liberty.model import Library
+from repro.netlist.model import Netlist
+
+
+def total_area(netlist: Netlist, library: Library) -> float:
+    """Total bound-cell area (um^2)."""
+    return sum(library.cell(instance.cell).area for instance in netlist)
+
+
+def area_by_family(netlist: Netlist, library: Library) -> Dict[str, float]:
+    """Area contribution per cell family."""
+    breakdown: Dict[str, float] = {}
+    for instance in netlist:
+        area = library.cell(instance.cell).area
+        breakdown[instance.family] = breakdown.get(instance.family, 0.0) + area
+    return dict(sorted(breakdown.items(), key=lambda kv: -kv[1]))
+
+
+def relative_area_increase(baseline_area: float, tuned_area: float) -> float:
+    """Fractional area increase vs a baseline (paper Fig. 10 top)."""
+    return (tuned_area - baseline_area) / baseline_area

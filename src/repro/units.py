@@ -1,0 +1,62 @@
+"""Unit conventions and physical constants used across the package.
+
+The whole package uses one consistent unit system, matching what a
+Liberty file for a 40 nm library would typically declare:
+
+====================  ==========  =========================================
+quantity              unit        notes
+====================  ==========  =========================================
+time / delay / slew   ns          ``time_unit : "1ns"``
+capacitance           pF          ``capacitive_load_unit (1, pf)``
+voltage               V
+temperature           degC
+area                  um^2        cell area as reported by synthesis
+length / width        um          transistor geometry for the surrogate
+====================  ==========  =========================================
+
+Keeping the units in one module (rather than scattering magic numbers)
+makes the characterization surrogate and the Liberty writer agree by
+construction.
+"""
+
+from __future__ import annotations
+
+TIME_UNIT = "ns"
+CAP_UNIT = "pF"
+VOLTAGE_UNIT = "V"
+AREA_UNIT = "um^2"
+LENGTH_UNIT = "um"
+
+#: Seconds per time unit (for converting to SI when needed).
+TIME_UNIT_SECONDS = 1e-9
+#: Farads per capacitance unit.
+CAP_UNIT_FARADS = 1e-12
+
+#: Nominal supply voltage of the typical corner (paper: 1.1 V).
+NOMINAL_VDD = 1.1
+#: Nominal temperature of the typical corner (paper: 25 degC).
+NOMINAL_TEMPERATURE = 25.0
+
+#: Guard band subtracted from the clock period during synthesis
+#: (paper Sec. VII: "a guard band of 300ps was used").
+GUARD_BAND_NS = 0.300
+
+
+def ns(value: float) -> float:
+    """Identity helper documenting that ``value`` is in nanoseconds."""
+    return float(value)
+
+
+def pf(value: float) -> float:
+    """Identity helper documenting that ``value`` is in picofarads."""
+    return float(value)
+
+
+def ff_to_pf(value_ff: float) -> float:
+    """Convert femtofarads to the package capacitance unit (pF)."""
+    return float(value_ff) * 1e-3
+
+
+def ps_to_ns(value_ps: float) -> float:
+    """Convert picoseconds to the package time unit (ns)."""
+    return float(value_ps) * 1e-3

@@ -1,0 +1,41 @@
+"""Process-variation substrate.
+
+Models the two variation classes the paper separates (Sec. I):
+
+* **global (inter-die)** variation — shared by every cell on a die;
+  represented by :class:`~repro.variation.process.Corner` shifts plus a
+  sampled :class:`~repro.variation.montecarlo.GlobalVariation`;
+* **local (intra-die / mismatch)** variation — independent per device,
+  following the Pelgrom law (:mod:`repro.variation.pelgrom`), sampled
+  per cell arc by :class:`~repro.variation.montecarlo.MonteCarloSampler`.
+"""
+
+from repro.variation.process import (
+    Corner,
+    TechnologyParams,
+    CORNERS,
+    typical_corner,
+    fast_corner,
+    slow_corner,
+)
+from repro.variation.pelgrom import PelgromModel
+from repro.variation.montecarlo import (
+    ArcVariation,
+    CellVariation,
+    GlobalVariation,
+    MonteCarloSampler,
+)
+
+__all__ = [
+    "Corner",
+    "TechnologyParams",
+    "CORNERS",
+    "typical_corner",
+    "fast_corner",
+    "slow_corner",
+    "PelgromModel",
+    "ArcVariation",
+    "CellVariation",
+    "GlobalVariation",
+    "MonteCarloSampler",
+]

@@ -1,0 +1,65 @@
+"""Pelgrom mismatch model (paper ref. [14]).
+
+Pelgrom's law states that the standard deviation of the mismatch of a
+device parameter between two identically drawn transistors scales with
+the inverse square root of the gate area::
+
+    sigma(d_param) = A_param / sqrt(W * L)
+
+This is the physical origin of the observation the tuning method
+exploits (paper Sec. VI.A, Fig. 4): *cells which make use of larger
+transistors have a lower local mismatch variation*, so high drive
+strengths present lower, flatter sigma surfaces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import VariationError
+
+
+@dataclass(frozen=True)
+class PelgromModel:
+    """Mismatch coefficients of the 40 nm surrogate process."""
+
+    #: Threshold-voltage matching coefficient (V * um).  ~3 mV*um is in
+    #: the published range for a 40 nm bulk process (2-3.5 mV*um).
+    a_vth: float = 0.0031
+    #: Relative current-factor (beta) matching coefficient (um).
+    a_beta: float = 0.008
+
+    def sigma_vth(self, width: float, length: float) -> float:
+        """Sigma of the threshold-voltage mismatch of one device (V)."""
+        self._check_geometry(width, length)
+        return self.a_vth / math.sqrt(width * length)
+
+    def sigma_beta_rel(self, width: float, length: float) -> float:
+        """Sigma of the *relative* current-factor mismatch (unitless)."""
+        self._check_geometry(width, length)
+        return self.a_beta / math.sqrt(width * length)
+
+    def sigma_vth_stack(self, width: float, length: float, stack: int) -> float:
+        """Sigma of the average vth over a series stack of ``stack`` devices.
+
+        The effective threshold of a stack is approximately the mean of
+        the device thresholds; averaging ``stack`` independent samples
+        divides the sigma by ``sqrt(stack)``.
+        """
+        if stack < 1:
+            raise VariationError(f"stack must be >= 1, got {stack}")
+        return self.sigma_vth(width, length) / math.sqrt(stack)
+
+    def sigma_beta_rel_stack(self, width: float, length: float, stack: int) -> float:
+        """Sigma of the relative beta of a series stack (see above)."""
+        if stack < 1:
+            raise VariationError(f"stack must be >= 1, got {stack}")
+        return self.sigma_beta_rel(width, length) / math.sqrt(stack)
+
+    @staticmethod
+    def _check_geometry(width: float, length: float) -> None:
+        if width <= 0 or length <= 0:
+            raise VariationError(
+                f"device geometry must be positive, got W={width}, L={length}"
+            )

@@ -1,0 +1,155 @@
+"""Technology parameters and PVT corners for the 40 nm surrogate.
+
+The paper characterizes everything in the typical corner
+(TT / 1.1 V / 25 C) and validates in Sec. VII.C that mean and sigma
+scale by the same factor when moving to fast or slow corners.  The
+corner model here reproduces exactly that mechanism: a corner shifts
+the threshold voltage and channel length globally, which scales the
+effective drive resistance — and therefore both the mean delay and,
+through the same resistance, the delay sensitivity to local mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.errors import VariationError
+from repro.units import NOMINAL_TEMPERATURE, NOMINAL_VDD
+
+
+@dataclass(frozen=True)
+class TechnologyParams:
+    """Electrical parameters of the CMOS 40 nm surrogate process.
+
+    Units: volts, um, kOhm, pF, ns — chosen so that
+    ``R [kOhm] * C [pF] = time [ns]``.
+    """
+
+    #: Supply voltage of the characterization corner (V).
+    vdd: float = NOMINAL_VDD
+    #: Nominal NMOS/PMOS threshold voltage magnitude (V).
+    vth: float = 0.45
+    #: Alpha-power-law velocity-saturation exponent.
+    alpha: float = 1.35
+    #: Nominal drawn channel length (um).
+    channel_length: float = 0.04
+    #: Unit NMOS width (um) — the width of a drive-strength-1 pulldown.
+    w_unit_n: float = 0.12
+    #: Unit PMOS width (um) — wider to balance hole mobility.
+    w_unit_p: float = 0.20
+    #: Drive-resistance constant: R = k_res * L / (W * (vdd - vth)^alpha),
+    #: in kOhm * um / um, calibrated so a unit inverter FO2 stage is ~30 ps.
+    k_res: float = 78.0
+    #: Extra resistivity of PMOS devices (hole mobility); the wider
+    #: w_unit_p brings pull-up and pull-down resistance back to parity.
+    p_resistance_factor: float = 1.7
+    #: Gate capacitance per um of gate width (pF/um).
+    c_gate: float = 0.0008
+    #: Drain-diffusion (parasitic output) capacitance per um width (pF/um).
+    c_diff: float = 0.00035
+    #: Delay contribution factor of the input slew (dimensionless).
+    k_slew_delay: float = 0.28
+    #: Output-transition factor: slew_out ~ k_tr * R * C.
+    k_transition: float = 2.1
+    #: Input-slew feed-through into the output transition.
+    k_slew_feedthrough: float = 0.06
+    #: Switching-point fraction of vdd: a threshold mismatch dvth moves
+    #: the input crossing time by dvth * slew / (k_switch * vdd) — slow
+    #: edges amplify mismatch (zero effect at nominal dvth = 0).
+    k_switch: float = 0.8
+    #: Internal switching capacitance per um of stage width (pF/um):
+    #: nodes inside the cell that toggle along with the output.
+    c_internal: float = 0.0003
+    #: Short-circuit energy factor: both networks conduct while the
+    #: input crosses; energy ~ k_shortcircuit * slew * W * overdrive.
+    k_shortcircuit: float = 0.004
+    #: Subthreshold leakage prefactor (uA per um width).
+    i_leak0: float = 0.08
+    #: Subthreshold slope voltage (V): leakage ~ exp(-vth / v_slope).
+    v_leak_slope: float = 0.085
+
+    def overdrive(self, dvth: float = 0.0) -> float:
+        """(vdd - vth - dvth)^alpha, guarded against non-conduction."""
+        headroom = self.vdd - (self.vth + dvth)
+        if headroom <= 0.05:
+            raise VariationError(
+                f"threshold shift {dvth:+.3f} V leaves no gate overdrive "
+                f"(vdd={self.vdd} V, vth={self.vth} V)"
+            )
+        return headroom ** self.alpha
+
+
+@dataclass(frozen=True)
+class Corner:
+    """A PVT corner: a global shift applied to every device on the die."""
+
+    name: str
+    #: Global threshold-voltage shift (V). Positive = slower.
+    dvth: float = 0.0
+    #: Relative channel-length change. Positive = longer = slower.
+    dlength_rel: float = 0.0
+    #: Supply voltage (V).
+    voltage: float = NOMINAL_VDD
+    #: Junction temperature (degC).
+    temperature: float = NOMINAL_TEMPERATURE
+    #: Extra multiplicative derate on drive resistance (temperature
+    #: dependence folded in: hot = higher resistance).
+    resistance_derate: float = 1.0
+
+    def apply(self, tech: TechnologyParams) -> TechnologyParams:
+        """Return the technology parameters shifted into this corner."""
+        return replace(
+            tech,
+            vdd=self.voltage,
+            vth=tech.vth + self.dvth,
+            channel_length=tech.channel_length * (1.0 + self.dlength_rel),
+            k_res=tech.k_res * self.resistance_derate,
+        )
+
+
+def typical_corner() -> Corner:
+    """TT / 1.1 V / 25 C — the paper's characterization corner."""
+    return Corner(name="TT1P1V25C")
+
+
+def fast_corner() -> Corner:
+    """FF-like corner: low vth, short channel, high voltage, cold."""
+    return Corner(
+        name="FF1P21V0C",
+        dvth=-0.045,
+        dlength_rel=-0.05,
+        voltage=1.21,
+        temperature=0.0,
+        resistance_derate=0.96,
+    )
+
+
+def slow_corner() -> Corner:
+    """SS-like corner: high vth, long channel, low voltage, hot."""
+    return Corner(
+        name="SS0P99V125C",
+        dvth=0.045,
+        dlength_rel=0.05,
+        voltage=0.99,
+        temperature=125.0,
+        resistance_derate=1.06,
+    )
+
+
+#: The three corners used in the Sec. VII.C validation (Fig. 15).
+CORNERS: Dict[str, Corner] = {
+    "fast": fast_corner(),
+    "typical": typical_corner(),
+    "slow": slow_corner(),
+}
+
+
+def corner_by_name(name: str) -> Corner:
+    """Look up one of the canonical corners (``fast``/``typical``/``slow``)."""
+    try:
+        return CORNERS[name]
+    except KeyError:
+        raise VariationError(
+            f"unknown corner {name!r}; available: {sorted(CORNERS)}"
+        ) from None

@@ -1,0 +1,117 @@
+"""The 304-cell Appendix A catalog."""
+
+import pytest
+
+from repro.cells.catalog import (
+    APPENDIX_A_CENSUS,
+    build_catalog,
+    catalog_census,
+    family_strengths,
+    spec_by_name,
+)
+from repro.cells.naming import parse_cell_name
+from repro.errors import CatalogError
+
+
+class TestCensus:
+    def test_total_is_304(self, full_specs):
+        assert len(full_specs) == 304
+
+    def test_census_matches_appendix_a(self, full_specs):
+        assert catalog_census(full_specs) == APPENDIX_A_CENSUS
+
+    def test_appendix_numbers(self):
+        assert APPENDIX_A_CENSUS == {
+            "inverter": 19,
+            "or": 36,
+            "nand": 46,
+            "nor": 43,
+            "xnor": 29,
+            "adder": 34,
+            "mux": 27,
+            "flipflop": 51,
+            "latch": 12,
+            "other": 7,
+        }
+
+    def test_names_unique(self, full_specs):
+        names = [s.name for s in full_specs]
+        assert len(names) == len(set(names))
+
+    def test_all_names_parse(self, full_specs):
+        for spec in full_specs:
+            parsed = parse_cell_name(spec.name)
+            assert parsed.strength == spec.strength
+            assert parsed.family == spec.family
+
+    def test_paper_mentioned_cells_exist(self, full_specs):
+        # Cells named in the paper's figures (Fig. 4, Fig. 5, Sec. VII.A)
+        for name in ("INV_1", "INV_32", "NR4_6", "NR2B_1", "NR2B_2", "NR2B_3"):
+            spec_by_name(full_specs, name)
+
+    def test_drive_strength_6_cluster_nonempty(self, full_specs):
+        """The Fig. 5 cluster must exist and span several families."""
+        cluster = [s for s in full_specs if s.strength == 6.0]
+        families = {s.family for s in cluster}
+        assert len(cluster) >= 10
+        assert {"INV", "NR4", "ND2", "ADDF"} <= families
+
+
+class TestElectricalModel:
+    def test_area_grows_with_strength(self, full_specs):
+        for family in ("INV", "ND2", "ADDF", "DFF"):
+            strengths = family_strengths(full_specs, family)
+            areas = [
+                spec_by_name(full_specs, f"{family}_{s:g}".replace(".", "P")).area
+                for s in strengths
+                if float(s).is_integer()
+            ]
+            assert areas == sorted(areas)
+
+    def test_max_load_scales_with_strength(self, full_specs):
+        inv1 = spec_by_name(full_specs, "INV_1")
+        inv32 = spec_by_name(full_specs, "INV_32")
+        assert inv32.max_load == pytest.approx(32 * inv1.max_load)
+
+    def test_nand_stacks_grow_with_fanin(self, full_specs):
+        for n in (2, 3, 4):
+            spec = spec_by_name(full_specs, f"ND{n}_1")
+            assert spec.drive("Z").stack_fall == n
+            assert spec.drive("Z").stack_rise == 1
+
+    def test_nor_stacks_dual_of_nand(self, full_specs):
+        spec = spec_by_name(full_specs, "NR4_1")
+        assert spec.drive("Z").stack_rise == 4
+        assert spec.drive("Z").stack_fall == 1
+
+    def test_adder_has_two_output_drives(self, full_specs):
+        spec = spec_by_name(full_specs, "ADDF_4")
+        assert set(spec.drives) == {"S", "CO"}
+        assert spec.drive("S").intrinsic_stages > spec.drive("CO").intrinsic_stages
+
+    def test_unknown_output_pin_rejected(self, full_specs):
+        with pytest.raises(CatalogError):
+            spec_by_name(full_specs, "INV_1").drive("Q")
+
+    def test_cap_factor_defaults_to_one(self, full_specs):
+        assert spec_by_name(full_specs, "INV_1").cap_factor("A") == 1.0
+        assert spec_by_name(full_specs, "MUX2_1").cap_factor("S") > 1.0
+
+
+class TestSubsets:
+    def test_family_subset(self):
+        specs = build_catalog(families=["INV", "ND2"])
+        assert {s.family for s in specs} == {"INV", "ND2"}
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(CatalogError):
+            build_catalog(families=["NAND17"])
+
+    def test_spec_by_name_missing(self, full_specs):
+        with pytest.raises(CatalogError):
+            spec_by_name(full_specs, "INV_999")
+
+    def test_family_strengths_sorted(self, full_specs):
+        strengths = family_strengths(full_specs, "INV")
+        assert strengths == sorted(strengths)
+        assert len(strengths) == 19

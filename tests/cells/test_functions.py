@@ -1,0 +1,154 @@
+"""Cell-family behaviours: truth tables, arcs, unateness."""
+
+import itertools
+
+import pytest
+
+from repro.cells.functions import FUNCTIONS, function_by_name
+from repro.errors import CatalogError
+from repro.liberty.model import TimingSense
+
+
+def exhaustive_inputs(pins):
+    for bits in itertools.product([False, True], repeat=len(pins)):
+        yield dict(zip(pins, bits))
+
+
+class TestTruthTables:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_nand(self, n):
+        fn = function_by_name(f"ND{n}")
+        for inputs in exhaustive_inputs(fn.input_pins):
+            assert fn.evaluate(inputs)["Z"] == (not all(inputs.values()))
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_nor(self, n):
+        fn = function_by_name(f"NR{n}")
+        for inputs in exhaustive_inputs(fn.input_pins):
+            assert fn.evaluate(inputs)["Z"] == (not any(inputs.values()))
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_or(self, n):
+        fn = function_by_name(f"OR{n}")
+        for inputs in exhaustive_inputs(fn.input_pins):
+            assert fn.evaluate(inputs)["Z"] == any(inputs.values())
+
+    def test_inv_buf(self):
+        inv, buf = function_by_name("INV"), function_by_name("BUF")
+        for a in (False, True):
+            assert inv.evaluate({"A": a})["Z"] == (not a)
+            assert buf.evaluate({"A": a})["Z"] == a
+
+    def test_nor2b_bubbled_input(self):
+        fn = function_by_name("NR2B")
+        # Z = !(A + !B)
+        for inputs in exhaustive_inputs(fn.input_pins):
+            expected = not (inputs["A"] or not inputs["B"])
+            assert fn.evaluate(inputs)["Z"] == expected
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_xnor_parity(self, n):
+        fn = function_by_name(f"XNR{n}")
+        for inputs in exhaustive_inputs(fn.input_pins):
+            parity = sum(inputs.values()) % 2
+            assert fn.evaluate(inputs)["Z"] == (parity == 0)
+
+    def test_mux2(self):
+        fn = function_by_name("MUX2")
+        for inputs in exhaustive_inputs(fn.input_pins):
+            expected = inputs["D1"] if inputs["S"] else inputs["D0"]
+            assert fn.evaluate(inputs)["Z"] == expected
+
+    def test_mux4(self):
+        fn = function_by_name("MUX4")
+        for inputs in exhaustive_inputs(fn.input_pins):
+            sel = (1 if inputs["S0"] else 0) | (2 if inputs["S1"] else 0)
+            assert fn.evaluate(inputs)["Z"] == inputs[f"D{sel}"]
+
+    def test_half_adder(self):
+        fn = function_by_name("ADDH")
+        for inputs in exhaustive_inputs(fn.input_pins):
+            total = int(inputs["A"]) + int(inputs["B"])
+            out = fn.evaluate(inputs)
+            assert int(out["S"]) + 2 * int(out["CO"]) == total
+
+    def test_full_adder(self):
+        fn = function_by_name("ADDF")
+        for inputs in exhaustive_inputs(fn.input_pins):
+            total = int(inputs["A"]) + int(inputs["B"]) + int(inputs["CI"])
+            out = fn.evaluate(inputs)
+            assert int(out["S"]) + 2 * int(out["CO"]) == total
+
+
+class TestArcsAndSenses:
+    def test_combinational_arcs_are_full_bipartite(self):
+        fn = function_by_name("ADDF")
+        assert set(fn.arcs()) == {
+            (i, o) for o in ("S", "CO") for i in ("A", "B", "CI")
+        }
+
+    def test_sequential_arcs_clock_to_q_only(self):
+        fn = function_by_name("DFFR")
+        assert fn.arcs() == [("CP", "Q")]
+
+    def test_inverting_gates_negative_unate(self):
+        for family in ("INV", "ND2", "ND4", "NR2", "NR3"):
+            fn = function_by_name(family)
+            first = fn.input_pins[0]
+            assert fn.sense(first, "Z") is TimingSense.NEGATIVE_UNATE
+
+    def test_or_positive_unate(self):
+        assert function_by_name("OR3").sense("B", "Z") is TimingSense.POSITIVE_UNATE
+
+    def test_xnor_non_unate(self):
+        assert function_by_name("XNR2").sense("A", "Z") is TimingSense.NON_UNATE
+
+    def test_nor2b_mixed_unateness(self):
+        fn = function_by_name("NR2B")
+        assert fn.sense("A", "Z") is TimingSense.NEGATIVE_UNATE
+        assert fn.sense("B", "Z") is TimingSense.POSITIVE_UNATE
+
+    def test_adder_carry_positive_unate(self):
+        fn = function_by_name("ADDF")
+        assert fn.sense("A", "CO") is TimingSense.POSITIVE_UNATE
+        assert fn.sense("A", "S") is TimingSense.NON_UNATE
+
+
+class TestSequentialMetadata:
+    def test_dff_variants(self):
+        assert function_by_name("DFF").input_pins == ("D", "CP")
+        assert function_by_name("DFFR").input_pins == ("D", "CP", "RN")
+        assert function_by_name("DFFS").input_pins == ("D", "CP", "SN")
+        assert function_by_name("DFFSR").input_pins == ("D", "CP", "RN", "SN")
+
+    def test_clock_pin_marked(self):
+        fn = function_by_name("DFF")
+        assert fn.clock_pin == "CP"
+        assert fn.data_input_pins == ("D",)
+
+    def test_latch_flag(self):
+        fn = function_by_name("LATQ")
+        assert fn.is_latch and fn.is_sequential
+        assert fn.clock_pin == "EN"
+
+    def test_sequential_evaluate_rejected(self):
+        with pytest.raises(CatalogError):
+            function_by_name("DFF").evaluate({"D": True, "CP": False})
+
+
+class TestRegistry:
+    def test_all_expected_families_present(self):
+        expected = {
+            "INV", "BUF", "ND2", "ND3", "ND4", "NR2", "NR3", "NR4", "NR2B",
+            "OR2", "OR3", "OR4", "XNR2", "XNR3", "MUX2", "MUX4", "ADDH",
+            "ADDF", "DFF", "DFFR", "DFFS", "DFFSR", "LATQ",
+        }
+        assert set(FUNCTIONS) == expected
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(CatalogError):
+            function_by_name("XOR9")
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(CatalogError):
+            function_by_name("ND2").evaluate({"A": True})

@@ -1,0 +1,81 @@
+"""Appendix A naming convention."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cells.naming import (
+    CellName,
+    format_cell_name,
+    format_strength,
+    parse_cell_name,
+    parse_strength,
+)
+from repro.errors import CatalogError
+
+
+class TestFormat:
+    def test_integer_strength(self):
+        assert format_cell_name("INV", 4) == "INV_4"
+
+    def test_fractional_strength_uses_p(self):
+        assert format_cell_name("INV", 0.5) == "INV_0P5"
+
+    def test_input_count(self):
+        assert format_cell_name("ND", 2, n_inputs=4) == "ND4_2"
+
+    def test_ability(self):
+        assert format_cell_name("NR", 2, n_inputs=2, ability="B") == "NR2B_2"
+
+    def test_zero_strength_rejected(self):
+        with pytest.raises(CatalogError):
+            format_strength(0)
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "name, function, n_inputs, ability, strength",
+        [
+            ("INV_1", "INV", None, "", 1.0),
+            ("INV_0P5", "INV", None, "", 0.5),
+            ("INV_32", "INV", None, "", 32.0),
+            ("ND2_4", "ND", 2, "", 4.0),
+            ("NR4_6", "NR", 4, "", 6.0),
+            ("NR2B_2", "NR", 2, "B", 2.0),
+            ("XNR3_1P5", "XNR", 3, "", 1.5),
+            ("ADDF_16", "ADDF", None, "", 16.0),
+            ("DFFR_12", "DFFR", None, "", 12.0),
+            ("MUX4_24", "MUX", 4, "", 24.0),
+        ],
+    )
+    def test_examples(self, name, function, n_inputs, ability, strength):
+        parsed = parse_cell_name(name)
+        assert parsed == CellName(function, n_inputs, ability, strength)
+
+    def test_family_property(self):
+        assert parse_cell_name("NR2B_2").family == "NR2B"
+        assert parse_cell_name("INV_1").family == "INV"
+
+    @pytest.mark.parametrize("bad", ["INV", "INV_", "_4", "inv_1", "INV_4P"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(CatalogError):
+            parse_cell_name(bad)
+
+    def test_parse_strength_roundtrip(self):
+        for value in (0.5, 1.0, 1.5, 6.0, 48.0):
+            assert parse_strength(format_strength(value)) == value
+
+
+class TestRoundtripProperty:
+    @given(
+        function=st.sampled_from(["INV", "ND", "NR", "OR", "XNR", "ADDF", "MUX"]),
+        n_inputs=st.one_of(st.none(), st.integers(2, 4)),
+        strength=st.sampled_from([0.5, 1.0, 1.5, 2.0, 3.0, 6.0, 12.0, 48.0]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_format_parse_roundtrip(self, function, n_inputs, strength):
+        name = format_cell_name(function, strength, n_inputs=n_inputs)
+        parsed = parse_cell_name(name)
+        assert parsed.strength == strength
+        assert parsed.n_inputs == n_inputs
+        assert parsed.function == function

@@ -1,0 +1,167 @@
+"""Library characterization: grids, tables, statistics, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.cells.catalog import build_catalog
+from repro.characterization.characterize import Characterizer
+from repro.characterization.grids import GridConfig, load_grid, slew_grid
+from repro.errors import CharacterizationError
+from repro.variation.process import slow_corner
+
+
+class TestGrids:
+    def test_slew_grid_shared_and_increasing(self):
+        config = GridConfig()
+        grid = slew_grid(config)
+        assert grid.size == config.n_slew
+        assert np.all(np.diff(grid) > 0)
+        assert grid[0] == pytest.approx(config.slew_min)
+        assert grid[-1] == pytest.approx(config.slew_max)
+
+    def test_load_grid_scales_with_strength(self):
+        config = GridConfig()
+        specs = build_catalog(families=["INV"])
+        inv1 = next(s for s in specs if s.name == "INV_1")
+        inv8 = next(s for s in specs if s.name == "INV_8")
+        assert load_grid(config, inv8)[-1] == pytest.approx(8 * load_grid(config, inv1)[-1])
+
+    def test_bad_grid_config_rejected(self):
+        with pytest.raises(CharacterizationError):
+            GridConfig(n_slew=1)
+        with pytest.raises(CharacterizationError):
+            GridConfig(slew_min=0.5, slew_max=0.1)
+
+
+class TestNominal:
+    def test_all_cells_characterized(self, nominal_library, small_specs):
+        assert len(nominal_library) == len(small_specs)
+
+    def test_tables_have_grid_shape(self, nominal_library, characterizer):
+        grid = characterizer.grid
+        for cell in nominal_library:
+            for _pin, arc in cell.arcs():
+                assert arc.cell_rise.shape == (grid.n_slew, grid.n_load)
+                assert arc.rise_transition.shape == (grid.n_slew, grid.n_load)
+
+    def test_delays_positive_and_finite(self, nominal_library):
+        for cell in nominal_library:
+            for _pin, arc in cell.arcs():
+                for table in arc.all_tables():
+                    assert np.all(np.isfinite(table.values))
+                    assert np.all(table.values > 0)
+
+    def test_sequential_metadata(self, nominal_library):
+        dff = nominal_library.cell("DFF_2")
+        assert dff.is_sequential
+        assert dff.clock_pin == "CP"
+        assert dff.setup_time > 0
+        assert dff.pin("CP").is_clock
+        latch = nominal_library.cell("LATQ_2")
+        assert latch.is_latch
+
+    def test_input_caps_positive(self, nominal_library):
+        for cell in nominal_library:
+            for pin in cell.input_pins():
+                assert pin.capacitance > 0
+
+    def test_max_capacitance_set(self, nominal_library):
+        for cell in nominal_library:
+            for pin in cell.output_pins():
+                assert pin.max_capacitance > 0
+
+
+class TestStatistical:
+    def test_sigma_tables_present(self, statistical_library):
+        for cell in statistical_library:
+            for _pin, arc in cell.arcs():
+                assert arc.sigma_rise is not None
+                assert arc.sigma_fall is not None
+                assert np.all(arc.sigma_rise.values > 0)
+
+    def test_marked_statistical(self, statistical_library):
+        assert statistical_library.is_statistical
+
+    def test_mean_close_to_nominal(self, nominal_library, statistical_library):
+        """Local variation is zero-mean in the *parameters*, so MC means
+        track nominal delays; delay is convex in vth (Jensen), so a
+        small upward bias is expected and allowed."""
+        for name in ("INV_1", "ND2_2", "ADDF_4"):
+            nom = nominal_library.cell(name).output_pins()[0].timing[0].cell_fall
+            mean = statistical_library.cell(name).output_pins()[0].timing[0].cell_fall
+            assert np.allclose(mean.values, nom.values, rtol=0.15)
+            # Jensen bias: MC mean should not undershoot nominal by much
+            assert np.all(mean.values > nom.values * 0.95)
+
+    def test_sigma_decreases_with_drive_strength(self, statistical_library):
+        """Paper Fig. 4: INV_32's surface is lower than INV_1's."""
+        sig1 = statistical_library.cell("INV_1").pin("Z").arc_from("A").sigma_fall
+        sig8 = statistical_library.cell("INV_8").pin("Z").arc_from("A").sigma_fall
+        assert sig8.values.max() < sig1.values.max()
+        assert sig8.values.mean() < sig1.values.mean()
+
+    def test_sigma_grows_towards_high_slew_and_load(self, statistical_library):
+        """Paper Fig. 4: surfaces rise away from the origin."""
+        sigma = statistical_library.cell("INV_1").pin("Z").arc_from("A").sigma_fall
+        assert sigma.values[0, 0] == sigma.values.min()
+        assert sigma.values[-1, -1] == sigma.values.max()
+
+    def test_determinism(self, characterizer, small_specs):
+        a = characterizer.statistical_library(small_specs, n_samples=10, seed=3)
+        b = characterizer.statistical_library(small_specs, n_samples=10, seed=3)
+        for name in a.cells:
+            arc_a = a.cell(name).output_pins()[0].timing[0]
+            arc_b = b.cell(name).output_pins()[0].timing[0]
+            assert arc_a.sigma_fall.allclose(arc_b.sigma_fall)
+
+    def test_different_seed_changes_sigma(self, characterizer, small_specs):
+        a = characterizer.statistical_library(small_specs, n_samples=10, seed=3)
+        b = characterizer.statistical_library(small_specs, n_samples=10, seed=4)
+        arc_a = a.cell("INV_1").pin("Z").arc_from("A")
+        arc_b = b.cell("INV_1").pin("Z").arc_from("A")
+        assert not arc_a.sigma_fall.allclose(arc_b.sigma_fall)
+
+    def test_too_few_samples_rejected(self, characterizer, small_specs):
+        with pytest.raises(CharacterizationError):
+            characterizer.statistical_library(small_specs, n_samples=1)
+
+
+class TestSampleLibraries:
+    def test_samples_differ_from_each_other(self, characterizer, small_specs):
+        libraries = characterizer.sample_libraries(small_specs[:2], n_samples=3, seed=1)
+        t0 = libraries[0].cell(small_specs[0].name).output_pins()[0].timing[0].cell_fall
+        t1 = libraries[1].cell(small_specs[0].name).output_pins()[0].timing[0].cell_fall
+        assert not t0.allclose(t1)
+
+    def test_global_variation_shifts_whole_library(self, characterizer, small_specs):
+        libraries = characterizer.sample_libraries(
+            small_specs[:3], n_samples=4, seed=1, include_global=True
+        )
+        locals_only = characterizer.sample_libraries(
+            small_specs[:3], n_samples=4, seed=1, include_global=False
+        )
+        # same local draws, so the difference is the global shift,
+        # which must move every cell of a sample the same direction
+        for k in range(4):
+            shifts = []
+            for spec in small_specs[:3]:
+                with_g = libraries[k].cell(spec.name).output_pins()[0].timing[0]
+                without = locals_only[k].cell(spec.name).output_pins()[0].timing[0]
+                shifts.append(
+                    np.sign((with_g.cell_fall.values - without.cell_fall.values).mean())
+                )
+            assert len(set(shifts)) == 1
+
+
+class TestCorners:
+    def test_slow_corner_library_slower(self, small_specs):
+        typical = Characterizer().nominal_library(small_specs[:2])
+        slow = Characterizer(corner=slow_corner()).nominal_library(small_specs[:2])
+        for spec in small_specs[:2]:
+            t_typ = typical.cell(spec.name).output_pins()[0].timing[0].cell_fall
+            t_slow = slow.cell(spec.name).output_pins()[0].timing[0].cell_fall
+            assert np.all(t_slow.values > t_typ.values)
+
+    def test_corner_recorded_in_operating_conditions(self, small_specs):
+        library = Characterizer(corner=slow_corner()).nominal_library(small_specs[:1])
+        assert library.operating_conditions.name.startswith("SS")

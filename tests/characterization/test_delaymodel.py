@@ -1,0 +1,150 @@
+"""Analytical delay model physics."""
+
+import numpy as np
+import pytest
+
+from repro.cells.catalog import build_catalog, spec_by_name
+from repro.characterization.delaymodel import GateDelayModel
+from repro.errors import CharacterizationError
+from repro.variation.process import (
+    TechnologyParams,
+    fast_corner,
+    slow_corner,
+    typical_corner,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return GateDelayModel()
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return build_catalog(families=["INV", "ND2", "ND4", "NR4", "ADDF", "DFF"])
+
+
+class TestMonotonicity:
+    def test_delay_grows_with_load(self, model, specs):
+        inv = spec_by_name(specs, "INV_1")
+        delays = [model.arc_delay(inv, "Z", False, 0.05, load) for load in
+                  (0.001, 0.002, 0.004, 0.008)]
+        assert delays == sorted(delays)
+
+    def test_delay_grows_with_slew(self, model, specs):
+        inv = spec_by_name(specs, "INV_1")
+        delays = [model.arc_delay(inv, "Z", False, slew, 0.002) for slew in
+                  (0.01, 0.05, 0.2, 0.8)]
+        assert delays == sorted(delays)
+
+    def test_stronger_cell_is_faster_at_same_load(self, model, specs):
+        weak = spec_by_name(specs, "INV_1")
+        strong = spec_by_name(specs, "INV_8")
+        load = 0.005
+        assert model.arc_delay(strong, "Z", False, 0.05, load) < model.arc_delay(
+            weak, "Z", False, 0.05, load
+        )
+
+    def test_transition_grows_with_load(self, model, specs):
+        inv = spec_by_name(specs, "INV_1")
+        tables = model.arc_tables(
+            inv, "Z", False, np.array(0.05), np.array([0.001, 0.004, 0.009])
+        )
+        assert np.all(np.diff(tables.transition) > 0)
+
+
+class TestTopologyEffects:
+    def test_high_fanin_nand_slower_than_inverter(self, model, specs):
+        inv = spec_by_name(specs, "INV_2")
+        nd4 = spec_by_name(specs, "ND4_2")
+        # pull-down through the 4-stack is slower
+        assert model.arc_delay(nd4, "Z", False, 0.05, 0.003) > model.arc_delay(
+            inv, "Z", False, 0.05, 0.003
+        )
+
+    def test_adder_sum_has_intrinsic_delay(self, model, specs):
+        addf = spec_by_name(specs, "ADDF_2")
+        sum_delay = model.arc_delay(addf, "S", True, 0.05, 0.002)
+        carry_delay = model.arc_delay(addf, "CO", True, 0.05, 0.002)
+        assert sum_delay > carry_delay
+
+    def test_rise_fall_comparable(self, model, specs):
+        """PMOS widening keeps rise within ~2x of fall (merged STA)."""
+        inv = spec_by_name(specs, "INV_4")
+        rise = model.arc_delay(inv, "Z", True, 0.05, 0.004)
+        fall = model.arc_delay(inv, "Z", False, 0.05, 0.004)
+        assert 0.5 < rise / fall < 2.0
+
+
+class TestVariationResponse:
+    def test_higher_vth_is_slower(self, model, specs):
+        inv = spec_by_name(specs, "INV_1")
+        nominal = model.arc_delay(inv, "Z", False, 0.05, 0.003)
+        slow = model.arc_delay(inv, "Z", False, 0.05, 0.003, dvth=0.03)
+        fast = model.arc_delay(inv, "Z", False, 0.05, 0.003, dvth=-0.03)
+        assert fast < nominal < slow
+
+    def test_higher_beta_is_faster(self, model, specs):
+        inv = spec_by_name(specs, "INV_1")
+        assert model.arc_delay(inv, "Z", False, 0.05, 0.003, dbeta=0.1) < (
+            model.arc_delay(inv, "Z", False, 0.05, 0.003)
+        )
+
+    def test_vth_sensitivity_grows_with_load(self, model, specs):
+        """The gradient structure the load-slope tuning bound exploits."""
+        inv = spec_by_name(specs, "INV_1")
+        low = model.vth_sensitivity(inv, "Z", False, 0.05, 0.001)
+        high = model.vth_sensitivity(inv, "Z", False, 0.05, 0.009)
+        assert high > low > 0
+
+    def test_vth_sensitivity_grows_with_slew(self, model, specs):
+        """The gradient structure the slew-slope tuning bound exploits."""
+        inv = spec_by_name(specs, "INV_1")
+        low = model.vth_sensitivity(inv, "Z", False, 0.02, 0.003)
+        high = model.vth_sensitivity(inv, "Z", False, 1.0, 0.003)
+        assert high > low
+
+    def test_longer_channel_is_slower(self, model, specs):
+        inv = spec_by_name(specs, "INV_1")
+        assert model.arc_delay(inv, "Z", False, 0.05, 0.003, dlength_rel=0.1) > (
+            model.arc_delay(inv, "Z", False, 0.05, 0.003)
+        )
+
+    def test_vectorized_variation_axis(self, model, specs):
+        inv = spec_by_name(specs, "INV_1")
+        dvth = np.array([-0.02, 0.0, 0.02])[:, None, None]
+        tables = model.arc_tables(
+            inv, "Z", False,
+            np.array([[0.05], [0.2]]), np.array([0.001, 0.004]),
+            dvth=dvth,
+        )
+        assert tables.delay.shape == (3, 2, 2)
+        assert np.all(np.diff(tables.delay, axis=0) > 0)  # slower with vth
+
+
+class TestCorners:
+    def test_slow_corner_slower_fast_corner_faster(self, specs):
+        inv = spec_by_name(specs, "INV_2")
+        base = TechnologyParams()
+        delays = {}
+        for name, corner in (
+            ("fast", fast_corner()),
+            ("typical", typical_corner()),
+            ("slow", slow_corner()),
+        ):
+            delays[name] = GateDelayModel(corner.apply(base)).arc_delay(
+                inv, "Z", False, 0.05, 0.003
+            )
+        assert delays["fast"] < delays["typical"] < delays["slow"]
+
+
+class TestValidation:
+    def test_negative_load_rejected(self, model, specs):
+        inv = spec_by_name(specs, "INV_1")
+        with pytest.raises(CharacterizationError):
+            model.arc_delay(inv, "Z", False, 0.05, -0.001)
+
+    def test_excessive_vth_shift_rejected(self, model, specs):
+        inv = spec_by_name(specs, "INV_1")
+        with pytest.raises(CharacterizationError):
+            model.arc_delay(inv, "Z", False, 0.05, 0.003, dvth=0.7)

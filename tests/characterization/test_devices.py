@@ -1,0 +1,87 @@
+"""Device-level electrical view of catalog cells."""
+
+import pytest
+
+from repro.cells.catalog import build_catalog, spec_by_name
+from repro.characterization.devices import CellElectricalView, network_geometry
+from repro.variation.process import TechnologyParams
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return build_catalog(families=["INV", "ND4", "NR4", "ADDF", "MUX2", "BUF"])
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return TechnologyParams()
+
+
+class TestWidths:
+    def test_width_scales_with_strength(self, specs, tech):
+        inv1 = CellElectricalView(spec_by_name(specs, "INV_1"), tech)
+        inv8 = CellElectricalView(spec_by_name(specs, "INV_8"), tech)
+        drive1 = spec_by_name(specs, "INV_1").drive("Z")
+        drive8 = spec_by_name(specs, "INV_8").drive("Z")
+        assert inv8.device_width(drive8, rise=False) == pytest.approx(
+            8 * inv1.device_width(drive1, rise=False)
+        )
+
+    def test_stacked_devices_drawn_wider(self, specs, tech):
+        inv = CellElectricalView(spec_by_name(specs, "INV_2"), tech)
+        nd4 = CellElectricalView(spec_by_name(specs, "ND4_2"), tech)
+        w_inv = inv.device_width(spec_by_name(specs, "INV_2").drive("Z"), rise=False)
+        w_nd4 = nd4.device_width(spec_by_name(specs, "ND4_2").drive("Z"), rise=False)
+        # 4-stack at 0.6 compensation: 1 + 0.6*3 = 2.8x wider
+        assert w_nd4 == pytest.approx(2.8 * w_inv)
+
+    def test_pmos_wider_than_nmos(self, specs, tech):
+        view = CellElectricalView(spec_by_name(specs, "INV_1"), tech)
+        drive = spec_by_name(specs, "INV_1").drive("Z")
+        assert view.device_width(drive, rise=True) > view.device_width(drive, rise=False)
+
+
+class TestCapacitances:
+    def test_parasitic_scales_with_strength(self, specs, tech):
+        v1 = CellElectricalView(spec_by_name(specs, "INV_1"), tech)
+        v8 = CellElectricalView(spec_by_name(specs, "INV_8"), tech)
+        d = spec_by_name(specs, "INV_1").drive("Z")
+        d8 = spec_by_name(specs, "INV_8").drive("Z")
+        assert v8.parasitic_cap(d8) == pytest.approx(8 * v1.parasitic_cap(d))
+
+    def test_input_cap_linear_for_single_stage(self, specs, tech):
+        v1 = CellElectricalView(spec_by_name(specs, "INV_1"), tech)
+        v8 = CellElectricalView(spec_by_name(specs, "INV_8"), tech)
+        assert v8.input_capacitance("A") == pytest.approx(
+            8 * v1.input_capacitance("A")
+        )
+
+    def test_input_cap_saturates_for_buffered_cells(self, specs, tech):
+        """Complex cells decouple input devices from the output stage:
+        upsizing an ADDF 16x does not multiply its input load 16x."""
+        v1 = CellElectricalView(spec_by_name(specs, "ADDF_1"), tech)
+        v16 = CellElectricalView(spec_by_name(specs, "ADDF_16"), tech)
+        ratio = v16.input_capacitance("A") / v1.input_capacitance("A")
+        assert ratio < 8
+
+    def test_cap_factor_applied(self, specs, tech):
+        mux = CellElectricalView(spec_by_name(specs, "MUX2_2"), tech)
+        assert mux.input_capacitance("S") > mux.input_capacitance("D0")
+
+
+class TestGeometry:
+    def test_network_geometry_matches_view(self, specs, tech):
+        spec = spec_by_name(specs, "NR4_2")
+        geometry = network_geometry(tech, spec, spec.drive("Z"), rise=True)
+        view = CellElectricalView(spec, tech)
+        assert geometry.width == pytest.approx(
+            view.device_width(spec.drive("Z"), rise=True)
+        )
+        assert geometry.stack == 4
+        assert geometry.length == tech.channel_length
+
+    def test_internal_strength_scaled_down(self, specs, tech):
+        view = CellElectricalView(spec_by_name(specs, "ADDF_16"), tech)
+        assert view.internal_strength() == pytest.approx(8.0)
+        weak = CellElectricalView(spec_by_name(specs, "ADDF_1"), tech)
+        assert weak.internal_strength() == 1.0

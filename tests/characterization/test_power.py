@@ -1,0 +1,132 @@
+"""Power model: switching energy and leakage."""
+
+import numpy as np
+import pytest
+
+from repro.cells.catalog import build_catalog, spec_by_name
+from repro.characterization.characterize import Characterizer
+from repro.characterization.power import PowerModel, leakage_statistics
+from repro.errors import CharacterizationError
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return build_catalog(families=["INV", "ND2", "ADDF"])
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PowerModel()
+
+
+class TestSwitchingEnergy:
+    def test_energy_grows_with_load(self, model, specs):
+        inv = spec_by_name(specs, "INV_1")
+        energies = [
+            float(model.arc_energy(inv, "Z", True, np.asarray(0.05), np.asarray(c)))
+            for c in (0.001, 0.004, 0.009)
+        ]
+        assert energies == sorted(energies)
+
+    def test_energy_grows_with_slew(self, model, specs):
+        """Short-circuit energy makes slow edges expensive."""
+        inv = spec_by_name(specs, "INV_2")
+        fast = float(model.arc_energy(inv, "Z", True, np.asarray(0.01), np.asarray(0.002)))
+        slow = float(model.arc_energy(inv, "Z", True, np.asarray(1.0), np.asarray(0.002)))
+        assert slow > fast
+
+    def test_capacitive_floor_is_half_cv2(self, model, specs):
+        inv = spec_by_name(specs, "INV_1")
+        load = 0.01
+        energy = float(
+            model.arc_energy(inv, "Z", True, np.asarray(0.0), np.asarray(load))
+        )
+        assert energy > 0.5 * load * model.tech.vdd**2  # load + parasitics
+
+    def test_vth_shift_changes_short_circuit(self, model, specs):
+        inv = spec_by_name(specs, "INV_1")
+        nominal = float(model.arc_energy(inv, "Z", True, np.asarray(0.5), np.asarray(0.002)))
+        high_vth = float(
+            model.arc_energy(inv, "Z", True, np.asarray(0.5), np.asarray(0.002), dvth=0.05)
+        )
+        assert high_vth < nominal  # less overlap current
+
+    def test_negative_load_rejected(self, model, specs):
+        inv = spec_by_name(specs, "INV_1")
+        with pytest.raises(CharacterizationError):
+            model.arc_energy(inv, "Z", True, np.asarray(0.1), np.asarray(-1.0))
+
+
+class TestLeakage:
+    def test_leakage_grows_with_width(self, model, specs):
+        small = float(model.cell_leakage(spec_by_name(specs, "INV_1")))
+        big = float(model.cell_leakage(spec_by_name(specs, "INV_8")))
+        assert big == pytest.approx(8 * small, rel=1e-6)
+
+    def test_leakage_exponential_in_vth(self, model, specs):
+        inv = spec_by_name(specs, "INV_1")
+        low = float(model.cell_leakage(inv, dvth=-0.05))
+        nominal = float(model.cell_leakage(inv))
+        ratio = low / nominal
+        assert ratio == pytest.approx(np.exp(0.05 / model.tech.v_leak_slope), rel=1e-6)
+
+    def test_mismatch_makes_leakage_lognormal(self, specs):
+        """Positive skew and mean above nominal — the classic result."""
+        inv = spec_by_name(specs, "INV_1")
+        mean, sigma, skew = leakage_statistics(inv, sigma_vth=0.03, seed=3)
+        nominal = float(PowerModel().cell_leakage(inv))
+        assert mean > nominal
+        assert skew > 0.5
+        assert sigma > 0
+
+    def test_zero_mismatch_degenerates(self, specs):
+        inv = spec_by_name(specs, "INV_1")
+        mean, sigma, _skew = leakage_statistics(inv, sigma_vth=0.0, n_samples=50)
+        assert sigma == pytest.approx(0.0, abs=1e-12)
+        assert mean == pytest.approx(float(PowerModel().cell_leakage(inv)))
+
+
+class TestPowerCharacterization:
+    def test_power_tables_attached(self, specs):
+        characterizer = Characterizer(include_power=True)
+        library = characterizer.statistical_library(specs[:4], n_samples=12, seed=5)
+        for cell in library:
+            for _pin, arc in cell.arcs():
+                assert arc.power_rise is not None
+                assert arc.sigma_power_rise is not None
+                assert np.all(arc.power_rise.values > 0)
+                assert np.all(arc.sigma_power_rise.values >= 0)
+
+    def test_power_sigma_grows_with_slew(self, specs):
+        """The short-circuit term carries the vth mismatch, so the
+        energy sigma rises towards slow input edges."""
+        characterizer = Characterizer(include_power=True)
+        library = characterizer.statistical_library(
+            [spec_by_name(specs, "INV_1")], n_samples=40, seed=5
+        )
+        sigma = library.cell("INV_1").pin("Z").arc_from("A").sigma_power_rise
+        assert sigma.values[-1, 0] > sigma.values[0, 0]
+
+    def test_power_tables_roundtrip_liberty(self, specs):
+        from repro.liberty.parser import parse_liberty
+        from repro.liberty.writer import write_liberty
+
+        characterizer = Characterizer(include_power=True)
+        library = characterizer.statistical_library(specs[:2], n_samples=10, seed=1)
+        parsed = parse_liberty(write_liberty(library))
+        for cell in library:
+            for pin in cell.output_pins():
+                for index, arc in enumerate(pin.timing):
+                    other = parsed.cell(cell.name).pin(pin.name).timing[index]
+                    assert other.power_rise is not None
+                    assert other.power_rise.allclose(arc.power_rise, rtol=1e-6)
+                    assert other.sigma_power_fall.allclose(
+                        arc.sigma_power_fall, rtol=1e-6
+                    )
+
+    def test_nominal_library_has_power_but_no_sigma(self, specs):
+        characterizer = Characterizer(include_power=True)
+        library = characterizer.nominal_library(specs[:2])
+        arc = next(iter(library)).output_pins()[0].timing[0]
+        assert arc.power_rise is not None
+        assert arc.sigma_power_rise is None

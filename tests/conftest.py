@@ -1,0 +1,67 @@
+"""Shared fixtures: a reduced catalog and its libraries.
+
+The reduced catalog covers every structural feature (single-stage
+gates, stacked gates, multi-output adders, sequential cells, buffers)
+while keeping characterization fast; full-catalog behaviour is covered
+by dedicated tests in ``tests/cells`` and the benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cells.catalog import build_catalog
+from repro.characterization.characterize import Characterizer
+
+#: Families exercising every cell topology the code distinguishes.
+SMALL_FAMILIES = [
+    "INV",
+    "BUF",
+    "ND2",
+    "ND4",
+    "NR2",
+    "NR2B",
+    "OR2",
+    "XNR2",
+    "MUX2",
+    "ADDH",
+    "ADDF",
+    "DFF",
+    "DFFR",
+    "LATQ",
+]
+
+
+@pytest.fixture(scope="session")
+def small_specs():
+    """Catalog slice with every topology class."""
+    return build_catalog(families=SMALL_FAMILIES)
+
+
+@pytest.fixture(scope="session")
+def full_specs():
+    """The full 304-cell Appendix A catalog."""
+    return build_catalog()
+
+
+@pytest.fixture(scope="session")
+def characterizer():
+    return Characterizer()
+
+
+@pytest.fixture(scope="session")
+def nominal_library(characterizer, small_specs):
+    """Nominal library of the reduced catalog."""
+    return characterizer.nominal_library(small_specs)
+
+
+@pytest.fixture(scope="session")
+def statistical_library(characterizer, small_specs):
+    """Statistical library (30 MC samples) of the reduced catalog."""
+    return characterizer.statistical_library(small_specs, n_samples=30, seed=7)
+
+
+@pytest.fixture(scope="session")
+def full_statistical_library(characterizer, full_specs):
+    """Statistical library of the full 304-cell catalog."""
+    return characterizer.statistical_library(full_specs, n_samples=30, seed=7)

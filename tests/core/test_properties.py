@@ -1,0 +1,102 @@
+"""Property-based invariants of the tuning core (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.binary_lut import binarize_at_most
+from repro.core.rectangle import largest_rectangle
+from repro.core.restriction import SlewLoadWindow, pin_equivalent_sigma, restrict_pin
+from repro.core.threshold import extract_slope_threshold
+
+
+def _window_area(window):
+    if window is None:
+        return 0.0
+    return (window.max_slew - window.min_slew) * (window.max_load - window.min_load)
+
+
+class TestRestrictionMonotonicity:
+    @given(
+        quantiles=st.tuples(st.floats(0.05, 0.95), st.floats(0.05, 0.95)),
+        cell=st.sampled_from(["INV_1", "INV_4", "ND2_2", "ADDF_2"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_looser_threshold_never_shrinks_usable_area(
+        self, statistical_library, quantiles, cell
+    ):
+        """A higher sigma threshold accepts a superset of LUT entries,
+        so the extracted rectangle's area cannot shrink."""
+        pin = statistical_library.cell(cell).output_pins()[0]
+        values = pin_equivalent_sigma(pin).values
+        low_q, high_q = sorted(quantiles)
+        t_low = float(np.quantile(values, low_q))
+        t_high = float(np.quantile(values, high_q))
+        if t_low <= 0 or t_low == t_high:
+            return
+        area_low = _window_area(restrict_pin(pin, t_low))
+        area_high = _window_area(restrict_pin(pin, t_high))
+        assert area_high >= area_low - 1e-15
+
+    @given(
+        bounds=st.tuples(st.floats(0.001, 0.1), st.floats(0.001, 0.1)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_slope_threshold_monotone_in_load_bound(
+        self, statistical_library, bounds
+    ):
+        """Loosening the load-slope bound can only keep or grow the flat
+        region, so the extracted sigma threshold cannot decrease."""
+        cells = [statistical_library.cell("INV_1")]
+        tight, loose = sorted(bounds)
+        t_tight, rect_tight = extract_slope_threshold(cells, tight, 0.06)
+        t_loose, rect_loose = extract_slope_threshold(cells, loose, 0.06)
+        assert rect_loose.area >= rect_tight.area
+
+    @given(st.floats(0.0001, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_rectangle_contains_only_acceptable_entries(
+        self, statistical_library, quantile_like
+    ):
+        pin = statistical_library.cell("ND2_1").pin("Z")
+        equivalent = pin_equivalent_sigma(pin)
+        threshold = float(equivalent.values.min()) + quantile_like * float(
+            equivalent.values.max() - equivalent.values.min()
+        )
+        binary = binarize_at_most(equivalent.values, threshold)
+        rect = largest_rectangle(binary)
+        if rect is None:
+            return
+        block = equivalent.values[
+            rect.row_lo : rect.row_hi + 1, rect.col_lo : rect.col_hi + 1
+        ]
+        assert np.all(block <= threshold + 1e-15)
+
+
+class TestWindowSemantics:
+    @given(
+        slew=st.floats(0.0, 2.0),
+        load=st.floats(0.0, 0.02),
+        max_slew=st.floats(0.01, 1.5),
+        max_load=st.floats(0.001, 0.015),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_allows_agrees_with_slack_sign(self, slew, load, max_slew, max_load):
+        window = SlewLoadWindow(0.0, max_slew, 0.0, max_load)
+        slack = window.slack_to(slew, load)
+        if slack > 1e-9:
+            assert window.allows(slew, load)
+        if slack < -1e-9:
+            assert not window.allows(slew, load)
+
+    @given(
+        max_slew=st.floats(0.01, 1.5),
+        max_load=st.floats(0.001, 0.015),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_corners_are_inside(self, max_slew, max_load):
+        window = SlewLoadWindow(0.0, max_slew, 0.0, max_load)
+        assert window.allows(0.0, 0.0)
+        assert window.allows(max_slew, max_load)
+        assert not window.allows(max_slew * 1.01 + 1e-9, max_load)

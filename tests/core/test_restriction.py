@@ -1,0 +1,137 @@
+"""Per-pin LUT restriction (paper Sec. VI.C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.restriction import (
+    SlewLoadWindow,
+    full_window,
+    pin_equivalent_sigma,
+    restrict_cell,
+    restrict_pin,
+    window_from_rectangle,
+)
+from repro.core.rectangle import Rectangle
+from repro.errors import TuningError
+
+
+class TestSlewLoadWindow:
+    def test_allows_inside(self):
+        window = SlewLoadWindow(0.01, 0.5, 0.001, 0.01)
+        assert window.allows(0.1, 0.005)
+
+    def test_rejects_outside(self):
+        window = SlewLoadWindow(0.01, 0.5, 0.001, 0.01)
+        assert not window.allows(0.6, 0.005)   # slew too high
+        assert not window.allows(0.1, 0.02)    # load too high
+        assert not window.allows(0.001, 0.005)  # slew below minimum
+
+    def test_boundary_tolerance(self):
+        window = SlewLoadWindow(0.01, 0.5, 0.001, 0.01)
+        assert window.allows(0.5 + 1e-12, 0.01)
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(TuningError):
+            SlewLoadWindow(0.5, 0.01, 0.001, 0.01)
+
+    def test_slack_sign(self):
+        window = SlewLoadWindow(0.0, 0.5, 0.0, 0.01)
+        assert window.slack_to(0.1, 0.005) > 0
+        assert window.slack_to(0.9, 0.005) < 0
+
+
+class TestPinRestriction:
+    def test_huge_threshold_keeps_full_grid(self, statistical_library):
+        pin = statistical_library.cell("INV_1").pin("Z")
+        window = restrict_pin(pin, threshold=100.0)
+        equivalent = pin_equivalent_sigma(pin)
+        assert window == full_window(equivalent)
+
+    def test_threshold_at_max_keeps_full_grid(self, statistical_library):
+        """Values equal to the threshold stay acceptable (Sec. VI.C)."""
+        pin = statistical_library.cell("INV_1").pin("Z")
+        equivalent = pin_equivalent_sigma(pin)
+        window = restrict_pin(pin, threshold=float(equivalent.values.max()))
+        assert window == full_window(equivalent)
+
+    def test_tiny_threshold_removes_pin(self, statistical_library):
+        pin = statistical_library.cell("INV_1").pin("Z")
+        assert restrict_pin(pin, threshold=1e-9) is None
+
+    def test_moderate_threshold_shrinks_window(self, statistical_library):
+        pin = statistical_library.cell("INV_1").pin("Z")
+        equivalent = pin_equivalent_sigma(pin)
+        mid = float(np.median(equivalent.values))
+        window = restrict_pin(pin, threshold=mid)
+        full = full_window(equivalent)
+        assert window is not None
+        assert (
+            window.max_load < full.max_load or window.max_slew < full.max_slew
+        )
+
+    def test_window_region_sigma_within_threshold(self, statistical_library):
+        """Everything inside the returned window is acceptable."""
+        pin = statistical_library.cell("ND2_1").pin("Z")
+        equivalent = pin_equivalent_sigma(pin)
+        threshold = float(np.quantile(equivalent.values, 0.6))
+        window = restrict_pin(pin, threshold)
+        assert window is not None
+        rows = (equivalent.index_1 >= window.min_slew) & (
+            equivalent.index_1 <= window.max_slew
+        )
+        cols = (equivalent.index_2 >= window.min_load) & (
+            equivalent.index_2 <= window.max_load
+        )
+        assert np.all(equivalent.values[np.ix_(rows, cols)] <= threshold + 1e-12)
+
+    def test_high_drive_needs_no_restriction_at_moderate_threshold(
+        self, statistical_library
+    ):
+        """Paper Fig. 4: strong cells stay fully usable where weak ones
+        get cut — the selectivity tuning exploits."""
+        strong_pin = statistical_library.cell("INV_8").pin("Z")
+        threshold = float(pin_equivalent_sigma(strong_pin).values.max())
+        strong = restrict_pin(strong_pin, threshold)
+        weak = restrict_pin(statistical_library.cell("INV_1").pin("Z"), threshold)
+        weak_full = full_window(
+            pin_equivalent_sigma(statistical_library.cell("INV_1").pin("Z"))
+        )
+        assert strong == full_window(pin_equivalent_sigma(strong_pin))
+        assert weak is None or (
+            weak.max_load < weak_full.max_load or weak.max_slew < weak_full.max_slew
+        )
+
+    def test_invalid_threshold_rejected(self, statistical_library):
+        pin = statistical_library.cell("INV_1").pin("Z")
+        with pytest.raises(TuningError):
+            restrict_pin(pin, threshold=0.0)
+
+    def test_nominal_pin_rejected(self, nominal_library):
+        with pytest.raises(TuningError):
+            restrict_pin(nominal_library.cell("INV_1").pin("Z"), 0.02)
+
+
+class TestCellRestriction:
+    def test_all_output_pins_windowed(self, statistical_library):
+        windows = restrict_cell(statistical_library.cell("ADDF_2"), 100.0)
+        assert set(windows) == {"S", "CO"}
+
+    def test_worst_case_across_arcs(self, statistical_library):
+        """The pin equivalent must take the max over every arc's sigma
+        tables (Sec. VI.C: "the worst case situation")."""
+        pin = statistical_library.cell("ADDF_2").pin("S")
+        equivalent = pin_equivalent_sigma(pin)
+        stacked = np.stack(
+            [t.values for arc in pin.timing for t in arc.sigma_tables()]
+        )
+        assert np.allclose(equivalent.values, stacked.max(axis=0))
+
+
+class TestWindowFromRectangle:
+    def test_maps_indices_to_axes(self, statistical_library):
+        pin = statistical_library.cell("INV_1").pin("Z")
+        equivalent = pin_equivalent_sigma(pin)
+        window = window_from_rectangle(equivalent, Rectangle(0, 0, 2, 3))
+        assert window.min_slew == equivalent.index_1[0]
+        assert window.max_slew == equivalent.index_1[2]
+        assert window.max_load == equivalent.index_2[3]

@@ -1,0 +1,136 @@
+"""Threshold extraction (paper Sec. VI.B) and clustering."""
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import (
+    cell_strength,
+    cluster_by_strength,
+    cluster_individually,
+    strength_key,
+)
+from repro.core.threshold import (
+    ceiling_threshold,
+    equivalent_sigma_lut,
+    extract_slope_threshold,
+    slope_binary_lut,
+    threshold_for_cluster,
+)
+from repro.errors import TuningError
+
+
+class TestClustering:
+    def test_strength_clusters_partition_library(self, statistical_library):
+        clusters = cluster_by_strength(statistical_library)
+        total = sum(len(cells) for cells in clusters.values())
+        assert total == len(statistical_library)
+
+    def test_strength_cluster_members_share_strength(self, statistical_library):
+        clusters = cluster_by_strength(statistical_library)
+        for key, cells in clusters.items():
+            strengths = {cell_strength(c) for c in cells}
+            assert len(strengths) == 1
+            assert key == strength_key(strengths.pop())
+
+    def test_strength_6_cluster_spans_families(self, statistical_library):
+        clusters = cluster_by_strength(statistical_library)
+        families = {c.name.split("_")[0] for c in clusters["strength_6"]}
+        assert len(families) >= 4  # the Fig. 5 population
+
+    def test_individual_clusters_are_singletons(self, statistical_library):
+        clusters = cluster_individually(statistical_library)
+        assert len(clusters) == len(statistical_library)
+        assert all(len(cells) == 1 for cells in clusters.values())
+
+
+class TestEquivalentLut:
+    def test_is_entrywise_maximum(self, statistical_library):
+        cells = [statistical_library.cell("INV_1"), statistical_library.cell("INV_8")]
+        equivalent = equivalent_sigma_lut(cells)
+        tables = [
+            t.values
+            for c in cells
+            for _p, arc in c.arcs()
+            for t in arc.sigma_tables()
+        ]
+        assert np.allclose(equivalent.values, np.stack(tables).max(axis=0))
+
+    def test_dominated_by_weakest_cell(self, statistical_library):
+        """INV_1 has the highest sigma, so it dominates the cluster max."""
+        weak = equivalent_sigma_lut([statistical_library.cell("INV_1")])
+        both = equivalent_sigma_lut(
+            [statistical_library.cell("INV_1"), statistical_library.cell("INV_8")]
+        )
+        assert np.allclose(weak.values, both.values)
+
+    def test_nominal_cells_rejected(self, nominal_library):
+        with pytest.raises(TuningError):
+            equivalent_sigma_lut([nominal_library.cell("INV_1")])
+
+
+class TestSlopeThreshold:
+    def test_loose_bounds_keep_whole_lut(self, statistical_library):
+        cells = [statistical_library.cell("INV_1")]
+        equivalent = equivalent_sigma_lut(cells)
+        binary = slope_binary_lut(equivalent, load_bound=100.0, slew_bound=100.0)
+        assert binary.all()
+        threshold, rect = extract_slope_threshold(cells, 100.0, 100.0)
+        assert threshold == pytest.approx(equivalent.values.max())
+        assert rect.area == equivalent.values.size
+
+    def test_tight_bounds_shrink_region(self, statistical_library):
+        cells = [statistical_library.cell("INV_1")]
+        loose, rect_loose = extract_slope_threshold(cells, 1.0, 0.06)
+        tight, rect_tight = extract_slope_threshold(cells, 0.005, 0.005)
+        assert tight <= loose
+        assert rect_tight.area <= rect_loose.area
+
+    def test_origin_always_flat(self, statistical_library):
+        """Zero-filled first row/column guarantee a nonempty region."""
+        cells = [statistical_library.cell("INV_1")]
+        threshold, rect = extract_slope_threshold(cells, 1e-9, 1e-9)
+        assert rect.area >= 1
+        assert threshold > 0
+
+    def test_threshold_read_at_far_corner(self, statistical_library):
+        cells = [statistical_library.cell("INV_4")]
+        equivalent = equivalent_sigma_lut(cells)
+        threshold, rect = extract_slope_threshold(cells, 0.01, 0.06)
+        row, col = rect.far_corner
+        assert threshold == pytest.approx(equivalent.values[row, col])
+
+    def test_invalid_bounds_rejected(self, statistical_library):
+        cells = [statistical_library.cell("INV_1")]
+        with pytest.raises(TuningError):
+            extract_slope_threshold(cells, -1.0, 0.06)
+
+
+class TestDispatch:
+    def test_sigma_ceiling_is_identity(self):
+        assert ceiling_threshold(0.02) == 0.02
+        with pytest.raises(TuningError):
+            ceiling_threshold(0.0)
+
+    def test_dispatch_ceiling(self, statistical_library):
+        threshold = threshold_for_cluster(
+            [statistical_library.cell("INV_1")],
+            kind="sigma_ceiling", load_bound=1.0, slew_bound=0.06,
+            sigma_ceiling=0.02,
+        )
+        assert threshold == 0.02
+
+    def test_dispatch_slope_kinds(self, statistical_library):
+        cells = [statistical_library.cell("INV_1")]
+        for kind in ("load_slope", "slew_slope"):
+            threshold = threshold_for_cluster(
+                cells, kind=kind, load_bound=0.01, slew_bound=0.06,
+                sigma_ceiling=100.0,
+            )
+            assert threshold > 0
+
+    def test_unknown_kind_rejected(self, statistical_library):
+        with pytest.raises(TuningError):
+            threshold_for_cluster(
+                [statistical_library.cell("INV_1")],
+                kind="nonsense", load_bound=1, slew_bound=1, sigma_ceiling=1,
+            )

@@ -1,0 +1,137 @@
+"""Tuning methods and end-to-end tuner (paper Sec. VI + Table 2)."""
+
+import math
+
+import pytest
+
+from repro.core.methods import (
+    DEFAULT_BOUNDS,
+    SWEEP_VALUES,
+    TUNING_METHODS,
+    method_by_name,
+)
+from repro.core.tuner import LibraryTuner
+from repro.errors import TuningError
+
+
+class TestMethods:
+    def test_five_methods(self):
+        assert len(TUNING_METHODS) == 5
+
+    def test_paper_names(self):
+        assert (
+            method_by_name("sigma_ceiling").paper_name
+            == "Cell based sigma ceiling"
+        )
+        assert "strength" in method_by_name("cell_strength_load_slope").paper_name.lower()
+
+    def test_table2_defaults(self):
+        assert DEFAULT_BOUNDS == {
+            "load_slope": 1.0,
+            "slew_slope": 0.06,
+            "sigma_ceiling": 100.0,
+        }
+
+    def test_table2_sweeps(self):
+        assert SWEEP_VALUES["load_slope"] == (1.0, 0.05, 0.03, 0.01)
+        assert SWEEP_VALUES["slew_slope"] == (1.0, 0.05, 0.03, 0.01)
+        assert SWEEP_VALUES["sigma_ceiling"] == (0.04, 0.03, 0.02, 0.01)
+
+    def test_bounds_substitution(self):
+        method = method_by_name("cell_load_slope")
+        bounds = method.bounds(0.03)
+        assert bounds == {"load_slope": 0.03, "slew_slope": 0.06, "sigma_ceiling": 100.0}
+
+    def test_only_swept_bound_changes(self):
+        method = method_by_name("cell_strength_slew_slope")
+        bounds = method.bounds(0.01)
+        assert bounds["slew_slope"] == 0.01
+        assert bounds["load_slope"] == DEFAULT_BOUNDS["load_slope"]
+
+    def test_invalid_parameter_rejected(self):
+        with pytest.raises(TuningError):
+            method_by_name("sigma_ceiling").bounds(-0.1)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(TuningError):
+            method_by_name("magic")
+
+
+class TestLibraryTuner:
+    def test_requires_statistical_library(self, nominal_library):
+        with pytest.raises(TuningError):
+            LibraryTuner(nominal_library)
+
+    def test_windows_cover_every_output_pin(self, statistical_library):
+        tuner = LibraryTuner(statistical_library)
+        result = tuner.tune("sigma_ceiling", 0.02)
+        expected = {
+            (cell.name, pin.name)
+            for cell in statistical_library
+            for pin in cell.output_pins()
+        }
+        assert set(result.windows) == expected
+
+    def test_ceiling_threshold_is_global(self, statistical_library):
+        result = LibraryTuner(statistical_library).tune("sigma_ceiling", 0.02)
+        assert result.thresholds == {"global": 0.02}
+
+    def test_strength_methods_threshold_per_cluster(self, statistical_library):
+        result = LibraryTuner(statistical_library).tune(
+            "cell_strength_load_slope", 0.01
+        )
+        strengths = {
+            cell.name.rsplit("_", 1)[0] for cell in statistical_library
+        }
+        assert all(key.startswith("strength_") for key in result.thresholds)
+        assert len(result.thresholds) > 3
+
+    def test_cell_methods_threshold_per_cell(self, statistical_library):
+        result = LibraryTuner(statistical_library).tune("cell_load_slope", 0.01)
+        assert set(result.thresholds) == set(statistical_library.cells)
+
+    def test_tighter_parameter_restricts_more(self, statistical_library):
+        tuner = LibraryTuner(statistical_library)
+        mild = tuner.tune("sigma_ceiling", 0.04)
+        tight = tuner.tune("sigma_ceiling", 0.01)
+
+        def total_area(result):
+            total = 0.0
+            for window in result.windows.values():
+                if window is not None:
+                    total += (window.max_slew - window.min_slew) * (
+                        window.max_load - window.min_load
+                    )
+            return total
+
+        assert total_area(tight) < total_area(mild)
+        assert len(tight.excluded_cells) >= len(mild.excluded_cells)
+
+    def test_default_parameters_do_not_restrict(self, statistical_library):
+        """Table 2 default bounds must leave every LUT fully usable."""
+        tuner = LibraryTuner(statistical_library)
+        for method in ("cell_load_slope", "cell_slew_slope"):
+            result = tuner.tune(method, 1.0)
+            assert result.usable_fraction() == 1.0
+            assert not result.excluded_cells
+
+    def test_excluded_cells_tracked(self, statistical_library):
+        result = LibraryTuner(statistical_library).tune("sigma_ceiling", 0.002)
+        assert result.excluded_cells  # tiny ceiling kills weak cells
+        name = result.excluded_cells[0]
+        assert not result.is_cell_usable(name)
+
+    def test_sweep_covers_table2(self, statistical_library):
+        tuner = LibraryTuner(statistical_library)
+        results = tuner.sweep("sigma_ceiling")
+        assert set(results) == {0.04, 0.03, 0.02, 0.01}
+
+    def test_summary_readable(self, statistical_library):
+        result = LibraryTuner(statistical_library).tune("sigma_ceiling", 0.02)
+        text = result.summary()
+        assert "sigma_ceiling" in text and "%" in text
+
+    def test_window_lookup_unknown_pin(self, statistical_library):
+        result = LibraryTuner(statistical_library).tune("sigma_ceiling", 0.02)
+        with pytest.raises(TuningError):
+            result.window("INV_1", "NOPE")

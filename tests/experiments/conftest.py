@@ -1,0 +1,33 @@
+"""Miniature experiment context shared by the experiment tests.
+
+The design is tiny (hundreds of gates) so the synthesis-backed
+experiments run in seconds; the benchmark suite exercises the same
+experiments at the quick/paper scales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import ExperimentContext
+from repro.flow.experiment import FlowConfig, TuningFlow
+from repro.netlist.generators.microcontroller import MicrocontrollerParams
+
+
+@pytest.fixture(scope="session")
+def tiny_context():
+    config = FlowConfig(
+        design=MicrocontrollerParams(
+            width=12,
+            regfile_bits=2,
+            mult_width=8,
+            n_timers=1,
+            timer_width=8,
+            control_gates=400,
+            status_width=16,
+            n_uarts=1,
+            gpio_width=4,
+        ),
+        n_samples=15,
+    )
+    return ExperimentContext(TuningFlow(config))

@@ -1,0 +1,71 @@
+"""Experiment infrastructure: result rendering and period derivation."""
+
+import pytest
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+
+
+class TestExperimentResult:
+    def test_text_contains_all_columns_and_rows(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="demo",
+            rows=[{"a": 1, "b": "left"}, {"a": 2.5, "b": "right"}],
+            notes="note line",
+        )
+        text = result.to_text()
+        assert "== x: demo ==" in text
+        assert "left" in text and "right" in text
+        assert "2.5" in text
+        assert text.endswith("note line")
+
+    def test_empty_rows(self):
+        result = ExperimentResult("x", "demo", rows=[])
+        assert "(no rows)" in result.to_text()
+
+    def test_column(self):
+        result = ExperimentResult("x", "t", rows=[{"v": 1}, {"v": 2}])
+        assert result.column("v") == [1, 2]
+
+    def test_float_formatting_compact(self):
+        result = ExperimentResult("x", "t", rows=[{"v": 0.123456789}])
+        assert "0.1235" in result.to_text()
+
+
+class TestStandardPeriods:
+    def test_ratios_match_paper_table1(self, tiny_context):
+        periods = tiny_context.standard_periods()
+        high = periods["high"]
+        assert periods["check"] / high == pytest.approx(2.5 / 2.41, rel=0.02)
+        assert periods["medium"] / high == pytest.approx(4.0 / 2.41, rel=0.02)
+        assert periods["low"] / high == pytest.approx(10.0 / 2.41, rel=0.02)
+
+    def test_high_point_never_below_minimum(self, tiny_context):
+        assert tiny_context.high_performance_period >= tiny_context.minimum_period()
+
+    def test_high_point_is_feasible(self, tiny_context):
+        run = tiny_context.flow.baseline(tiny_context.high_performance_period)
+        assert run.met
+
+    def test_usage_cut_scales_with_design(self, tiny_context):
+        assert tiny_context.usage_cut >= 10
+        assert not tiny_context.is_paper_scale
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "table1" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["run", "fig99"]) == 2
+
+    def test_run_without_ids_rejected(self):
+        from repro.__main__ import main
+
+        assert main(["run"]) == 2

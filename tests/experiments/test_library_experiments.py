@@ -1,0 +1,104 @@
+"""Library-level experiments (figs. 1-7, table 2)."""
+
+import pytest
+
+from repro.experiments import (
+    fig01_metric,
+    fig02_statlib,
+    fig03_bilinear,
+    fig04_inv_surfaces,
+    fig05_strength6,
+    fig06_rectangle,
+    fig07_library_surface,
+    table2_parameters,
+)
+
+
+class TestFig01:
+    def test_pitfall_reproduced(self, tiny_context):
+        result = fig01_metric.run(tiny_context)
+        left, right = result.rows
+        assert left["variability"] == right["variability"]
+        assert right["sigma"] > left["sigma"]
+
+    def test_mc_confirms_analytic_sigma(self, tiny_context):
+        result = fig01_metric.run(tiny_context, n_samples=50_000, seed=4)
+        for row in result.rows:
+            assert row["mc_sigma"] == pytest.approx(row["sigma"], rel=0.05)
+
+
+class TestFig02:
+    def test_combine_equals_direct(self, tiny_context):
+        result = fig02_statlib.run(tiny_context, n_samples=10)
+        assert "~0" in result.notes
+        for row in result.rows:
+            assert row["entry_sigma"] == pytest.approx(row["lib_sigma[0,0]"])
+
+
+class TestFig03:
+    def test_fast_equals_literal(self, tiny_context):
+        result = fig03_bilinear.run(tiny_context)
+        for row in result.rows:
+            assert row["X_interp"] == pytest.approx(row["X_eq2_4"], abs=1e-12)
+
+
+class TestFig04:
+    def test_sigma_falls_with_strength(self, tiny_context):
+        """With only 15 MC samples the per-entry estimates are noisy
+        (~18% rel.), so check the trend on well-separated strengths."""
+        result = fig04_inv_surfaces.run(tiny_context)
+        maxima = result.column("sigma_max")
+        assert maxima[0] > maxima[2] > maxima[4]  # INV_1 > INV_4 > INV_16
+        assert maxima[0] > 3 * maxima[-1]
+
+    def test_rows_cover_requested_strengths(self, tiny_context):
+        result = fig04_inv_surfaces.run(tiny_context)
+        assert result.column("cell")[0] == "INV_1"
+        assert result.column("cell")[-1] == "INV_32"
+
+
+class TestFig05:
+    def test_cluster_mixes_topologies(self, tiny_context):
+        result = fig05_strength6.run(tiny_context)
+        families = {c.split("_")[0] for c in result.column("cell")}
+        assert "ND4" in families or "NR4" in families
+        assert "INV" in families
+
+
+class TestFig06:
+    def test_rectangle_inside_flat_region(self, tiny_context):
+        result = fig06_rectangle.run(tiny_context)
+        for row in result.rows:
+            for flag, bit in zip(row["in_rect"], row["binary_row"]):
+                assert flag != "#" or bit == "1"
+
+
+class TestFig07:
+    def test_envelope_rises_from_origin(self, tiny_context):
+        result = fig07_library_surface.run(tiny_context)
+        by_pos = {(r["slew_idx"], r["load_idx"]): r for r in result.rows}
+        assert by_pos[max(by_pos)]["sigma_max"] > by_pos[(0, 0)]["sigma_max"]
+
+
+class TestTable2:
+    def test_monotone_restriction(self, tiny_context):
+        result = table2_parameters.run(tiny_context)
+        by_bound = {}
+        for row in result.rows:
+            by_bound.setdefault(row["bound"], []).append(
+                row["usable_lut_fraction"]
+            )
+        for fractions in by_bound.values():
+            assert all(a >= b - 1e-9 for a, b in zip(fractions, fractions[1:]))
+
+
+class TestResultRendering:
+    def test_to_text_layout(self, tiny_context):
+        result = fig01_metric.run(tiny_context)
+        text = result.to_text()
+        assert text.startswith("== fig01")
+        assert "distribution" in text.splitlines()[1]
+
+    def test_column_accessor(self, tiny_context):
+        result = fig01_metric.run(tiny_context)
+        assert result.column("distribution") == ["left", "right"]

@@ -1,0 +1,123 @@
+"""Synthesis-backed experiments on the miniature context.
+
+These validate the experiment *plumbing* (row structure, selection
+rules, derived periods); the paper-shape assertions live in the
+benchmark suite, which runs at the larger scales.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig09_cell_usage,
+    fig10_method_comparison,
+    fig11_tradeoff,
+    fig12_path_depth,
+    fig13_sigma_vs_depth,
+    fig14_mean_3sigma,
+    fig15_corners,
+    fig16_local_share,
+    table1_clock_periods,
+    table3_winning_params,
+)
+
+
+@pytest.fixture(scope="module")
+def periods(tiny_context):
+    """Two operating points only, to keep the sweeps quick."""
+    standard = tiny_context.standard_periods()
+    return [standard["high"], standard["low"]]
+
+
+class TestTable1:
+    def test_four_increasing_periods(self, tiny_context):
+        result = table1_clock_periods.run(tiny_context)
+        ours = result.column("ours_ns")
+        assert len(ours) == 4
+        assert ours == sorted(ours)
+        assert all(result.column("met"))
+
+    def test_minimum_is_cached(self, tiny_context):
+        assert tiny_context.minimum_period() == tiny_context.minimum_period()
+
+    def test_ratios_follow_paper(self, tiny_context):
+        standard = tiny_context.standard_periods()
+        assert standard["low"] / standard["high"] == pytest.approx(4.15, rel=0.05)
+
+
+class TestFig10AndTable3:
+    def test_selection_rule_and_rows(self, tiny_context, periods):
+        result = fig10_method_comparison.run(tiny_context, periods=periods)
+        assert len(result.rows) == 5 * len(periods)
+        for row in result.rows:
+            if row["sigma_reduction"] is None:
+                continue
+            assert row["area_increase"] < 0.10
+
+    def test_table3_winners_come_from_sweeps(self, tiny_context, periods):
+        result = table3_winning_params.run(tiny_context, periods=periods)
+        assert len(result.rows) == 5
+        for row in result.rows:
+            winners = [v for k, v in row.items() if k.startswith("@")]
+            assert len(winners) == len(periods)
+
+
+class TestFig11:
+    def test_rows_per_ceiling(self, tiny_context):
+        result = fig11_tradeoff.run(
+            tiny_context, ceilings=[0.04, 0.02],
+        )
+        assert result.column("ceiling_ns") == [0.04, 0.02]
+
+
+class TestFig09:
+    def test_usage_rows_above_cut(self, tiny_context):
+        result = fig09_cell_usage.run(tiny_context, tuned_parameter=0.04)
+        for row in result.rows:
+            assert max(row["baseline_uses"], row["tuned_uses"]) > tiny_context.usage_cut
+
+
+class TestPathPopulations:
+    def test_fig12_totals_match(self, tiny_context):
+        result = fig12_path_depth.run(tiny_context, parameter=0.04)
+        assert sum(result.column("baseline_paths")) == sum(
+            result.column("tuned_paths")
+        )
+
+    def test_fig13_rows_grouped_by_design(self, tiny_context):
+        result = fig13_sigma_vs_depth.run(tiny_context, parameter=0.04)
+        designs = set(result.column("design"))
+        assert designs == {"baseline", "tuned"}
+        eps = 1e-12
+        for row in result.rows:
+            assert row["sigma_min"] - eps <= row["sigma_mean"] <= row["sigma_max"] + eps
+
+    def test_fig14_three_sigma_above_mean(self, tiny_context):
+        result = fig14_mean_3sigma.run(tiny_context, parameter=0.04)
+        for row in result.rows:
+            assert row["worst_mu_plus_3s"] >= row["mean_delay"]
+
+
+class TestMonteCarloExperiments:
+    def test_fig15_corner_ordering(self, tiny_context):
+        result = fig15_corners.run(tiny_context, n_samples=80)
+        by_key = {(r["path"], r["corner"]): r for r in result.rows}
+        for path in ("short", "medium", "long"):
+            assert (
+                by_key[(path, "fast")]["mean_ns"]
+                < by_key[(path, "typical")]["mean_ns"]
+                < by_key[(path, "slow")]["mean_ns"]
+            )
+
+    def test_fig15_typical_is_reference(self, tiny_context):
+        result = fig15_corners.run(tiny_context, n_samples=80)
+        for row in result.rows:
+            if row["corner"] == "typical":
+                assert row["mean_rel"] == pytest.approx(1.0)
+                assert row["sigma_rel"] == pytest.approx(1.0)
+
+    def test_fig16_local_share_decays(self, tiny_context):
+        result = fig16_local_share.run(tiny_context, n_samples=120)
+        rows = {r["path"]: r for r in result.rows}
+        assert rows["short"]["local_share"] > rows["long"]["local_share"]
+        for row in result.rows:
+            assert 0 < row["local_share"] <= 1.0 + 1e-9

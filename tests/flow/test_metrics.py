@@ -1,0 +1,77 @@
+"""Comparison metrics and the Fig. 10 selection rule."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.flow.metrics import TuningComparison, best_under_area_cap
+
+
+def make(method="m", parameter=0.02, sigma_red=0.3, area_inc=0.05, met=True):
+    baseline_sigma, baseline_area = 1.0, 100.0
+    return TuningComparison(
+        method=method,
+        parameter=parameter,
+        clock_period=2.0,
+        baseline_sigma=baseline_sigma,
+        tuned_sigma=baseline_sigma * (1 - sigma_red),
+        baseline_area=baseline_area,
+        tuned_area=baseline_area * (1 + area_inc),
+        tuned_met=met,
+    )
+
+
+class TestComparison:
+    def test_sigma_reduction_sign(self):
+        assert make(sigma_red=0.3).sigma_reduction == pytest.approx(0.3)
+        assert make(sigma_red=-0.1).sigma_reduction == pytest.approx(-0.1)
+
+    def test_area_increase_sign(self):
+        assert make(area_inc=0.07).area_increase == pytest.approx(0.07)
+        assert make(area_inc=-0.02).area_increase == pytest.approx(-0.02)
+
+    def test_summary_contains_percentages(self):
+        text = make().summary()
+        assert "%" in text and "m(param=0.02)" in text
+
+
+class TestSelectionRule:
+    def test_picks_highest_reduction_under_cap(self):
+        comparisons = [
+            make(parameter=0.04, sigma_red=0.2, area_inc=0.02),
+            make(parameter=0.02, sigma_red=0.4, area_inc=0.08),
+            make(parameter=0.01, sigma_red=0.6, area_inc=0.25),  # over cap
+        ]
+        best = best_under_area_cap(comparisons, area_cap=0.10)
+        assert best is not None and best.parameter == 0.02
+
+    def test_infeasible_runs_excluded(self):
+        comparisons = [
+            make(parameter=0.02, sigma_red=0.5, area_inc=0.05, met=False),
+            make(parameter=0.04, sigma_red=0.2, area_inc=0.02, met=True),
+        ]
+        best = best_under_area_cap(comparisons)
+        assert best is not None and best.parameter == 0.04
+
+    def test_none_when_everything_over_cap(self):
+        comparisons = [make(area_inc=0.2), make(area_inc=0.5)]
+        assert best_under_area_cap(comparisons, area_cap=0.10) is None
+
+    def test_cap_boundary_is_exclusive(self):
+        assert best_under_area_cap([make(area_inc=0.10)], area_cap=0.10) is None
+
+
+class TestCompareRuns:
+    def test_period_mismatch_rejected(self):
+        class FakeRun:
+            clock_period = 2.0
+            design_sigma = 1.0
+            area = 100.0
+            met = True
+
+        class OtherRun(FakeRun):
+            clock_period = 3.0
+
+        from repro.flow.metrics import compare_runs
+
+        with pytest.raises(ReproError):
+            compare_runs(FakeRun(), OtherRun(), "m", 0.02)

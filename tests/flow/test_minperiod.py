@@ -1,0 +1,82 @@
+"""Minimum-period search and the period/area sweep."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.flow.minperiod import (
+    find_relaxed_period,
+    minimum_clock_period,
+    period_area_sweep,
+)
+
+
+def synthetic_probe(true_minimum=2.41, area0=40000.0):
+    """A probe behaving like a synthesis: fails below the minimum,
+    area decays towards relaxed clocks."""
+    calls = []
+
+    def probe(period):
+        calls.append(period)
+        met = period >= true_minimum
+        area = area0 * (1.0 + max(0.0, 3.0 / period - 0.3))
+        return met, area
+
+    return probe, calls
+
+
+class TestMinimumSearch:
+    def test_converges_to_true_minimum(self):
+        probe, _ = synthetic_probe(true_minimum=2.41)
+        found = minimum_clock_period(probe, lower=1.0, upper=5.0, resolution=0.01)
+        assert 2.41 <= found <= 2.43
+
+    def test_result_is_always_feasible(self):
+        probe, _ = synthetic_probe(true_minimum=3.333)
+        found = minimum_clock_period(probe, lower=1.0, upper=8.0, resolution=0.05)
+        assert probe(found)[0]
+
+    def test_resolution_controls_probe_count(self):
+        probe, calls = synthetic_probe()
+        minimum_clock_period(probe, lower=1.0, upper=5.0, resolution=0.5)
+        coarse = len(calls)
+        probe2, calls2 = synthetic_probe()
+        minimum_clock_period(probe2, lower=1.0, upper=5.0, resolution=0.01)
+        assert len(calls2) > coarse
+
+    def test_feasible_lower_bound_rejected(self):
+        probe, _ = synthetic_probe(true_minimum=1.0)
+        with pytest.raises(ReproError):
+            minimum_clock_period(probe, lower=2.0, upper=5.0)
+
+    def test_infeasible_upper_bound_rejected(self):
+        probe, _ = synthetic_probe(true_minimum=10.0)
+        with pytest.raises(ReproError):
+            minimum_clock_period(probe, lower=1.0, upper=5.0)
+
+    def test_inverted_bracket_rejected(self):
+        probe, _ = synthetic_probe()
+        with pytest.raises(ReproError):
+            minimum_clock_period(probe, lower=5.0, upper=1.0)
+
+
+class TestSweepAndKnee:
+    def test_sweep_rows(self):
+        probe, _ = synthetic_probe()
+        rows = period_area_sweep(probe, [2.0, 3.0, 4.0, 10.0])
+        assert [r["clock_period"] for r in rows] == [2.0, 3.0, 4.0, 10.0]
+        assert rows[0]["met"] == 0.0 and rows[-1]["met"] == 1.0
+
+    def test_knee_detection(self):
+        probe, _ = synthetic_probe(true_minimum=2.41)
+        rows = period_area_sweep(probe, [2.5, 3.0, 4.0, 6.0, 10.0, 14.0])
+        knee = find_relaxed_period(rows, flatness=0.05)
+        assert 4.0 <= knee <= 14.0
+        # the knee area must be near the fully relaxed area
+        knee_area = next(r["area"] for r in rows if r["clock_period"] == knee)
+        assert knee_area <= rows[-1]["area"] * 1.05
+
+    def test_knee_needs_feasible_points(self):
+        probe, _ = synthetic_probe(true_minimum=99.0)
+        rows = period_area_sweep(probe, [2.0, 3.0])
+        with pytest.raises(ReproError):
+            find_relaxed_period(rows)

@@ -1,0 +1,133 @@
+"""Clock-uncertainty / timing-yield model."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.flow.yieldmodel import (
+    path_failure_probability,
+    required_uncertainty,
+    timing_yield,
+    uncertainty_reduction,
+)
+from repro.sta.statistics import PathStatistics
+
+
+def stats(mean, sigma, depth=5):
+    return PathStatistics(mean=mean, sigma=sigma, depth=depth, step_sigmas=())
+
+
+class TestFailureProbability:
+    def test_half_at_mean(self):
+        assert path_failure_probability(stats(2.0, 0.1), 2.0) == pytest.approx(0.5)
+
+    def test_three_sigma(self):
+        p = path_failure_probability(stats(2.0, 0.1), 2.3)
+        assert p == pytest.approx(0.00135, rel=0.01)
+
+    def test_zero_sigma_is_step(self):
+        assert path_failure_probability(stats(2.0, 0.0), 2.1) == 0.0
+        assert path_failure_probability(stats(2.0, 0.0), 1.9) == 1.0
+
+    def test_monotone_in_period(self):
+        s = stats(2.0, 0.05)
+        probs = [path_failure_probability(s, t) for t in (1.9, 2.0, 2.1, 2.2)]
+        assert probs == sorted(probs, reverse=True)
+
+
+class TestTimingYield:
+    def test_single_path(self):
+        y = timing_yield([stats(2.0, 0.1)], 2.3)
+        assert y == pytest.approx(1 - 0.00135, rel=0.01)
+
+    def test_many_paths_multiply(self):
+        paths = [stats(2.0, 0.1)] * 10
+        single = timing_yield([stats(2.0, 0.1)], 2.3)
+        assert timing_yield(paths, 2.3) == pytest.approx(single**10, rel=1e-6)
+
+    def test_lower_sigma_higher_yield(self):
+        tight = timing_yield([stats(2.0, 0.05)] * 20, 2.2)
+        loose = timing_yield([stats(2.0, 0.10)] * 20, 2.2)
+        assert tight > loose
+
+    def test_hopeless_period_zero_yield(self):
+        assert timing_yield([stats(2.0, 0.0)], 1.0) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            timing_yield([], 2.0)
+
+
+class TestRequiredUncertainty:
+    def test_single_path_matches_z_value(self):
+        """For one Gaussian path the uncertainty is z(yield) * sigma."""
+        sigma = 0.05
+        g = required_uncertainty([stats(2.0, sigma)], clock_period=5.0,
+                                 target_yield=0.99865)  # one-sided 3 sigma
+        assert g == pytest.approx(3 * sigma, rel=0.02)
+
+    def test_scales_with_sigma(self):
+        g_small = required_uncertainty([stats(2.0, 0.02)] * 5, 5.0)
+        g_large = required_uncertainty([stats(2.0, 0.08)] * 5, 5.0)
+        assert g_large > g_small
+        assert g_large / g_small == pytest.approx(4.0, rel=0.1)
+
+    def test_more_paths_need_more_margin(self):
+        few = required_uncertainty([stats(2.0, 0.05)] * 2, 5.0)
+        many = required_uncertainty([stats(2.0, 0.05)] * 200, 5.0)
+        assert many > few
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ReproError):
+            required_uncertainty([stats(2.0, 0.05)], 5.0, target_yield=1.5)
+
+
+class TestUncertaintyReduction:
+    def test_tuning_reduces_uncertainty(self):
+        """The paper's motivation: lower sigma -> smaller guard band."""
+        baseline = [stats(2.0, 0.08), stats(1.8, 0.06), stats(1.5, 0.05)]
+        tuned = [stats(2.0, 0.05), stats(1.85, 0.04), stats(1.5, 0.03)]
+        reduction = uncertainty_reduction(baseline, tuned, clock_period=5.0)
+        assert 0.1 < reduction < 0.9
+
+    def test_identical_stats_no_reduction(self):
+        paths = [stats(2.0, 0.05)] * 3
+        assert uncertainty_reduction(paths, paths, 5.0) == pytest.approx(0.0, abs=1e-2)
+
+    def test_on_real_design(self, statistical_library):
+        """End-to-end: the tuned design needs a smaller guard band."""
+        from repro.core.tuner import LibraryTuner
+        from repro.netlist.builder import NetlistBuilder
+        from repro.sta.paths import extract_worst_paths
+        from repro.sta.statistics import path_statistics
+        from repro.synth.constraints import SynthesisConstraints
+        from repro.synth.synthesizer import synthesize
+
+        def design():
+            builder = NetlistBuilder("y")
+            builder.clock()
+            a = builder.register(builder.input_bus("a", 8))
+            b = builder.register(builder.input_bus("b", 8))
+            total, carry = builder.ripple_adder(a, b)
+            builder.register(total + [carry])
+            return builder.netlist
+
+        baseline = synthesize(
+            design(), statistical_library, SynthesisConstraints(clock_period=2.2)
+        )
+        tuning = LibraryTuner(statistical_library).tune("sigma_ceiling", 0.02)
+        tuned = synthesize(
+            design(), statistical_library,
+            SynthesisConstraints(clock_period=2.2, windows=tuning.windows),
+        )
+        base_stats = [
+            path_statistics(p, statistical_library)
+            for p in extract_worst_paths(baseline.timing)
+        ]
+        tuned_stats = [
+            path_statistics(p, statistical_library)
+            for p in extract_worst_paths(tuned.timing)
+        ]
+        reduction = uncertainty_reduction(base_stats, tuned_stats, 2.2)
+        assert reduction > 0.0

@@ -1,0 +1,124 @@
+"""Liberty data-model invariants."""
+
+import pytest
+
+from repro.errors import LibertyError
+from repro.liberty.model import (
+    Cell,
+    Library,
+    Lut,
+    Pin,
+    PinDirection,
+    TimingArc,
+    TimingSense,
+)
+
+
+def make_lut(values):
+    return Lut((0.1, 0.2), (0.001, 0.002), values)
+
+
+def make_arc(**kwargs):
+    defaults = dict(
+        related_pin="A",
+        cell_rise=make_lut([[1.0, 2.0], [3.0, 4.0]]),
+        cell_fall=make_lut([[1.5, 2.5], [3.5, 4.5]]),
+        rise_transition=make_lut([[0.1, 0.2], [0.3, 0.4]]),
+        fall_transition=make_lut([[0.15, 0.25], [0.35, 0.45]]),
+    )
+    defaults.update(kwargs)
+    return TimingArc(**defaults)
+
+
+class TestTimingArc:
+    def test_worst_delay_is_max_of_rise_fall(self):
+        arc = make_arc()
+        assert arc.worst_delay(0.1, 0.001) == pytest.approx(1.5)
+
+    def test_worst_transition(self):
+        arc = make_arc()
+        assert arc.worst_transition(0.2, 0.002) == pytest.approx(0.45)
+
+    def test_sigma_tables_empty_by_default(self):
+        assert make_arc().sigma_tables() == []
+
+    def test_worst_sigma_requires_sigma_tables(self):
+        with pytest.raises(LibertyError):
+            make_arc().worst_sigma(0.1, 0.001)
+
+    def test_all_tables_count(self):
+        arc = make_arc(sigma_rise=make_lut([[0.0, 0.0], [0.0, 0.0]]))
+        assert len(arc.all_tables()) == 5
+
+
+class TestCell:
+    def make_cell(self):
+        cell = Cell(name="ND2_1")
+        cell.add_pin(Pin("A", PinDirection.INPUT, capacitance=0.001))
+        cell.add_pin(Pin("B", PinDirection.INPUT, capacitance=0.001))
+        out = Pin("Z", PinDirection.OUTPUT, function="!(A*B)")
+        out.timing.append(make_arc(related_pin="A"))
+        out.timing.append(make_arc(related_pin="B"))
+        cell.add_pin(out)
+        return cell
+
+    def test_pin_lookup(self):
+        cell = self.make_cell()
+        assert cell.pin("A").direction is PinDirection.INPUT
+
+    def test_unknown_pin_raises(self):
+        with pytest.raises(LibertyError):
+            self.make_cell().pin("Q")
+
+    def test_duplicate_pin_rejected(self):
+        cell = self.make_cell()
+        with pytest.raises(LibertyError):
+            cell.add_pin(Pin("A", PinDirection.INPUT))
+
+    def test_arc_from(self):
+        cell = self.make_cell()
+        assert cell.pin("Z").arc_from("B").related_pin == "B"
+
+    def test_arc_count(self):
+        assert self.make_cell().arc_count() == 2
+
+    def test_input_output_partition(self):
+        cell = self.make_cell()
+        assert [p.name for p in cell.input_pins()] == ["A", "B"]
+        assert [p.name for p in cell.output_pins()] == ["Z"]
+
+
+class TestLibrary:
+    def test_add_and_lookup(self):
+        library = Library("test")
+        library.add_cell(Cell(name="INV_1"))
+        assert "INV_1" in library
+        assert library.cell("INV_1").name == "INV_1"
+
+    def test_duplicate_cell_rejected(self):
+        library = Library("test")
+        library.add_cell(Cell(name="INV_1"))
+        with pytest.raises(LibertyError):
+            library.add_cell(Cell(name="INV_1"))
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(LibertyError):
+            Library("test").cell("nope")
+
+    def test_sequential_partition(self):
+        library = Library("test")
+        library.add_cell(Cell(name="INV_1"))
+        library.add_cell(Cell(name="DFF_1", is_sequential=True))
+        assert [c.name for c in library.combinational_cells()] == ["INV_1"]
+        assert [c.name for c in library.sequential_cells()] == ["DFF_1"]
+
+    def test_len_and_iter(self):
+        library = Library("test")
+        library.add_cell(Cell(name="INV_1"))
+        library.add_cell(Cell(name="INV_2"))
+        assert len(library) == 2
+        assert sorted(c.name for c in library) == ["INV_1", "INV_2"]
+
+    def test_timing_sense_values_match_liberty(self):
+        assert TimingSense.POSITIVE_UNATE.value == "positive_unate"
+        assert TimingSense.NON_UNATE.value == "non_unate"

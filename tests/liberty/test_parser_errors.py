@@ -1,0 +1,109 @@
+"""Parser error handling and diagnostics."""
+
+import pytest
+
+from repro.errors import LibertyParseError
+from repro.liberty.parser import parse_liberty, tokenize
+
+
+class TestDiagnostics:
+    def test_unexpected_character_reports_line(self):
+        with pytest.raises(LibertyParseError) as info:
+            tokenize('library (x) {\n  bad : "unterminated\n}')
+        assert info.value.line >= 2
+
+    def test_missing_colon_or_paren(self):
+        text = "library (x) { orphan_word }"
+        with pytest.raises(LibertyParseError):
+            parse_liberty(text)
+
+    def test_group_without_braces(self):
+        with pytest.raises(LibertyParseError):
+            parse_liberty("library (x) ;")
+
+    def test_values_without_template_or_indices(self):
+        text = """
+        library (x) {
+          cell (INV_1) {
+            pin (Z) {
+              direction : output;
+              timing () {
+                related_pin : "A";
+                cell_rise (ghost_template) {
+                  values ("1, 2");
+                }
+              }
+            }
+          }
+        }
+        """
+        with pytest.raises(LibertyParseError):
+            parse_liberty(text)
+
+    def test_table_indices_override_template(self):
+        text = """
+        library (x) {
+          lu_table_template (t) {
+            index_1 ("9, 10");
+            index_2 ("9, 10");
+          }
+          cell (INV_1) {
+            pin (A) { direction : input; capacitance : 0.001; }
+            pin (Z) {
+              direction : output;
+              timing () {
+                related_pin : "A";
+                timing_sense : negative_unate;
+                cell_rise (t) {
+                  index_1 ("0.1, 0.2");
+                  index_2 ("0.001, 0.002");
+                  values ("1, 2", "3, 4");
+                }
+                cell_fall (t) {
+                  index_1 ("0.1, 0.2");
+                  index_2 ("0.001, 0.002");
+                  values ("1, 2", "3, 4");
+                }
+              }
+            }
+          }
+        }
+        """
+        library = parse_liberty(text)
+        lut = library.cell("INV_1").pin("Z").arc_from("A").cell_rise
+        assert list(lut.index_1) == [0.1, 0.2]
+
+    def test_template_supplies_missing_indices(self):
+        text = """
+        library (x) {
+          lu_table_template (t) {
+            index_1 ("0.1, 0.2");
+            index_2 ("0.001, 0.002");
+          }
+          cell (INV_1) {
+            pin (Z) {
+              direction : output;
+              timing () {
+                related_pin : "A";
+                cell_rise (t) { values ("1, 2", "3, 4"); }
+                cell_fall (t) { values ("1, 2", "3, 4"); }
+              }
+            }
+          }
+        }
+        """
+        library = parse_liberty(text)
+        lut = library.cell("INV_1").pin("Z").arc_from("A").cell_rise
+        assert list(lut.index_2) == [0.001, 0.002]
+        assert lut.values[1, 1] == 4.0
+
+    def test_boolean_and_number_coercion(self):
+        text = """
+        library (x) {
+          statistical : true;
+          cell (C_1) { area : 2.5; }
+        }
+        """
+        library = parse_liberty(text)
+        assert library.is_statistical is True
+        assert library.cell("C_1").area == 2.5

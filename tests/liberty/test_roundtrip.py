@@ -1,0 +1,162 @@
+"""Parser/writer round-trips.
+
+``parse_liberty(write_liberty(lib))`` must reconstruct every cell, pin,
+arc and LUT entry — checked on hand-written text, on the characterized
+libraries (nominal and statistical) and property-style across cells.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import LibertyParseError
+from repro.liberty.model import Library, PinDirection
+from repro.liberty.parser import parse_liberty, tokenize
+from repro.liberty.writer import write_liberty
+
+
+def roundtrip(library: Library) -> Library:
+    return parse_liberty(write_liberty(library))
+
+
+def assert_libraries_equal(a: Library, b: Library) -> None:
+    assert set(a.cells) == set(b.cells)
+    assert a.is_statistical == b.is_statistical
+    assert a.operating_conditions.name == b.operating_conditions.name
+    assert a.operating_conditions.voltage == pytest.approx(b.operating_conditions.voltage)
+    for name, cell_a in a.cells.items():
+        cell_b = b.cells[name]
+        assert cell_a.area == pytest.approx(cell_b.area)
+        assert cell_a.is_sequential == cell_b.is_sequential
+        assert cell_a.is_latch == cell_b.is_latch
+        assert cell_a.clock_pin == cell_b.clock_pin
+        assert set(cell_a.pins) == set(cell_b.pins)
+        for pin_name, pin_a in cell_a.pins.items():
+            pin_b = cell_b.pins[pin_name]
+            assert pin_a.direction == pin_b.direction
+            assert pin_a.capacitance == pytest.approx(pin_b.capacitance)
+            assert pin_a.function == pin_b.function
+            assert len(pin_a.timing) == len(pin_b.timing)
+            for arc_a, arc_b in zip(pin_a.timing, pin_b.timing):
+                assert arc_a.related_pin == arc_b.related_pin
+                assert arc_a.timing_sense == arc_b.timing_sense
+                for slot in (
+                    "cell_rise",
+                    "cell_fall",
+                    "rise_transition",
+                    "fall_transition",
+                    "sigma_rise",
+                    "sigma_fall",
+                ):
+                    lut_a = getattr(arc_a, slot)
+                    lut_b = getattr(arc_b, slot)
+                    assert (lut_a is None) == (lut_b is None)
+                    if lut_a is not None:
+                        assert lut_a.allclose(lut_b, rtol=1e-6, atol=1e-12)
+
+
+class TestRoundtrip:
+    def test_nominal_library(self, nominal_library):
+        assert_libraries_equal(nominal_library, roundtrip(nominal_library))
+
+    def test_statistical_library(self, statistical_library):
+        parsed = roundtrip(statistical_library)
+        assert parsed.is_statistical
+        assert_libraries_equal(statistical_library, parsed)
+
+    def test_sigma_tables_survive(self, statistical_library):
+        parsed = roundtrip(statistical_library)
+        cell = next(iter(statistical_library))
+        arc = cell.output_pins()[0].timing[0]
+        parsed_arc = parsed.cell(cell.name).pin(arc and cell.output_pins()[0].name).timing[0]
+        assert parsed_arc.sigma_rise is not None
+        assert np.allclose(parsed_arc.sigma_rise.values, arc.sigma_rise.values, rtol=1e-6)
+
+
+class TestParserDirect:
+    MINIMAL = """
+    library (mini) {
+      time_unit : "1ns";
+      operating_conditions (TT) { process : 1; voltage : 1.1; temperature : 25; }
+      cell (INV_1) {
+        area : 0.8;
+        pin (A) { direction : input; capacitance : 0.0002; }
+        pin (Z) {
+          direction : output;
+          function : "!A";
+          max_capacitance : 0.01;
+          timing () {
+            related_pin : "A";
+            timing_sense : negative_unate;
+            cell_rise (t) {
+              index_1 ("0.01, 0.1");
+              index_2 ("0.001, 0.01");
+              values ("0.02, 0.08", "0.03, 0.09");
+            }
+            cell_fall (t) {
+              index_1 ("0.01, 0.1");
+              index_2 ("0.001, 0.01");
+              values ("0.02, 0.07", "0.03, 0.10");
+            }
+          }
+        }
+      }
+    }
+    """
+
+    def test_parse_minimal(self):
+        library = parse_liberty(self.MINIMAL)
+        cell = library.cell("INV_1")
+        assert cell.area == pytest.approx(0.8)
+        assert cell.pin("A").capacitance == pytest.approx(0.0002)
+        arc = cell.pin("Z").arc_from("A")
+        assert arc.cell_rise.values[1, 1] == pytest.approx(0.09)
+        assert arc.cell_fall.values[0, 1] == pytest.approx(0.07)
+
+    def test_comments_are_ignored(self):
+        text = self.MINIMAL.replace(
+            "area : 0.8;", "/* a block\ncomment */ area : 0.8;"
+        )
+        assert parse_liberty(text).cell("INV_1").area == pytest.approx(0.8)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(LibertyParseError):
+            parse_liberty("")
+
+    def test_wrong_top_group_rejected(self):
+        with pytest.raises(LibertyParseError):
+            parse_liberty("cell (x) { }")
+
+    def test_unterminated_group_rejected(self):
+        with pytest.raises(LibertyParseError):
+            parse_liberty("library (x) { cell (y) { ")
+
+    def test_tokenizer_tracks_lines(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens] == [1, 2, 3]
+
+    def test_line_continuations_joined(self):
+        tokens = tokenize('values ("1, 2", \\\n "3, 4");')
+        assert any(t.text == '"3, 4"' for t in tokens)
+
+    def test_direction_parsed(self):
+        library = parse_liberty(self.MINIMAL)
+        assert library.cell("INV_1").pin("Z").direction is PinDirection.OUTPUT
+
+
+class TestWriterDirect:
+    def test_output_is_parseable_text(self, nominal_library):
+        text = write_liberty(nominal_library)
+        assert text.startswith("library (")
+        assert "lu_table_template" in text
+        parse_liberty(text)
+
+    def test_statistical_flag_emitted(self, statistical_library):
+        assert "statistical : true;" in write_liberty(statistical_library)
+
+    def test_file_io(self, nominal_library, tmp_path):
+        from repro.liberty.parser import parse_liberty_file
+        from repro.liberty.writer import write_liberty_file
+
+        path = tmp_path / "lib.lib"
+        write_liberty_file(nominal_library, str(path))
+        assert_libraries_equal(nominal_library, parse_liberty_file(str(path)))

@@ -1,0 +1,195 @@
+"""Netlist builder helpers."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.simulate import int_to_bus_inputs, simulate, simulate_sequence
+
+random.seed(5)
+
+
+def run(netlist, inputs):
+    full = dict(inputs)
+    for port in netlist.input_ports():
+        full.setdefault(port, port == "tie1")
+    return simulate(netlist, full)
+
+
+class TestNaming:
+    def test_fresh_names_unique(self):
+        builder = NetlistBuilder("n")
+        names = {builder.fresh("x") for _ in range(50)}
+        assert len(names) == 50
+
+    def test_scopes_prefix_names(self):
+        builder = NetlistBuilder("n")
+        with builder.scope("alu"):
+            with builder.scope("add"):
+                name = builder.fresh("fa")
+        assert name.startswith("alu/add/fa")
+
+    def test_scope_exits_cleanly(self):
+        builder = NetlistBuilder("n")
+        with builder.scope("alu"):
+            pass
+        assert "/" not in builder.fresh("x")
+
+
+class TestGateEmitters:
+    def test_every_emitter_builds_valid_netlist(self):
+        builder = NetlistBuilder("all")
+        builder.clock()
+        rst = builder.input("rst_n")
+        a, b, c, d = (builder.input(n) for n in "abcd")
+        builder.inv(a)
+        builder.buf(a)
+        builder.nand(a, b); builder.nand3(a, b, c); builder.nand4(a, b, c, d)
+        builder.nor(a, b); builder.nor3(a, b, c); builder.nor4(a, b, c, d)
+        builder.nor2b(a, b)
+        builder.or_(a, b); builder.or3(a, b, c); builder.or4(a, b, c, d)
+        builder.and_(a, b); builder.and3(a, b, c); builder.and4(a, b, c, d)
+        builder.xnor(a, b); builder.xnor3(a, b, c); builder.xor(a, b)
+        builder.mux2(a, b, c); builder.mux4(a, b, c, d, a, b)
+        builder.addh(a, b); builder.addf(a, b, c)
+        q = builder.dff(a)
+        builder.dff(a, reset_n=rst)
+        builder.latch(a, b)
+        builder.output("q", q)
+        builder.netlist.validate()
+
+    def test_and_is_nand_plus_inv(self):
+        builder = NetlistBuilder("a")
+        out = builder.and_(builder.input("a"), builder.input("b"))
+        builder.output("y", out)
+        assert builder.netlist.family_histogram() == {"ND2": 1, "INV": 1}
+
+    def test_xor_is_xnor_plus_inv(self):
+        builder = NetlistBuilder("x")
+        out = builder.xor(builder.input("a"), builder.input("b"))
+        builder.output("y", out)
+        assert builder.netlist.family_histogram() == {"XNR2": 1, "INV": 1}
+
+    def test_dff_requires_clock(self):
+        builder = NetlistBuilder("d")
+        a = builder.input("a")
+        with pytest.raises(NetlistError):
+            builder.dff(a)
+
+    def test_tie_nets_lazy_and_shared(self):
+        builder = NetlistBuilder("t")
+        assert builder.tie(0) == builder.tie(0)
+        assert builder.tie(0) != builder.tie(1)
+        assert builder.tie_values == {"tie0": 0, "tie1": 1}
+
+    def test_tie_invalid_value(self):
+        with pytest.raises(NetlistError):
+            NetlistBuilder("t").tie(2)
+
+
+class TestWordHelpers:
+    def test_reduce_and(self):
+        for n in (1, 2, 3, 4, 5, 9):
+            builder = NetlistBuilder("r")
+            bits = builder.input_bus("x", n)
+            builder.output("y", builder.reduce_and(bits))
+            netlist = builder.netlist
+            for value in range(1 << n):
+                out = run(netlist, int_to_bus_inputs("x", n, value))
+                assert out["y"] == (value == (1 << n) - 1)
+
+    def test_reduce_or(self):
+        for n in (1, 3, 6):
+            builder = NetlistBuilder("r")
+            bits = builder.input_bus("x", n)
+            builder.output("y", builder.reduce_or(bits))
+            netlist = builder.netlist
+            for value in range(1 << n):
+                out = run(netlist, int_to_bus_inputs("x", n, value))
+                assert out["y"] == (value != 0)
+
+    def test_equals(self):
+        builder = NetlistBuilder("e")
+        a = builder.input_bus("a", 5)
+        b = builder.input_bus("b", 5)
+        builder.output("eq", builder.equals(a, b))
+        netlist = builder.netlist
+        for _ in range(30):
+            x, y = random.randrange(32), random.randrange(32)
+            out = run(netlist, {**int_to_bus_inputs("a", 5, x),
+                                **int_to_bus_inputs("b", 5, y)})
+            assert out["eq"] == (x == y)
+
+    def test_incrementer_wraps(self):
+        builder = NetlistBuilder("i")
+        a = builder.input_bus("a", 4)
+        builder.output_bus("y", builder.incrementer(a))
+        netlist = builder.netlist
+        for value in range(16):
+            out = run(netlist, int_to_bus_inputs("a", 4, value))
+            got = sum(1 << i for i in range(4) if out[f"y[{i}]"])
+            assert got == (value + 1) % 16
+
+    def test_decoder_one_hot(self):
+        builder = NetlistBuilder("d")
+        sel = builder.input_bus("s", 3)
+        outs = builder.decoder(sel)
+        builder.output_bus("y", outs)
+        netlist = builder.netlist
+        for value in range(8):
+            out = run(netlist, int_to_bus_inputs("s", 3, value))
+            pattern = [out[f"y[{i}]"] for i in range(8)]
+            assert pattern == [i == value for i in range(8)]
+
+    def test_mux_tree(self):
+        builder = NetlistBuilder("m")
+        words = [builder.input_bus(f"w{i}", 4) for i in range(8)]
+        sel = builder.input_bus("s", 3)
+        builder.output_bus("y", builder.mux_tree(words, sel))
+        netlist = builder.netlist
+        values = [random.randrange(16) for _ in range(8)]
+        for pick in range(8):
+            inputs = {}
+            for i, v in enumerate(values):
+                inputs.update(int_to_bus_inputs(f"w{i}", 4, v))
+            inputs.update(int_to_bus_inputs("s", 3, pick))
+            out = run(netlist, inputs)
+            got = sum(1 << i for i in range(4) if out[f"y[{i}]"])
+            assert got == values[pick]
+
+    def test_mux_tree_width_check(self):
+        builder = NetlistBuilder("m")
+        words = [builder.input_bus(f"w{i}", 2) for i in range(3)]
+        sel = builder.input_bus("s", 2)
+        with pytest.raises(NetlistError):
+            builder.mux_tree(words, sel)
+
+    def test_width_mismatch_rejected(self):
+        builder = NetlistBuilder("w")
+        a = builder.input_bus("a", 3)
+        b = builder.input_bus("b", 4)
+        with pytest.raises(NetlistError):
+            builder.and_word(a, b)
+
+    def test_register_en_holds(self):
+        builder = NetlistBuilder("r")
+        builder.clock()
+        d = builder.input_bus("d", 3)
+        en = builder.input("en")
+        builder.output_bus("q", builder.register_en(d, en))
+        netlist = builder.netlist
+
+        def cycle(value, enable):
+            inputs = {"clk": False, "en": enable, **int_to_bus_inputs("d", 3, value)}
+            for port in netlist.input_ports():
+                inputs.setdefault(port, False)
+            return inputs
+
+        observed = simulate_sequence(
+            netlist, [cycle(5, True), cycle(2, False), cycle(2, True), cycle(0, False)]
+        )
+        values = [sum(1 << i for i in range(3) if o[f"q[{i}]"]) for o in observed]
+        assert values == [0, 5, 5, 2]

@@ -1,0 +1,256 @@
+"""Generator correctness: every block is verified bit-for-bit against
+Python arithmetic via the functional simulator."""
+
+import random
+
+import pytest
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.generators.alu import build_alu, reference_alu
+from repro.netlist.generators.arithmetic import (
+    build_carry_select_adder,
+    build_ripple_adder,
+    less_than,
+)
+from repro.netlist.generators.control import decode_rom, random_logic
+from repro.netlist.generators.multiplier import build_array_multiplier
+from repro.netlist.generators.peripherals import timer, uart_tx
+from repro.netlist.generators.regfile import register_file
+from repro.netlist.generators.shifter import build_barrel_shifter
+from repro.netlist.simulate import (
+    bus_value,
+    int_to_bus_inputs,
+    simulate,
+    simulate_sequence,
+)
+
+random.seed(20140301)
+
+
+def run(netlist, **bus_values):
+    inputs = {}
+    for name, (width, value) in bus_values.items():
+        if width == 1:
+            inputs[name] = bool(value)
+        else:
+            inputs.update(int_to_bus_inputs(name, width, value))
+    for port in netlist.input_ports():
+        inputs.setdefault(port, port == "tie1")
+    return simulate(netlist, inputs)
+
+
+def out_value(outputs, name, width):
+    return sum(1 << i for i in range(width) if outputs[f"{name}[{i}]"])
+
+
+class TestAdders:
+    @pytest.mark.parametrize("width", [4, 8, 16])
+    def test_ripple_adder(self, width):
+        netlist = build_ripple_adder(width)
+        for _ in range(25):
+            a, b = random.randrange(1 << width), random.randrange(1 << width)
+            out = run(netlist, a=(width, a), b=(width, b))
+            total = out_value(out, "s", width) + ((1 << width) if out["co"] else 0)
+            assert total == a + b
+
+    @pytest.mark.parametrize("block", [2, 3, 4])
+    def test_carry_select_adder(self, block):
+        width = 12
+        netlist = build_carry_select_adder(width, block=block)
+        for _ in range(25):
+            a, b = random.randrange(1 << width), random.randrange(1 << width)
+            out = run(netlist, a=(width, a), b=(width, b))
+            total = out_value(out, "s", width) + ((1 << width) if out["co"] else 0)
+            assert total == a + b
+
+    def test_carry_select_smaller_depth_than_ripple(self):
+        width = 16
+        ripple = build_ripple_adder(width)
+        select = build_carry_select_adder(width, block=4)
+        assert max(select.levelize().values()) < max(ripple.levelize().values())
+
+    def test_subtractor_and_less_than(self):
+        builder = NetlistBuilder("cmp")
+        a = builder.input_bus("a", 6)
+        b = builder.input_bus("b", 6)
+        builder.output("lt", less_than(builder, a, b))
+        netlist = builder.netlist
+        for _ in range(30):
+            x, y = random.randrange(64), random.randrange(64)
+            out = run(netlist, a=(6, x), b=(6, y))
+            assert out["lt"] == (x < y)
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize("wa, wb", [(4, 4), (6, 3), (8, 8)])
+    def test_products(self, wa, wb):
+        netlist = build_array_multiplier(wa, wb)
+        for _ in range(25):
+            a, b = random.randrange(1 << wa), random.randrange(1 << wb)
+            out = run(netlist, a=(wa, a), b=(wb, b))
+            assert out_value(out, "p", wa + wb) == a * b
+
+    def test_depth_scales_with_width(self):
+        small = build_array_multiplier(4, 4)
+        large = build_array_multiplier(8, 8)
+        assert max(large.levelize().values()) > max(small.levelize().values())
+
+
+class TestShifter:
+    @pytest.mark.parametrize("left", [True, False])
+    def test_shift(self, left):
+        width = 16
+        netlist = build_barrel_shifter(width, left=left)
+        for _ in range(30):
+            d = random.randrange(1 << width)
+            sh = random.randrange(width)
+            out = run(netlist, d=(width, d), sh=(4, sh))
+            expected = (d << sh if left else d >> sh) & ((1 << width) - 1)
+            assert out_value(out, "q", width) == expected
+
+
+class TestAlu:
+    def test_against_reference(self):
+        width = 8
+        netlist = build_alu(width)
+        for op in range(8):
+            for _ in range(12):
+                a, b = random.randrange(256), random.randrange(256)
+                out = run(netlist, a=(width, a), b=(width, b), op=(3, op))
+                got = out_value(out, "r", width)
+                assert got == reference_alu(op, a, b, width), (op, a, b)
+
+    def test_zero_flag(self):
+        netlist = build_alu(8)
+        out = run(netlist, a=(8, 5), b=(8, 5), op=(3, 1))  # 5 - 5
+        assert out["zero"]
+        out = run(netlist, a=(8, 5), b=(8, 4), op=(3, 1))
+        assert not out["zero"]
+
+    def test_carry_flag_on_add(self):
+        netlist = build_alu(8)
+        out = run(netlist, a=(8, 200), b=(8, 100), op=(3, 0))
+        assert out["carry"]
+
+
+class TestRegisterFile:
+    def test_write_then_read(self):
+        builder = NetlistBuilder("rf")
+        builder.clock()
+        wd = builder.input_bus("wd", 8)
+        wa = builder.input_bus("wa", 2)
+        we = builder.input("we")
+        ra = builder.input_bus("ra", 2)
+        ports = register_file(builder, wd, wa, we, [ra])
+        builder.output_bus("rd", ports.read_data[0])
+        netlist = builder.netlist
+        netlist.validate()
+
+        def cycle(wa_v, wd_v, we_v, ra_v):
+            inputs = {
+                **int_to_bus_inputs("wd", 8, wd_v),
+                **int_to_bus_inputs("wa", 2, wa_v),
+                **int_to_bus_inputs("ra", 2, ra_v),
+                "we": bool(we_v), "clk": False,
+            }
+            for port in netlist.input_ports():
+                inputs.setdefault(port, False)
+            return inputs
+
+        sequence = [
+            cycle(1, 0xAB, 1, 1),  # write r1 = 0xAB
+            cycle(2, 0xCD, 1, 1),  # write r2, read r1
+            cycle(3, 0xEE, 0, 2),  # write disabled, read r2
+            cycle(0, 0x00, 0, 3),  # read r3 (never written)
+        ]
+        observed = simulate_sequence(netlist, sequence)
+        values = [
+            sum(1 << i for i in range(8) if o[f"rd[{i}]"]) for o in observed
+        ]
+        assert values[1] == 0xAB
+        assert values[2] == 0xCD
+        assert values[3] == 0x00
+
+
+class TestControlGenerators:
+    def test_random_logic_deterministic(self):
+        for _ in range(2):
+            builders = [NetlistBuilder("r") for _ in range(2)]
+            netlists = []
+            for b in builders:
+                ins = b.input_bus("x", 8)
+                outs = random_logic(b, ins, n_gates=120, n_outputs=6, seed=42)
+                b.output_bus("y", outs)
+                netlists.append(b.netlist)
+            assert netlists[0].family_histogram() == netlists[1].family_histogram()
+
+    def test_random_logic_depth_bounded(self):
+        builder = NetlistBuilder("r")
+        ins = builder.input_bus("x", 8)
+        outs = random_logic(builder, ins, n_gates=400, n_outputs=4, seed=1, n_layers=6)
+        builder.output_bus("y", outs)
+        # depth bounded by layers (and_/xor expand to 2 gates)
+        assert max(builder.netlist.levelize().values()) <= 13
+
+    def test_random_logic_simulates(self):
+        builder = NetlistBuilder("r")
+        ins = builder.input_bus("x", 4)
+        outs = random_logic(builder, ins, n_gates=60, n_outputs=3, seed=9)
+        builder.output_bus("y", outs)
+        netlist = builder.netlist
+        netlist.validate()
+        out = run(netlist, x=(4, 0b1010))
+        assert set(out) == {"y[0]", "y[1]", "y[2]"}
+
+    def test_decode_rom_structure(self):
+        builder = NetlistBuilder("d")
+        opcode = builder.input_bus("op", 6)
+        outs = decode_rom(builder, opcode, n_outputs=10, seed=3)
+        builder.output_bus("c", outs)
+        netlist = builder.netlist
+        netlist.validate()
+        assert len(outs) == 10
+        run(netlist, op=(6, 0b101010))
+
+
+class TestPeripherals:
+    def test_timer_counts_and_matches(self):
+        builder = NetlistBuilder("t")
+        builder.clock()
+        rst = builder.input("rst_n")
+        compare = builder.input_bus("cmp", 4)
+        ports = timer(builder, 4, compare, enable=builder.tie(1), reset_n=rst)
+        builder.output_bus("count", ports.count)
+        builder.output("match", ports.match)
+        netlist = builder.netlist
+        base = {"clk": False, "rst_n": True, **int_to_bus_inputs("cmp", 4, 3)}
+        for port in netlist.input_ports():
+            base.setdefault(port, port == "tie1")
+        observed = simulate_sequence(netlist, [dict(base) for _ in range(6)])
+        counts = [sum(1 << i for i in range(4) if o[f"count[{i}]"]) for o in observed]
+        assert counts == [0, 1, 2, 3, 4, 5]
+        matches = [o["match"] for o in observed]
+        assert matches == [False, False, False, True, False, False]
+
+    def test_uart_shifts_lsb_first(self):
+        builder = NetlistBuilder("u")
+        builder.clock()
+        rst = builder.input("rst_n")
+        data = builder.input_bus("d", 4)
+        serial = uart_tx(builder, data, load=builder.input("load"), reset_n=rst)
+        builder.output("tx", serial)
+        netlist = builder.netlist
+        value = 0b1011
+
+        def cycle(load):
+            inputs = {"clk": False, "rst_n": True, "load": load,
+                      **int_to_bus_inputs("d", 4, value)}
+            for port in netlist.input_ports():
+                inputs.setdefault(port, False)
+            return inputs
+
+        observed = simulate_sequence(
+            netlist, [cycle(True)] + [cycle(False)] * 4
+        )
+        bits = [o["tx"] for o in observed[1:]]
+        assert bits == [True, True, False, True]  # LSB first

@@ -1,0 +1,154 @@
+"""Netlist structural invariants."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.model import Netlist, PinRef, PortDirection
+
+
+def tiny_netlist():
+    """in -> INV -> ND2(with in2) -> out"""
+    netlist = Netlist("tiny")
+    a = netlist.add_input_port("a")
+    b = netlist.add_input_port("b")
+    netlist.add_instance("inv0", "INV", {"A": a, "Z": "n1"})
+    netlist.add_instance("nd0", "ND2", {"A": "n1", "B": b, "Z": "n2"})
+    netlist.add_output_port("y", "n2")
+    return netlist
+
+
+class TestConstruction:
+    def test_ports_and_nets(self):
+        netlist = tiny_netlist()
+        assert set(netlist.input_ports()) == {"a", "b"}
+        assert netlist.output_ports() == ["y"]
+        assert netlist.port_net("y") == "n2"
+
+    def test_duplicate_port_rejected(self):
+        netlist = tiny_netlist()
+        with pytest.raises(NetlistError):
+            netlist.add_input_port("a")
+
+    def test_duplicate_instance_rejected(self):
+        netlist = tiny_netlist()
+        with pytest.raises(NetlistError):
+            netlist.add_instance("inv0", "INV", {"A": "a", "Z": "nx"})
+
+    def test_two_drivers_rejected(self):
+        netlist = tiny_netlist()
+        with pytest.raises(NetlistError):
+            netlist.add_instance("inv1", "INV", {"A": "a", "Z": "n1"})
+
+    def test_wrong_pins_rejected(self):
+        netlist = Netlist("bad")
+        netlist.add_input_port("a")
+        with pytest.raises(NetlistError):
+            netlist.add_instance("g", "ND2", {"A": "a", "Z": "n"})
+
+    def test_output_port_needs_existing_net(self):
+        netlist = Netlist("bad")
+        with pytest.raises(NetlistError):
+            netlist.add_output_port("y", "ghost")
+
+    def test_validate_passes_on_wellformed(self):
+        tiny_netlist().validate()
+
+    def test_clock_must_be_input(self):
+        netlist = tiny_netlist()
+        with pytest.raises(NetlistError):
+            netlist.set_clock("y")
+
+
+class TestTopology:
+    def test_combinational_order_respects_deps(self):
+        netlist = tiny_netlist()
+        order = [i.name for i in netlist.combinational_order()]
+        assert order.index("inv0") < order.index("nd0")
+
+    def test_levelize(self):
+        netlist = tiny_netlist()
+        levels = netlist.levelize()
+        assert levels["inv0"] == 1
+        assert levels["nd0"] == 2
+
+    def test_cycle_detected(self):
+        netlist = Netlist("loop")
+        netlist.add_input_port("a")
+        netlist.add_instance("g1", "ND2", {"A": "a", "B": "n2", "Z": "n1"})
+        netlist.add_instance("g2", "INV", {"A": "n1", "Z": "n2"})
+        with pytest.raises(NetlistError):
+            netlist.combinational_order()
+
+    def test_sequential_breaks_cycles(self):
+        builder = NetlistBuilder("seq")
+        builder.clock()
+        q = builder.fresh("q")
+        inv = builder.inv(q)
+        builder.dff(inv, out=q)
+        builder.netlist.validate()  # q -> inv -> dff -> q is fine
+
+    def test_endpoint_nets(self):
+        builder = NetlistBuilder("ep")
+        builder.clock()
+        d = builder.input("d")
+        q = builder.dff(d)
+        builder.output("y", q)
+        endpoints = builder.netlist.endpoint_nets()
+        assert "d" in endpoints  # the FF data pin's net
+        assert q in endpoints    # the output port's net
+
+
+class TestEditing:
+    def test_rewire_sink(self):
+        netlist = tiny_netlist()
+        sink = PinRef("nd0", "A")
+        netlist.add_instance("inv1", "INV", {"A": "a", "Z": "n3"})
+        netlist.rewire_sink("n1", sink, "n3")
+        assert netlist.instance("nd0").connections["A"] == "n3"
+        assert sink in netlist.net("n3").sinks
+        assert sink not in netlist.net("n1").sinks
+
+    def test_rewire_unknown_sink_rejected(self):
+        netlist = tiny_netlist()
+        with pytest.raises(NetlistError):
+            netlist.rewire_sink("n1", PinRef("nd0", "B"), "n2")
+
+    def test_prune_dangling(self):
+        netlist = tiny_netlist()
+        netlist.add_instance("dead", "INV", {"A": "a", "Z": "unused"})
+        netlist.add_instance("dead2", "INV", {"A": "unused", "Z": "unused2"})
+        removed = netlist.prune_dangling()
+        assert removed == 2
+        assert "dead" not in netlist.instances
+        assert "unused" not in netlist.nets
+
+    def test_prune_keeps_live_logic(self):
+        netlist = tiny_netlist()
+        assert netlist.prune_dangling() == 0
+        assert len(netlist) == 2
+
+    def test_unique_name(self):
+        netlist = tiny_netlist()
+        name = netlist.unique_name("buf")
+        assert name not in netlist.instances
+        assert name not in netlist.nets
+
+
+class TestQueries:
+    def test_stats(self):
+        stats = tiny_netlist().stats()
+        assert stats["instances"] == 2
+        assert stats["sequential"] == 0
+
+    def test_family_histogram(self):
+        histogram = tiny_netlist().family_histogram()
+        assert histogram == {"INV": 1, "ND2": 1}
+
+    def test_cell_histogram_requires_mapping(self):
+        netlist = tiny_netlist()
+        with pytest.raises(NetlistError):
+            netlist.cell_histogram()
+        for instance in netlist:
+            instance.cell = f"{instance.family}_1"
+        assert netlist.cell_histogram() == {"INV_1": 1, "ND2_1": 1}

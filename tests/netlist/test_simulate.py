@@ -1,0 +1,112 @@
+"""Functional simulator semantics."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.model import Netlist
+from repro.netlist.simulate import (
+    bus_value,
+    evaluate_combinational,
+    int_to_bus_inputs,
+    simulate,
+    simulate_sequence,
+    step,
+)
+
+
+class TestCombinational:
+    def test_missing_input_rejected(self):
+        builder = NetlistBuilder("m")
+        a = builder.input("a")
+        builder.output("y", builder.inv(a))
+        with pytest.raises(NetlistError):
+            simulate(builder.netlist, {})
+
+    def test_evaluates_through_levels(self):
+        builder = NetlistBuilder("levels")
+        a, b = builder.input("a"), builder.input("b")
+        y = builder.nand(builder.inv(a), builder.or_(a, b))
+        builder.output("y", y)
+        netlist = builder.netlist
+        for av in (False, True):
+            for bv in (False, True):
+                out = simulate(netlist, {"a": av, "b": bv})
+                assert out["y"] == (not ((not av) and (av or bv)))
+
+
+class TestSequentialSemantics:
+    def make_ff(self, family):
+        netlist = Netlist("ff")
+        netlist.add_input_port("clk")
+        netlist.set_clock("clk")
+        netlist.add_input_port("d")
+        connections = {"D": "d", "CP": "clk", "Q": "q"}
+        if "R" in family[3:]:
+            netlist.add_input_port("rn")
+            connections["RN"] = "rn"
+        if "S" in family[3:]:
+            netlist.add_input_port("sn")
+            connections["SN"] = "sn"
+        netlist.add_instance("ff0", family, connections)
+        netlist.add_output_port("y", "q")
+        return netlist
+
+    def test_dff_samples_d(self):
+        netlist = self.make_ff("DFF")
+        values, state = step(netlist, {"clk": False, "d": True}, {})
+        assert state["q"] is True
+        values, state = step(netlist, {"clk": False, "d": False}, state)
+        assert values["q"] is True  # old state visible this cycle
+        assert state["q"] is False
+
+    def test_dffr_reset_dominates_d(self):
+        netlist = self.make_ff("DFFR")
+        _values, state = step(netlist, {"clk": 0, "d": 1, "rn": 0}, {"q": True})
+        assert state["q"] is False
+
+    def test_dffs_set_forces_one(self):
+        netlist = self.make_ff("DFFS")
+        _values, state = step(netlist, {"clk": 0, "d": 0, "sn": 0}, {})
+        assert state["q"] is True
+
+    def test_dffsr_set_dominates_reset(self):
+        netlist = self.make_ff("DFFSR")
+        _values, state = step(netlist, {"clk": 0, "d": 0, "rn": 0, "sn": 0}, {})
+        assert state["q"] is True
+
+    def test_latch_transparent_when_enabled(self):
+        builder = NetlistBuilder("lat")
+        builder.clock()
+        d, en = builder.input("d"), builder.input("en")
+        q = builder.latch(d, en)
+        builder.output("y", q)
+        netlist = builder.netlist
+        observed = simulate_sequence(netlist, [
+            {"clk": 0, "d": 1, "en": 1},
+            {"clk": 0, "d": 0, "en": 0},  # holds the 1
+            {"clk": 0, "d": 0, "en": 1},  # takes the 0
+            {"clk": 0, "d": 1, "en": 0},
+        ])
+        assert [o["y"] for o in observed] == [False, True, True, False]
+
+
+class TestHelpers:
+    def test_bus_value_roundtrip(self):
+        inputs = int_to_bus_inputs("x", 6, 45)
+        assert bus_value(inputs, [f"x[{i}]" for i in range(6)]) == 45
+
+    def test_int_to_bus_range_check(self):
+        with pytest.raises(NetlistError):
+            int_to_bus_inputs("x", 4, 16)
+        with pytest.raises(NetlistError):
+            int_to_bus_inputs("x", 4, -1)
+
+    def test_evaluate_returns_all_nets(self):
+        builder = NetlistBuilder("all")
+        a = builder.input("a")
+        n1 = builder.inv(a)
+        builder.output("y", builder.inv(n1))
+        values = evaluate_combinational(builder.netlist, {"a": True}, {})
+        assert values["a"] is True
+        assert values[n1] is False

@@ -1,0 +1,96 @@
+"""Structural Verilog round-trips."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.generators.arithmetic import build_ripple_adder
+from repro.netlist.simulate import int_to_bus_inputs, simulate
+from repro.netlist.verilog import parse_verilog, write_verilog
+
+
+def assert_equivalent(a, b):
+    assert a.name == b.name
+    assert a.ports == b.ports
+    assert set(a.instances) == set(b.instances)
+    for name, instance in a.instances.items():
+        other = b.instance(name)
+        assert instance.family == other.family
+        assert instance.cell == other.cell
+        assert instance.connections == other.connections
+    assert {p: a.port_net(p) for p in a.output_ports()} == {
+        p: b.port_net(p) for p in b.output_ports()
+    }
+
+
+class TestRoundtrip:
+    def test_adder_roundtrip(self):
+        netlist = build_ripple_adder(6)
+        parsed = parse_verilog(write_verilog(netlist))
+        parsed.validate()
+        assert_equivalent(netlist, parsed)
+
+    def test_behaviour_preserved(self):
+        netlist = build_ripple_adder(5)
+        parsed = parse_verilog(write_verilog(netlist))
+        for a, b in ((3, 7), (19, 12), (31, 31)):
+            inputs = {**int_to_bus_inputs("a", 5, a), **int_to_bus_inputs("b", 5, b),
+                      "tie0": False}
+            assert simulate(netlist, inputs) == simulate(parsed, inputs)
+
+    def test_mapped_cells_roundtrip(self):
+        netlist = build_ripple_adder(4)
+        for instance in netlist:
+            instance.cell = f"{instance.family}_2"
+        parsed = parse_verilog(write_verilog(netlist))
+        assert all(i.cell == f"{i.family}_2" for i in parsed)
+
+    def test_sequential_roundtrip(self):
+        builder = NetlistBuilder("seq")
+        builder.clock()
+        rst = builder.input("rst_n")
+        q = builder.dff(builder.input("d"), reset_n=rst)
+        builder.output("q", q)
+        netlist = builder.netlist
+        parsed = parse_verilog(write_verilog(netlist))
+        parsed.validate()
+        assert parsed.clock == "clk"
+        assert len(parsed.sequential_instances()) == 1
+
+    def test_hierarchical_names_escaped(self):
+        builder = NetlistBuilder("esc")
+        a = builder.input("a")
+        with builder.scope("u0/core"):
+            out = builder.inv(a)
+        builder.output("y", out)
+        text = write_verilog(builder.netlist)
+        assert "\\u0/core/inv0 " in text
+        parsed = parse_verilog(text)
+        assert any("u0/core" in name for name in parsed.instances)
+
+
+class TestWriterFormat:
+    def test_buses_declared_with_ranges(self):
+        text = write_verilog(build_ripple_adder(4))
+        assert "input [3:0] a;" in text
+        assert "output [3:0] s;" in text
+        assert "output co;" in text
+
+    def test_output_assigns_present(self):
+        text = write_verilog(build_ripple_adder(4))
+        assert "assign" in text
+
+    def test_module_header(self):
+        text = write_verilog(build_ripple_adder(4))
+        assert text.startswith("module ripple_adder4 (")
+        assert text.rstrip().endswith("endmodule")
+
+
+class TestReaderErrors:
+    def test_garbage_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_verilog("module m (a); input a; INV_1 u0 (garbage); endmodule")
+
+    def test_truncated_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_verilog("module m (")

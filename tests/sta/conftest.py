@@ -1,0 +1,61 @@
+"""STA fixtures: small mapped designs over the reduced library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cells.catalog import family_strengths
+from repro.cells.naming import format_cell_name, parse_cell_name
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.model import Netlist
+
+
+def bind_all(netlist: Netlist, specs, strength: float = 2.0) -> Netlist:
+    """Bind every instance to its family's closest-to-``strength`` cell."""
+    cache = {}
+    for instance in netlist:
+        if instance.family not in cache:
+            strengths = family_strengths(specs, instance.family)
+            chosen = min(strengths, key=lambda s: abs(s - strength))
+            parsed = parse_cell_name(f"{instance.family}_1")
+            cache[instance.family] = format_cell_name(
+                parsed.function, chosen, n_inputs=parsed.n_inputs,
+                ability=parsed.ability,
+            )
+        instance.cell = cache[instance.family]
+    return netlist
+
+
+@pytest.fixture()
+def chain_netlist(small_specs):
+    """clk -> DFF -> INV -> INV -> ND2 -> DFF, plus an output port."""
+    builder = NetlistBuilder("chain")
+    builder.clock()
+    d_in = builder.input("d_in")
+    side = builder.input("side")
+    q0 = builder.dff(d_in)
+    n1 = builder.inv(q0)
+    n2 = builder.inv(n1)
+    n3 = builder.nand(n2, side)
+    builder.dff(n3)
+    builder.output("y", n3)
+    netlist = builder.netlist
+    netlist.validate()
+    return bind_all(netlist, small_specs)
+
+
+@pytest.fixture()
+def adder_netlist(small_specs):
+    """Registered 8-bit ripple adder (deep carry chain)."""
+    builder = NetlistBuilder("regadd")
+    builder.clock()
+    a = builder.input_bus("a", 8)
+    b = builder.input_bus("b", 8)
+    a_reg = builder.register(a)
+    b_reg = builder.register(b)
+    total, carry = builder.ripple_adder(a_reg, b_reg)
+    builder.register(total + [carry])
+    builder.output("co", carry)
+    netlist = builder.netlist
+    netlist.validate()
+    return bind_all(netlist, small_specs)

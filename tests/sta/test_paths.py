@@ -1,0 +1,87 @@
+"""Worst-path extraction and depth accounting."""
+
+import pytest
+
+from repro.sta.engine import analyze
+from repro.sta.graph import TimingGraph
+from repro.sta.paths import depth_histogram, extract_worst_paths, worst_path
+
+
+class TestChainPath:
+    def test_path_follows_the_chain(self, chain_netlist, statistical_library):
+        graph = TimingGraph(chain_netlist, statistical_library)
+        result = analyze(graph, clock_period=2.0)
+        # worst endpoint is the capture FF behind DFF->INV->INV->ND2
+        paths = extract_worst_paths(result)
+        ff_paths = [p for p in paths if p.endpoint.kind == "ff_data"]
+        deepest = max(ff_paths, key=lambda p: p.depth)
+        families = [
+            chain_netlist.instance(s.instance).family for s in deepest.steps
+        ]
+        assert families == ["DFF", "INV", "INV", "ND2"]
+
+    def test_launch_step_marked(self, chain_netlist, statistical_library):
+        graph = TimingGraph(chain_netlist, statistical_library)
+        result = analyze(graph, clock_period=2.0)
+        path = worst_path(result)
+        assert path.steps[0].is_launch
+        assert not any(step.is_launch for step in path.steps[1:])
+
+    def test_depth_counts_cells(self, chain_netlist, statistical_library):
+        graph = TimingGraph(chain_netlist, statistical_library)
+        result = analyze(graph, clock_period=2.0)
+        paths = extract_worst_paths(result)
+        deepest = max(p.depth for p in paths)
+        assert deepest == 4  # launch FF + INV + INV + ND2
+
+    def test_path_arrival_matches_engine(self, adder_netlist, statistical_library):
+        graph = TimingGraph(adder_netlist, statistical_library)
+        result = analyze(graph, clock_period=3.0)
+        for path in extract_worst_paths(result):
+            assert path.arrival == pytest.approx(
+                result.arrival[path.endpoint.net_id]
+            )
+            assert path.arrival == pytest.approx(
+                sum(s.delay for s in path.steps), rel=1e-9
+            )
+
+    def test_slack_matches_engine(self, adder_netlist, statistical_library):
+        graph = TimingGraph(adder_netlist, statistical_library)
+        result = analyze(graph, clock_period=3.0)
+        paths = extract_worst_paths(result)
+        slacks = sorted(p.slack for p in paths)
+        assert slacks[0] == pytest.approx(result.wns)
+
+
+class TestPerEndpoint:
+    def test_one_path_per_endpoint(self, adder_netlist, statistical_library):
+        graph = TimingGraph(adder_netlist, statistical_library)
+        result = analyze(graph, clock_period=3.0)
+        paths = extract_worst_paths(result)
+        assert len(paths) == len(graph.endpoints)
+
+    def test_carry_chain_produces_increasing_depths(
+        self, adder_netlist, statistical_library
+    ):
+        """Bit k's capture FF sees a path ~k full adders deep."""
+        graph = TimingGraph(adder_netlist, statistical_library)
+        result = analyze(graph, clock_period=3.0)
+        paths = extract_worst_paths(result)
+        depths = sorted(p.depth for p in paths)
+        assert depths[-1] >= 9  # launch + 8 adders at least
+        assert depths[0] <= 2
+
+    def test_depth_histogram(self, adder_netlist, statistical_library):
+        graph = TimingGraph(adder_netlist, statistical_library)
+        result = analyze(graph, clock_period=3.0)
+        paths = extract_worst_paths(result)
+        histogram = depth_histogram(paths)
+        assert sum(histogram.values()) == len(paths)
+        assert list(histogram) == sorted(histogram)
+
+    def test_steps_chain_connects(self, adder_netlist, statistical_library):
+        graph = TimingGraph(adder_netlist, statistical_library)
+        result = analyze(graph, clock_period=3.0)
+        for path in extract_worst_paths(result):
+            for prev, nxt in zip(path.steps, path.steps[1:]):
+                assert prev.output_net == nxt.input_net

@@ -1,0 +1,49 @@
+"""Timing/variation text reports."""
+
+import pytest
+
+from repro.sta.engine import analyze
+from repro.sta.graph import TimingGraph
+from repro.sta.paths import extract_worst_paths, worst_path
+from repro.sta.report import (
+    format_path,
+    path_table,
+    timing_summary,
+    variation_summary,
+)
+
+
+@pytest.fixture()
+def result(chain_netlist, statistical_library):
+    graph = TimingGraph(chain_netlist, statistical_library)
+    return analyze(graph, clock_period=2.0)
+
+
+class TestReports:
+    def test_format_path_lists_every_cell(self, result):
+        path = worst_path(result)
+        text = format_path(path)
+        for step in path.steps:
+            assert step.cell_name in text
+        assert "slack" in text
+
+    def test_timing_summary_flags_met(self, result):
+        text = timing_summary(result)
+        assert "MET" in text
+        assert "WNS" in text
+        assert f"{result.clock_period:.3f}" in text
+
+    def test_timing_summary_flags_violated(self, chain_netlist, statistical_library):
+        graph = TimingGraph(chain_netlist, statistical_library)
+        tight = analyze(graph, clock_period=0.45)
+        assert "VIOLATED" in timing_summary(tight)
+
+    def test_variation_summary_reports_sigma(self, result, statistical_library):
+        text = variation_summary(result, statistical_library)
+        assert "design sigma" in text
+        assert "mu+3sigma" in text
+
+    def test_path_table_has_row_per_path(self, result, statistical_library):
+        paths = extract_worst_paths(result)
+        text = path_table(paths, statistical_library)
+        assert len(text.splitlines()) == len(paths) + 1  # header + rows

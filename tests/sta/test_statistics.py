@@ -1,0 +1,139 @@
+"""Statistical path analysis (paper eqs. 5-11)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TimingError
+from repro.sta.engine import analyze
+from repro.sta.graph import TimingGraph
+from repro.sta.paths import extract_worst_paths, worst_path
+from repro.sta.statistics import (
+    design_statistics,
+    path_sigma_correlated,
+    path_statistics,
+    step_sigma,
+)
+
+
+class TestConvolutionMath:
+    def test_rho_zero_is_rss(self):
+        """Eq. 10: sigma_path = sqrt(sum sigma_i^2)."""
+        sigmas = [0.3, 0.4]
+        assert path_sigma_correlated(sigmas, rho=0.0) == pytest.approx(0.5)
+
+    def test_rho_one_is_linear_sum(self):
+        """Perfect correlation degenerates to a plain sum (eq. 9)."""
+        sigmas = [0.1, 0.2, 0.3]
+        assert path_sigma_correlated(sigmas, rho=1.0) == pytest.approx(0.6)
+
+    @given(
+        st.lists(st.floats(0.001, 1.0), min_size=2, max_size=20),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sigma_monotone_in_rho(self, sigmas, rho):
+        low = path_sigma_correlated(sigmas, 0.0)
+        high = path_sigma_correlated(sigmas, rho)
+        top = path_sigma_correlated(sigmas, 1.0)
+        assert low - 1e-12 <= high <= top + 1e-12
+
+    @given(st.lists(st.floats(0.001, 1.0), min_size=2, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_identical_cells_scale_sqrt_n(self, sigmas):
+        """Eq. 10 consequence the paper quotes: n identical cells give
+        sigma * sqrt(n)."""
+        sigma = sigmas[0]
+        n = len(sigmas)
+        path = path_sigma_correlated([sigma] * n, 0.0)
+        assert path == pytest.approx(sigma * math.sqrt(n), rel=1e-9)
+
+    def test_invalid_rho_rejected(self):
+        with pytest.raises(TimingError):
+            path_sigma_correlated([0.1], rho=2.0)
+
+
+class TestPathStatistics:
+    def test_mean_is_sum_of_step_delays(self, chain_netlist, statistical_library):
+        graph = TimingGraph(chain_netlist, statistical_library)
+        result = analyze(graph, clock_period=2.0)
+        path = worst_path(result)
+        stats = path_statistics(path, statistical_library)
+        assert stats.mean == pytest.approx(sum(s.delay for s in path.steps))
+
+    def test_sigma_is_rss_of_step_sigmas(self, chain_netlist, statistical_library):
+        graph = TimingGraph(chain_netlist, statistical_library)
+        result = analyze(graph, clock_period=2.0)
+        path = worst_path(result)
+        stats = path_statistics(path, statistical_library)
+        expected = math.sqrt(sum(s**2 for s in stats.step_sigmas))
+        assert stats.sigma == pytest.approx(expected)
+
+    def test_step_sigma_positive(self, chain_netlist, statistical_library):
+        graph = TimingGraph(chain_netlist, statistical_library)
+        result = analyze(graph, clock_period=2.0)
+        path = worst_path(result)
+        for step in path.steps:
+            assert step_sigma(statistical_library, step) > 0
+
+    def test_three_sigma(self, chain_netlist, statistical_library):
+        graph = TimingGraph(chain_netlist, statistical_library)
+        result = analyze(graph, clock_period=2.0)
+        stats = path_statistics(worst_path(result), statistical_library)
+        assert stats.three_sigma == pytest.approx(stats.mean + 3 * stats.sigma)
+
+    def test_nominal_library_rejected(self, chain_netlist, statistical_library,
+                                      nominal_library):
+        graph = TimingGraph(chain_netlist, statistical_library)
+        result = analyze(graph, clock_period=2.0)
+        with pytest.raises(TimingError):
+            path_statistics(worst_path(result), nominal_library)
+
+
+class TestDesignStatistics:
+    def test_eq11_rollup(self, adder_netlist, statistical_library):
+        graph = TimingGraph(adder_netlist, statistical_library)
+        result = analyze(graph, clock_period=3.0)
+        paths = extract_worst_paths(result)
+        design = design_statistics(paths, statistical_library)
+        per_path = [path_statistics(p, statistical_library) for p in paths]
+        assert design.mean == pytest.approx(sum(p.mean for p in per_path))
+        assert design.sigma == pytest.approx(
+            math.sqrt(sum(p.sigma**2 for p in per_path))
+        )
+        assert design.n_paths == len(paths)
+
+    def test_rho_increases_design_sigma(self, adder_netlist, statistical_library):
+        graph = TimingGraph(adder_netlist, statistical_library)
+        result = analyze(graph, clock_period=3.0)
+        paths = extract_worst_paths(result)
+        independent = design_statistics(paths, statistical_library, rho=0.0)
+        correlated = design_statistics(paths, statistical_library, rho=0.5)
+        assert correlated.sigma > independent.sigma
+
+    def test_empty_paths_rejected(self, statistical_library):
+        with pytest.raises(TimingError):
+            design_statistics([], statistical_library)
+
+    def test_deeper_paths_not_necessarily_higher_sigma(
+        self, adder_netlist, statistical_library
+    ):
+        """Paper Fig. 13: depth does not determine sigma — cell choice
+        does.  With mixed drive strengths the correlation is loose."""
+        graph = TimingGraph(adder_netlist, statistical_library)
+        result = analyze(graph, clock_period=3.0)
+        paths = extract_worst_paths(result)
+        stats = [path_statistics(p, statistical_library) for p in paths]
+        depths = np.array([s.depth for s in stats], dtype=float)
+        sigmas = np.array([s.sigma for s in stats])
+        # sanity: sigma generally grows with depth on a homogeneous
+        # chain, but is not a function of it
+        same_depth = {}
+        for s in stats:
+            same_depth.setdefault(s.depth, []).append(s.sigma)
+        spread = [max(v) - min(v) for v in same_depth.values() if len(v) > 1]
+        assert any(x > 0 for x in spread) or len(spread) == 0
+        assert np.corrcoef(depths, sigmas)[0, 1] > 0  # chain: loose trend

@@ -1,0 +1,74 @@
+"""Statistical-library construction (paper Sec. IV / Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LibertyError
+from repro.statlib.builder import build_statistical_library, check_library_compatible
+
+
+@pytest.fixture(scope="module")
+def sample_libraries(characterizer, small_specs):
+    return characterizer.sample_libraries(small_specs, n_samples=12, seed=7)
+
+
+class TestFig2Combine:
+    def test_matches_direct_statistical_path(self, characterizer, small_specs,
+                                             sample_libraries):
+        """The paper-faithful combine of N sample libraries must equal
+        the vectorized direct computation bit-for-bit."""
+        combined = build_statistical_library(sample_libraries)
+        direct = characterizer.statistical_library(small_specs, n_samples=12, seed=7)
+        for name in direct.cells:
+            for pin_direct in direct.cell(name).output_pins():
+                pin_combined = combined.cell(name).pin(pin_direct.name)
+                for arc_d, arc_c in zip(pin_direct.timing, pin_combined.timing):
+                    assert arc_d.cell_rise.allclose(arc_c.cell_rise, rtol=1e-9)
+                    assert arc_d.cell_fall.allclose(arc_c.cell_fall, rtol=1e-9)
+                    assert arc_d.sigma_rise.allclose(arc_c.sigma_rise, rtol=1e-9)
+                    assert arc_d.sigma_fall.allclose(arc_c.sigma_fall, rtol=1e-9)
+                    assert arc_d.rise_transition.allclose(arc_c.rise_transition, rtol=1e-9)
+
+    def test_manual_entry_check(self, sample_libraries):
+        """Spot-check one LUT entry against a hand-rolled mean/std —
+        literally the marked-entry walk of paper Fig. 2."""
+        combined = build_statistical_library(sample_libraries)
+        name = sample_libraries[0].combinational_cells()[0].name
+        entry = np.array([
+            lib.cell(name).output_pins()[0].timing[0].cell_fall.values[0, 0]
+            for lib in sample_libraries
+        ])
+        arc = combined.cell(name).output_pins()[0].timing[0]
+        assert arc.cell_fall.values[0, 0] == pytest.approx(entry.mean())
+        assert arc.sigma_fall.values[0, 0] == pytest.approx(entry.std(ddof=1))
+
+    def test_result_flagged_statistical(self, sample_libraries):
+        assert build_statistical_library(sample_libraries).is_statistical
+
+    def test_preserves_cell_metadata(self, sample_libraries):
+        combined = build_statistical_library(sample_libraries)
+        reference = sample_libraries[0]
+        for name, cell in combined.cells.items():
+            ref = reference.cell(name)
+            assert cell.area == ref.area
+            assert cell.is_sequential == ref.is_sequential
+            assert cell.clock_pin == ref.clock_pin
+
+    def test_name_derived_from_samples(self, sample_libraries):
+        combined = build_statistical_library(sample_libraries)
+        assert combined.name.endswith("_stat")
+
+
+class TestValidation:
+    def test_needs_two_libraries(self, sample_libraries):
+        with pytest.raises(LibertyError):
+            build_statistical_library(sample_libraries[:1])
+
+    def test_mismatched_cells_rejected(self, characterizer, small_specs):
+        a = characterizer.sample_libraries(small_specs[:2], n_samples=2, seed=0)
+        b = characterizer.sample_libraries(small_specs[:3], n_samples=2, seed=0)
+        with pytest.raises(LibertyError):
+            check_library_compatible(a[0], b[0])
+
+    def test_compatible_libraries_pass(self, sample_libraries):
+        check_library_compatible(sample_libraries[0], sample_libraries[1])

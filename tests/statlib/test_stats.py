@@ -1,0 +1,91 @@
+"""Dispersion metrics and streaming statistics (paper Sec. III)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.statlib.stats import (
+    RunningStats,
+    coefficient_of_variation,
+    mean_sigma,
+    normal_pdf,
+)
+
+
+class TestCoefficientOfVariation:
+    def test_paper_fig1_pitfall(self):
+        """Paper Fig. 1: equal variability, very different sigma —
+        the reason the paper picks sigma as its metric."""
+        left = coefficient_of_variation(mean=0.5, sigma=0.01)
+        right = coefficient_of_variation(mean=5.0, sigma=0.1)
+        assert left == pytest.approx(right) == pytest.approx(0.02)
+        assert 0.01 < 0.1  # but sigma separates them
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ReproError):
+            coefficient_of_variation(0.0, 1.0)
+
+
+class TestMeanSigma:
+    def test_known_values(self):
+        mean, sigma = mean_sigma([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert sigma == pytest.approx(1.0)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ReproError):
+            mean_sigma([1.0])
+
+
+class TestRunningStats:
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_numpy(self, seed, n):
+        rng = np.random.default_rng(seed)
+        samples = rng.normal(5.0, 2.0, size=(n, 3, 4))
+        stats = RunningStats()
+        for sample in samples:
+            stats.update(sample)
+        assert np.allclose(stats.mean, samples.mean(axis=0))
+        assert np.allclose(stats.sigma(ddof=1), samples.std(axis=0, ddof=1))
+
+    def test_scalar_observations(self):
+        stats = RunningStats()
+        for value in (1.0, 2.0, 3.0):
+            stats.update(np.asarray(value))
+        assert float(stats.mean) == pytest.approx(2.0)
+        assert float(stats.sigma()) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self):
+        stats = RunningStats()
+        stats.update(np.zeros((2, 2)))
+        with pytest.raises(ReproError):
+            stats.update(np.zeros(3))
+
+    def test_sigma_needs_two(self):
+        stats = RunningStats()
+        stats.update(np.asarray(1.0))
+        with pytest.raises(ReproError):
+            stats.sigma()
+
+    def test_empty_mean_rejected(self):
+        with pytest.raises(ReproError):
+            RunningStats().mean
+
+
+class TestNormalPdf:
+    def test_integrates_to_one(self):
+        x = np.linspace(-8, 8, 20001)
+        pdf = normal_pdf(x, 0.0, 1.0)
+        assert np.trapezoid(pdf, x) == pytest.approx(1.0, abs=1e-6)
+
+    def test_peak_at_mean(self):
+        x = np.linspace(-1, 3, 401)
+        pdf = normal_pdf(x, 1.0, 0.5)
+        assert x[np.argmax(pdf)] == pytest.approx(1.0, abs=0.01)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ReproError):
+            normal_pdf(np.zeros(3), 0.0, 0.0)

@@ -1,0 +1,113 @@
+"""Cell choices and initial mapping."""
+
+import math
+
+import pytest
+
+from repro.core.restriction import SlewLoadWindow
+from repro.errors import SynthesisError
+from repro.netlist.builder import NetlistBuilder
+from repro.synth.constraints import SynthesisConstraints
+from repro.synth.mapping import CellChoices, initial_mapping
+
+
+@pytest.fixture()
+def constraints():
+    return SynthesisConstraints(clock_period=2.0)
+
+
+class TestCellChoices:
+    def test_variants_sorted_by_strength(self, statistical_library, constraints):
+        choices = CellChoices(statistical_library, constraints)
+        for family in choices.families():
+            strengths = [v.strength for v in choices.variants(family)]
+            assert strengths == sorted(strengths)
+
+    def test_every_family_available_untuned(self, statistical_library, constraints):
+        choices = CellChoices(statistical_library, constraints)
+        assert {"INV", "ND2", "ADDF", "DFF"} <= set(choices.families())
+
+    def test_next_up_down(self, statistical_library, constraints):
+        choices = CellChoices(statistical_library, constraints)
+        inv = choices.smallest("INV")
+        up = choices.next_up(inv.cell_name)
+        assert up is not None and up.strength > inv.strength
+        assert choices.next_down(inv.cell_name) is None
+        top = choices.largest("INV")
+        assert choices.next_up(top.cell_name) is None
+
+    def test_smallest_for_load(self, statistical_library, constraints):
+        choices = CellChoices(statistical_library, constraints)
+        tiny = choices.smallest_for_load("INV", 0.0001)
+        assert tiny.strength == choices.smallest("INV").strength
+        big = choices.smallest_for_load("INV", 0.1)
+        assert big.strength > tiny.strength
+
+    def test_smallest_for_huge_load_falls_back_to_largest(
+        self, statistical_library, constraints
+    ):
+        choices = CellChoices(statistical_library, constraints)
+        assert (
+            choices.smallest_for_load("INV", 99.0).cell_name
+            == choices.largest("INV").cell_name
+        )
+
+    def test_untuned_windows_are_unbounded(self, statistical_library, constraints):
+        choices = CellChoices(statistical_library, constraints)
+        for variant in choices.variants("INV"):
+            assert math.isinf(variant.max_slew)
+            assert variant.max_load > 0
+
+    def test_unknown_cell_rejected(self, statistical_library, constraints):
+        choices = CellChoices(statistical_library, constraints)
+        with pytest.raises(SynthesisError):
+            choices.variant_of("INV_999")
+
+
+class TestWindowedChoices:
+    def make_windows(self, statistical_library, exclude=(), max_load=None):
+        windows = {}
+        for cell in statistical_library:
+            for pin in cell.output_pins():
+                if cell.name in exclude:
+                    windows[(cell.name, pin.name)] = None
+                else:
+                    windows[(cell.name, pin.name)] = SlewLoadWindow(
+                        0.0, 1.2, 0.0, max_load or pin.max_capacitance
+                    )
+        return windows
+
+    def test_excluded_variant_unusable(self, statistical_library):
+        windows = self.make_windows(statistical_library, exclude=("INV_0P5",))
+        constraints = SynthesisConstraints(clock_period=2.0, windows=windows)
+        choices = CellChoices(statistical_library, constraints)
+        names = [v.cell_name for v in choices.variants("INV")]
+        assert "INV_0P5" not in names
+        assert choices.smallest("INV").cell_name == "INV_1"
+
+    def test_fully_excluded_family_raises(self, statistical_library):
+        inv_names = tuple(c.name for c in statistical_library if c.name.startswith("INV_"))
+        windows = self.make_windows(statistical_library, exclude=inv_names)
+        constraints = SynthesisConstraints(clock_period=2.0, windows=windows)
+        choices = CellChoices(statistical_library, constraints)
+        with pytest.raises(SynthesisError):
+            choices.variants("INV")
+
+    def test_window_caps_max_load(self, statistical_library):
+        windows = self.make_windows(statistical_library, max_load=0.001)
+        constraints = SynthesisConstraints(clock_period=2.0, windows=windows)
+        choices = CellChoices(statistical_library, constraints)
+        for variant in choices.variants("ND2"):
+            assert variant.max_load <= 0.001
+
+
+class TestInitialMapping:
+    def test_binds_weakest_variant(self, statistical_library, constraints):
+        builder = NetlistBuilder("map")
+        a = builder.input("a")
+        builder.output("y", builder.inv(builder.nand(a, a)))
+        netlist = builder.netlist
+        choices = CellChoices(statistical_library, constraints)
+        initial_mapping(netlist, choices)
+        for instance in netlist:
+            assert instance.cell == choices.smallest(instance.family).cell_name

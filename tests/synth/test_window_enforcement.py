@@ -1,0 +1,148 @@
+"""Tuning windows as hard synthesis constraints.
+
+Hand-crafted windows (rather than tuner output) isolate each legality
+rule: max_load forces upsizing/buffering, max_slew forces driver
+upsizing, excluded pins make variants unusable.
+"""
+
+import math
+
+import pytest
+
+from repro.core.restriction import SlewLoadWindow
+from repro.netlist.builder import NetlistBuilder
+from repro.synth.constraints import SynthesisConstraints
+from repro.synth.synthesizer import synthesize
+
+
+def make_windows(library, max_load=None, max_slew=None, families=("INV",)):
+    """Full windows everywhere except the targeted families.
+
+    A load restriction scales with drive strength (``max_load`` applies
+    per unit of strength), matching the structure of real tuning
+    windows: weak cells get cut hard, strong ones keep headroom — a
+    flat cap across strengths would be unsatisfiable by construction
+    (a strong variant's own input capacitance can exceed it).
+    """
+    from repro.cells.naming import parse_cell_name
+
+    windows = {}
+    for cell in library:
+        strength = parse_cell_name(cell.name).strength
+        for pin in cell.output_pins():
+            lut = pin.timing[0].cell_rise
+            load_cap = pin.max_capacitance
+            slew_cap = float(lut.index_1[-1])
+            if cell.name.split("_")[0] in families:
+                if max_load is not None:
+                    load_cap = min(load_cap, max_load * strength)
+                if max_slew is not None:
+                    slew_cap = min(slew_cap, max_slew)
+            windows[(cell.name, pin.name)] = SlewLoadWindow(
+                0.0, slew_cap, 0.0, load_cap
+            )
+    return windows
+
+
+def chain_design(n_stages=6, fanout=10):
+    builder = NetlistBuilder("chain")
+    builder.clock()
+    net = builder.dff(builder.input("d"))
+    for _ in range(n_stages):
+        net = builder.inv(net)
+    sinks = [builder.inv(net) for _ in range(fanout)]
+    builder.register(sinks)
+    builder.netlist.validate()
+    return builder.netlist
+
+
+class TestLoadWindows:
+    def test_load_cap_respected(self, statistical_library):
+        from repro.cells.naming import parse_cell_name
+
+        windows = make_windows(statistical_library, max_load=0.004)
+        constraints = SynthesisConstraints(clock_period=3.0, windows=windows)
+        result = synthesize(chain_design(), statistical_library, constraints)
+        assert result.met
+        assert result.legality_violations == 0
+        graph = result.timing.graph
+        for instance in result.netlist:
+            if instance.family != "INV":
+                continue
+            strength = parse_cell_name(instance.cell).strength
+            for pin in instance.function.output_pins:
+                load = graph.loads[graph.net_ids[instance.net_of(pin)]]
+                assert load <= 0.004 * strength + 1e-9
+
+    def test_tight_load_cap_triggers_buffering(self, statistical_library):
+        """When even the strongest usable variant's window cannot carry
+        the fanout, the synthesizer must split the net with inverter
+        pairs — the paper's buffering mechanism (Sec. VII.A)."""
+        loose = synthesize(
+            chain_design(fanout=120), statistical_library,
+            SynthesisConstraints(clock_period=3.0),
+        )
+        windows = make_windows(statistical_library, max_load=0.0004)
+        tight = synthesize(
+            chain_design(fanout=120), statistical_library,
+            SynthesisConstraints(clock_period=3.0, windows=windows),
+        )
+        assert tight.met
+        assert tight.legality_violations == 0
+        assert tight.buffer_instances > loose.buffer_instances
+        assert len(tight.netlist) > len(loose.netlist)
+
+
+class TestSlewWindows:
+    def test_input_slew_respected(self, statistical_library):
+        windows = make_windows(statistical_library, max_slew=0.15)
+        constraints = SynthesisConstraints(clock_period=3.0, windows=windows)
+        result = synthesize(chain_design(), statistical_library, constraints)
+        assert result.met
+        timing = result.timing
+        graph = timing.graph
+        for instance in result.netlist:
+            if instance.family != "INV":
+                continue
+            for pin in instance.function.input_pins:
+                slew = timing.slew[graph.net_ids[instance.net_of(pin)]]
+                assert slew <= 0.15 + 1e-6
+
+    def test_slew_window_increases_drive(self, statistical_library):
+        from repro.cells.naming import parse_cell_name
+
+        def mean_strength(result):
+            cells = [i.cell for i in result.netlist if i.family == "INV"]
+            return sum(parse_cell_name(c).strength for c in cells) / len(cells)
+
+        loose = synthesize(
+            chain_design(), statistical_library,
+            SynthesisConstraints(clock_period=3.0),
+        )
+        windows = make_windows(statistical_library, max_slew=0.1)
+        tight = synthesize(
+            chain_design(), statistical_library,
+            SynthesisConstraints(clock_period=3.0, windows=windows),
+        )
+        assert tight.met
+        # drivers must be stronger to keep transitions under the window
+        assert mean_strength(tight) >= mean_strength(loose)
+
+
+class TestConstraintsApi:
+    def test_window_for_unknown_pin_raises(self, statistical_library):
+        windows = make_windows(statistical_library)
+        constraints = SynthesisConstraints(clock_period=3.0, windows=windows)
+        from repro.errors import SynthesisError
+
+        with pytest.raises(SynthesisError):
+            constraints.window_for("GHOST_1", "Z")
+
+    def test_untuned_constraints_allow_everything(self):
+        constraints = SynthesisConstraints(clock_period=3.0)
+        assert constraints.window_for("INV_1", "Z") is None
+        assert constraints.is_cell_usable("INV_1", ("Z",))
+
+    def test_effective_period(self):
+        constraints = SynthesisConstraints(clock_period=2.5, guard_band=0.3)
+        assert constraints.effective_period == pytest.approx(2.2)

@@ -1,0 +1,30 @@
+"""Unit conventions."""
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_ff_to_pf(self):
+        assert units.ff_to_pf(1000.0) == pytest.approx(1.0)
+
+    def test_ps_to_ns(self):
+        assert units.ps_to_ns(300.0) == pytest.approx(0.3)
+
+    def test_guard_band_is_paper_300ps(self):
+        assert units.GUARD_BAND_NS == pytest.approx(0.3)
+
+    def test_nominal_corner_is_papers(self):
+        assert units.NOMINAL_VDD == pytest.approx(1.1)
+        assert units.NOMINAL_TEMPERATURE == pytest.approx(25.0)
+
+    def test_identity_helpers(self):
+        assert units.ns(1.5) == 1.5
+        assert units.pf(0.01) == 0.01
+
+    def test_kohm_times_pf_is_ns(self):
+        # the whole package's unit system hinges on this identity
+        r_kohm, c_pf = 10.0, 0.05
+        seconds = (r_kohm * 1e3) * (c_pf * units.CAP_UNIT_FARADS)
+        assert seconds / units.TIME_UNIT_SECONDS == pytest.approx(r_kohm * c_pf)

@@ -1,0 +1,70 @@
+"""Monte-Carlo sampling determinism and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.variation.montecarlo import (
+    ArcVariation,
+    GlobalVariation,
+    MonteCarloSampler,
+    NetworkGeometry,
+)
+from repro.variation.pelgrom import PelgromModel
+
+
+GEO = NetworkGeometry(width=0.12, length=0.04, stack=1)
+GEO_STACKED = NetworkGeometry(width=0.24, length=0.04, stack=2)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = MonteCarloSampler(seed=11)
+        b = MonteCarloSampler(seed=11)
+        for _ in range(5):
+            assert a.sample_network(GEO) == b.sample_network(GEO)
+
+    def test_different_seeds_differ(self):
+        a = MonteCarloSampler(seed=1).sample_network(GEO)
+        b = MonteCarloSampler(seed=2).sample_network(GEO)
+        assert a != b
+
+    def test_global_sampling_deterministic(self):
+        assert (
+            MonteCarloSampler(seed=3).sample_global()
+            == MonteCarloSampler(seed=3).sample_global()
+        )
+
+
+class TestStatistics:
+    def test_network_sigma_matches_pelgrom(self):
+        sampler = MonteCarloSampler(seed=0)
+        draws = np.array([sampler.sample_network(GEO)[0] for _ in range(4000)])
+        expected = PelgromModel().sigma_vth(GEO.width, GEO.length)
+        assert draws.std() == pytest.approx(expected, rel=0.08)
+        assert abs(draws.mean()) < expected * 0.1
+
+    def test_stacked_network_has_lower_sigma(self):
+        sampler = MonteCarloSampler(seed=0)
+        flat = np.array([sampler.sample_network(GEO)[0] for _ in range(2000)])
+        stacked = np.array(
+            [sampler.sample_network(GEO_STACKED)[0] for _ in range(2000)]
+        )
+        assert stacked.std() < flat.std()
+
+    def test_arc_variation_networks_independent(self):
+        sampler = MonteCarloSampler(seed=5)
+        arcs = [sampler.sample_arc(GEO, GEO) for _ in range(3000)]
+        rise = np.array([a.dvth_rise for a in arcs])
+        fall = np.array([a.dvth_fall for a in arcs])
+        assert abs(np.corrcoef(rise, fall)[0, 1]) < 0.08
+
+
+class TestZeroVariations:
+    def test_none_constructors(self):
+        assert GlobalVariation.none() == GlobalVariation(0.0, 0.0, 0.0)
+        assert ArcVariation.none().dvth_rise == 0.0
+
+    def test_global_sigma_budget_used(self):
+        sampler = MonteCarloSampler(seed=0)
+        draws = np.array([sampler.sample_global().dvth for _ in range(4000)])
+        assert draws.std() == pytest.approx(sampler.global_sigmas.vth, rel=0.08)

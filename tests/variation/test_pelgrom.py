@@ -1,0 +1,53 @@
+"""Pelgrom mismatch law."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VariationError
+from repro.variation.pelgrom import PelgromModel
+
+
+class TestPelgromLaw:
+    def test_sigma_scales_inverse_sqrt_area(self):
+        model = PelgromModel()
+        small = model.sigma_vth(0.12, 0.04)
+        big = model.sigma_vth(0.48, 0.04)  # 4x the area
+        assert small / big == pytest.approx(2.0)
+
+    def test_larger_devices_match_better(self):
+        """The observation paper Fig. 4 is built on (ref [14])."""
+        model = PelgromModel()
+        sigmas = [model.sigma_vth(0.12 * s, 0.04) for s in (1, 2, 4, 8, 16, 32)]
+        assert sigmas == sorted(sigmas, reverse=True)
+
+    def test_absolute_magnitude_realistic_for_40nm(self):
+        # a unit 40 nm device should sit in the tens-of-mV range
+        sigma = PelgromModel().sigma_vth(0.12, 0.04)
+        assert 0.01 < sigma < 0.1
+
+    def test_beta_sigma_relative(self):
+        model = PelgromModel()
+        assert model.sigma_beta_rel(0.12, 0.04) == pytest.approx(
+            model.a_beta / math.sqrt(0.12 * 0.04)
+        )
+
+    @given(st.integers(1, 8))
+    @settings(max_examples=8, deadline=None)
+    def test_stack_averaging_divides_by_sqrt_stack(self, stack):
+        model = PelgromModel()
+        single = model.sigma_vth(0.12, 0.04)
+        stacked = model.sigma_vth_stack(0.12, 0.04, stack)
+        assert stacked == pytest.approx(single / math.sqrt(stack))
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(VariationError):
+            PelgromModel().sigma_vth(0.0, 0.04)
+        with pytest.raises(VariationError):
+            PelgromModel().sigma_vth(0.12, -1.0)
+
+    def test_invalid_stack_rejected(self):
+        with pytest.raises(VariationError):
+            PelgromModel().sigma_vth_stack(0.12, 0.04, 0)

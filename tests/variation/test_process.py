@@ -1,0 +1,77 @@
+"""Technology parameters and PVT corners."""
+
+import pytest
+
+from repro.errors import VariationError
+from repro.variation.process import (
+    CORNERS,
+    Corner,
+    TechnologyParams,
+    corner_by_name,
+    fast_corner,
+    slow_corner,
+    typical_corner,
+)
+
+
+class TestTechnologyParams:
+    def test_overdrive_nominal(self):
+        tech = TechnologyParams()
+        expected = (tech.vdd - tech.vth) ** tech.alpha
+        assert tech.overdrive() == pytest.approx(expected)
+
+    def test_overdrive_shifts_with_dvth(self):
+        tech = TechnologyParams()
+        assert tech.overdrive(0.05) < tech.overdrive() < tech.overdrive(-0.05)
+
+    def test_overdrive_guards_against_cutoff(self):
+        tech = TechnologyParams()
+        with pytest.raises(VariationError):
+            tech.overdrive(tech.vdd - tech.vth)
+
+    def test_units_give_ns_from_kohm_pf(self):
+        # R (kOhm) * C (pF) must be ns: 10 kOhm * 0.001 pF = 10 ps
+        assert 10.0 * 0.001 == pytest.approx(0.01)
+
+
+class TestCorners:
+    def test_typical_is_nominal(self):
+        tech = TechnologyParams()
+        shifted = typical_corner().apply(tech)
+        assert shifted.vth == pytest.approx(tech.vth)
+        assert shifted.vdd == pytest.approx(tech.vdd)
+        assert shifted.channel_length == pytest.approx(tech.channel_length)
+
+    def test_slow_corner_raises_vth_and_length(self):
+        tech = TechnologyParams()
+        slow = slow_corner().apply(tech)
+        assert slow.vth > tech.vth
+        assert slow.channel_length > tech.channel_length
+        assert slow.vdd < tech.vdd
+
+    def test_fast_corner_lowers_vth_and_length(self):
+        tech = TechnologyParams()
+        fast = fast_corner().apply(tech)
+        assert fast.vth < tech.vth
+        assert fast.channel_length < tech.channel_length
+        assert fast.vdd > tech.vdd
+
+    def test_three_canonical_corners(self):
+        assert set(CORNERS) == {"fast", "typical", "slow"}
+
+    def test_corner_lookup(self):
+        assert corner_by_name("slow").name.startswith("SS")
+
+    def test_unknown_corner_raises(self):
+        with pytest.raises(VariationError):
+            corner_by_name("nominal")
+
+    def test_corner_is_immutable_application(self):
+        tech = TechnologyParams()
+        slow_corner().apply(tech)
+        assert tech.vth == TechnologyParams().vth
+
+    def test_custom_corner_resistance_derate(self):
+        tech = TechnologyParams()
+        hot = Corner(name="HOT", resistance_derate=1.25).apply(tech)
+        assert hot.k_res == pytest.approx(tech.k_res * 1.25)
