@@ -5,7 +5,16 @@ Usage::
     python -m repro list                  # available experiments
     python -m repro run fig04 table2      # run a selection
     python -m repro run --all             # everything (synthesis-heavy)
+    python -m repro run --all --jobs 0    # characterize on every CPU
+    python -m repro run fig07 --no-cache  # bypass the on-disk cache
+    python -m repro cache stats           # cache location and size
+    python -m repro cache clear           # drop every cached library
     REPRO_SCALE=paper python -m repro run table1   # full-scale flow
+
+Characterization results are memoized under ``$REPRO_CACHE_DIR`` (or
+``~/.cache/repro``); a warm cache makes repeated runs skip Monte-Carlo
+characterization entirely, and ``--jobs`` fans cold characterization
+out over worker processes with bit-identical results.
 """
 
 from __future__ import annotations
@@ -15,8 +24,12 @@ import sys
 import time
 from typing import List
 
-from repro.experiments.base import ExperimentContext
-from repro.experiments.runner import ALL_EXPERIMENTS, LIBRARY_ONLY, run_experiments
+from repro.experiments.runner import (
+    ALL_EXPERIMENTS,
+    LIBRARY_ONLY,
+    build_context,
+    run_experiments,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -37,10 +50,42 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run only the fast, synthesis-free experiments",
     )
+    run_parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="characterization worker processes (1 = serial, 0 = one "
+        "per CPU; default from REPRO_JOBS)",
+    )
+    run_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the on-disk library cache",
+    )
+    cache_parser = sub.add_parser("cache", help="inspect or clear the library cache")
+    cache_parser.add_argument(
+        "action", choices=("stats", "clear"), help="what to do with the cache"
+    )
     return parser
 
 
+def _run_cache_command(action: str) -> int:
+    """Handle ``python -m repro cache stats|clear``."""
+    from repro.parallel import LibraryCache
+
+    cache = LibraryCache()
+    if action == "stats":
+        print(cache.stats().to_text())
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} cache entries from {cache.directory}")
+    return 0
+
+
 def main(argv: List[str]) -> int:
+    """Parse arguments and dispatch to the selected subcommand."""
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         for experiment_id, fn in ALL_EXPERIMENTS.items():
@@ -48,6 +93,8 @@ def main(argv: List[str]) -> int:
             tag = " (library-only)" if experiment_id in LIBRARY_ONLY else ""
             print(f"{experiment_id:8s} {doc}{tag}")
         return 0
+    if args.command == "cache":
+        return _run_cache_command(args.action)
 
     if args.all:
         ids = list(ALL_EXPERIMENTS)
@@ -63,7 +110,9 @@ def main(argv: List[str]) -> int:
         print("nothing to run; pass experiment ids, --all or --library-only")
         return 2
 
-    context = ExperimentContext()
+    context = build_context(
+        jobs=args.jobs, cache=False if args.no_cache else None
+    )
     for experiment_id in ids:
         start = time.time()
         result = run_experiments(context, ids=[experiment_id])[experiment_id]

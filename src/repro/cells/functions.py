@@ -19,6 +19,7 @@ outputs ``S CO``, flip-flop ``D CP (RN) (SN)`` with output ``Q``.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Tuple
 
@@ -78,6 +79,19 @@ class CellFunction:
     def data_input_pins(self) -> Tuple[str, ...]:
         """Input pins excluding the clock (identical for combinational)."""
         return tuple(p for p in self.input_pins if p != self.clock_pin)
+
+    def __reduce__(self):
+        # The boolean evaluator is a closure, so instances pickle by
+        # name through the family registry; this is what lets the
+        # parallel characterization layer ship CellSpec chunks to
+        # worker processes.
+        if FUNCTIONS.get(self.name) is self:
+            return (function_by_name, (self.name,))
+        raise pickle.PicklingError(
+            f"CellFunction {self.name!r} is not the registered instance; "
+            "only registry functions (see FUNCTIONS) can cross process "
+            "boundaries"
+        )
 
 
 def _uniform_senses(

@@ -13,12 +13,18 @@ Three products, all from the same underlying Monte-Carlo draws:
   fast path; the test-suite asserts it matches the Fig. 2 combine of
   :meth:`sample_libraries` bit-for-bit.
 
-Determinism: all draws derive from one integer seed, and the draw order
-is the (stable) catalog order, so every experiment is reproducible.
+Determinism: every cell draws from its own RNG stream keyed by
+``(seed, sha256(cell name))``, so the draws of a cell depend only on the
+seed and the cell itself — not on which other cells are characterized
+alongside it, nor on which process characterizes it.  That per-cell
+keying is what makes the :mod:`repro.parallel` fan-out bit-identical to
+the serial path: a worker handed any chunk of cells regenerates exactly
+the draws the serial loop would have used.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -28,7 +34,7 @@ from repro.cells.catalog import SEQUENTIAL_SETUP_TIME, CellSpec
 from repro.characterization.delaymodel import GateDelayModel
 from repro.characterization.devices import CellElectricalView, network_geometry
 from repro.characterization.grids import GridConfig, load_grid, slew_grid
-from repro.errors import CharacterizationError
+from repro.errors import CharacterizationError, ReproError
 from repro.liberty.model import (
     Cell,
     Library,
@@ -49,6 +55,39 @@ ArcDraws = np.ndarray
 #: Per-cell draws keyed by (input_pin, output_pin).
 CellDraws = Dict[Tuple[str, str], ArcDraws]
 
+#: Cells characterized in this process (all modes).  Worker processes
+#: count their own work; a cache hit performs zero characterizations.
+_characterize_calls = 0
+
+
+def characterization_call_count() -> int:
+    """Number of :meth:`Characterizer.characterize_cell` calls so far.
+
+    The counter is per-process and cumulative; tests use it (after
+    :func:`reset_characterization_call_count`) to assert that a warm
+    cache performs zero re-characterization.
+    """
+    return _characterize_calls
+
+
+def reset_characterization_call_count() -> None:
+    """Reset the per-process characterization call counter to zero."""
+    global _characterize_calls
+    _characterize_calls = 0
+
+
+def cell_rng(seed: int, cell_name: str) -> np.random.Generator:
+    """The dedicated RNG stream of one cell.
+
+    Streams are keyed by ``(seed, sha256(cell name))``, making each
+    cell's draws independent of catalog slicing, ordering and of the
+    process that generates them — the determinism contract of the
+    parallel characterization layer.
+    """
+    digest = hashlib.sha256(cell_name.encode("utf-8")).digest()[:8]
+    name_key = int.from_bytes(digest, "little")
+    return np.random.default_rng(np.random.SeedSequence([seed, name_key]))
+
 
 @dataclass(frozen=True)
 class GlobalDraws:
@@ -60,8 +99,17 @@ class GlobalDraws:
 
     @staticmethod
     def zeros(n_samples: int) -> "GlobalDraws":
+        """All-zero draws (no inter-die variation) for N samples."""
         zero = np.zeros(n_samples)
         return GlobalDraws(zero, zero.copy(), zero.copy())
+
+    def sample(self, k: int) -> "GlobalDraws":
+        """The length-1 slice holding only sample ``k``."""
+        return GlobalDraws(
+            dvth=self.dvth[k : k + 1],
+            dbeta=self.dbeta[k : k + 1],
+            dlength_rel=self.dlength_rel[k : k + 1],
+        )
 
 
 class Characterizer:
@@ -75,6 +123,8 @@ class Characterizer:
         grid: Optional[GridConfig] = None,
         global_sigmas: Optional[GlobalSigmas] = None,
         include_power: bool = False,
+        cache: Optional["LibraryCache"] = None,
+        n_workers: int = 1,
     ):
         self.base_tech = tech or TechnologyParams()
         self.corner = corner or typical_corner()
@@ -86,6 +136,16 @@ class Characterizer:
         #: When set, arcs also get switching-energy (and, for the
         #: statistical library, energy-sigma) tables.
         self.include_power = include_power
+        #: Optional :class:`~repro.parallel.cache.LibraryCache`; when
+        #: set, library-level drivers memoize their results on disk.
+        self.cache = cache
+        #: Default worker count of the library-level drivers
+        #: (1 = serial, 0 = one per CPU; see ``repro.parallel``).
+        #: Validated eagerly so a bad ``--jobs`` fails even when the
+        #: cache would otherwise short-circuit all characterization.
+        if n_workers < 0:
+            raise ReproError(f"n_workers must be >= 0, got {n_workers}")
+        self.n_workers = n_workers
         if include_power:
             from repro.characterization.power import PowerModel
 
@@ -102,13 +162,15 @@ class Characterizer:
 
         The returned structure is the single source of randomness for
         both the per-sample libraries and the direct statistical
-        library, which is what makes the two paths agree exactly.
+        library, which is what makes the two paths agree exactly.  Each
+        cell draws from its own :func:`cell_rng` stream, so any subset
+        of cells — in any process — reproduces the same draws.
         """
         if n_samples < 2:
             raise CharacterizationError("need at least 2 Monte-Carlo samples")
-        rng = np.random.default_rng(seed)
         draws: Dict[str, CellDraws] = {}
         for spec in specs:
+            rng = cell_rng(seed, spec.name)
             cell_draws: CellDraws = {}
             for input_pin, output_pin in spec.function.arcs():
                 drive = spec.drive(output_pin)
@@ -227,6 +289,8 @@ class Characterizer:
         * ``draws + statistical=True`` — mean tables in cell_rise/fall,
           per-entry standard deviation in sigma_rise/fall (paper Fig. 2).
         """
+        global _characterize_calls
+        _characterize_calls += 1
         cell = self._make_cell_shell(spec)
         slews = slew_grid(self.grid)
         loads = load_grid(self.grid, spec)
@@ -331,38 +395,92 @@ class Characterizer:
             library.add_cell(self.characterize_cell(spec))
         return library
 
+    def library_shell(self, name: str) -> Library:
+        """Public access to the empty library skeleton (used by the
+        on-disk cache to rebuild libraries from stored LUT arrays)."""
+        return self._make_library_shell(name)
+
+    def cell_from_tables(
+        self,
+        spec: CellSpec,
+        tables: Dict[Tuple[str, str], Dict[str, np.ndarray]],
+    ) -> Cell:
+        """Rebuild a characterized cell from precomputed LUT values.
+
+        ``tables`` maps each ``(input_pin, output_pin)`` arc to a dict
+        of LUT-slot name (``cell_rise``, ``sigma_fall``, ...) to value
+        array.  Used by :mod:`repro.parallel.cache` to reconstruct
+        libraries without re-running the delay model; the cell shell
+        (pins, capacitances, areas) is rebuilt from the spec, which is
+        cheap and keeps the cache file down to the arrays themselves.
+        """
+        cell = self._make_cell_shell(spec)
+        slews = slew_grid(self.grid)
+        loads = load_grid(self.grid, spec)
+        template = f"tmpl_{self.grid.n_slew}x{self.grid.n_load}"
+        for input_pin, output_pin in spec.function.arcs():
+            arc = TimingArc(
+                related_pin=input_pin,
+                timing_sense=spec.function.sense(input_pin, output_pin),
+            )
+            for slot, values in tables[(input_pin, output_pin)].items():
+                setattr(arc, slot, Lut(slews, loads, values, template=template))
+            cell.pin(output_pin).timing.append(arc)
+        return cell
+
     def sample_libraries(
         self,
         specs: Sequence[CellSpec],
         n_samples: int,
         seed: int = 0,
         include_global: bool = False,
+        n_workers: Optional[int] = None,
+        use_cache: bool = True,
     ) -> List[Library]:
-        """The N distinct Monte-Carlo libraries of paper Sec. IV."""
-        draws = self.sample_arc_draws(specs, n_samples, seed)
+        """The N distinct Monte-Carlo libraries of paper Sec. IV.
+
+        ``n_workers`` overrides the characterizer's default worker
+        count (1 = serial, 0 = one per CPU); any parallel schedule is
+        bit-identical to the serial path because each cell's draws come
+        from its own seeded stream.  With a cache attached and
+        ``use_cache`` left on, results are memoized on disk.
+        """
+        if use_cache and self.cache is not None:
+            cached = self.cache.load_samples(self, specs, n_samples, seed, include_global)
+            if cached is not None:
+                return cached
+        jobs = self._resolve_jobs(n_workers)
         global_draws = (
             self.sample_global_draws(n_samples, seed + 1) if include_global else None
         )
-        libraries: List[Library] = []
-        for k in range(n_samples):
-            library = self._make_library_shell(f"{self.corner.name}_mc{k:03d}")
-            sliced_global = None
-            if global_draws is not None:
-                sliced_global = GlobalDraws(
-                    dvth=global_draws.dvth[k : k + 1],
-                    dbeta=global_draws.dbeta[k : k + 1],
-                    dlength_rel=global_draws.dlength_rel[k : k + 1],
-                )
-            for spec in specs:
-                library.add_cell(
+        if jobs > 1:
+            from repro.parallel.executor import characterize_sample_cells
+
+            cells = characterize_sample_cells(
+                self, specs, n_samples, seed, global_draws, jobs
+            )
+        else:
+            draws = self.sample_arc_draws(specs, n_samples, seed)
+            cells = [
+                [
                     self.characterize_cell(
                         spec,
                         draws=draws[spec.name],
                         sample_index=k,
-                        global_draws=sliced_global,
+                        global_draws=None if global_draws is None else global_draws.sample(k),
                     )
-                )
+                    for spec in specs
+                ]
+                for k in range(n_samples)
+            ]
+        libraries: List[Library] = []
+        for k in range(n_samples):
+            library = self._make_library_shell(f"{self.corner.name}_mc{k:03d}")
+            for cell in cells[k]:
+                library.add_cell(cell)
             libraries.append(library)
+        if use_cache and self.cache is not None:
+            self.cache.store_samples(self, specs, n_samples, seed, include_global, libraries)
         return libraries
 
     def statistical_library(
@@ -372,26 +490,57 @@ class Characterizer:
         seed: int = 0,
         include_global: bool = False,
         name: Optional[str] = None,
+        n_workers: Optional[int] = None,
+        use_cache: bool = True,
     ) -> Library:
         """The statistical library, computed directly (fast path).
 
         Numerically identical to running :meth:`sample_libraries` with
         the same arguments and combining them via
         :func:`repro.statlib.builder.build_statistical_library`.
+        ``n_workers`` fans the per-cell work out over processes with
+        bit-identical results; with a cache attached the combined
+        mean/sigma arrays are memoized on disk and a warm hit skips
+        characterization entirely.
         """
-        draws = self.sample_arc_draws(specs, n_samples, seed)
+        if use_cache and self.cache is not None:
+            cached = self.cache.load_statistical(
+                self, specs, n_samples, seed, include_global, name
+            )
+            if cached is not None:
+                return cached
+        jobs = self._resolve_jobs(n_workers)
         global_draws = (
             self.sample_global_draws(n_samples, seed + 1) if include_global else None
         )
-        library = self._make_library_shell(name or f"{self.corner.name}_stat")
-        library.is_statistical = True
-        for spec in specs:
-            library.add_cell(
+        if jobs > 1:
+            from repro.parallel.executor import characterize_statistical_cells
+
+            cells = characterize_statistical_cells(
+                self, specs, n_samples, seed, global_draws, jobs
+            )
+        else:
+            draws = self.sample_arc_draws(specs, n_samples, seed)
+            cells = [
                 self.characterize_cell(
                     spec,
                     draws=draws[spec.name],
                     global_draws=global_draws,
                     statistical=True,
                 )
+                for spec in specs
+            ]
+        library = self._make_library_shell(name or f"{self.corner.name}_stat")
+        library.is_statistical = True
+        for cell in cells:
+            library.add_cell(cell)
+        if use_cache and self.cache is not None:
+            self.cache.store_statistical(
+                self, specs, n_samples, seed, include_global, library
             )
         return library
+
+    def _resolve_jobs(self, n_workers: Optional[int]) -> int:
+        from repro.parallel import resolve_jobs
+
+        return resolve_jobs(self.n_workers if n_workers is None else n_workers)

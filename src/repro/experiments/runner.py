@@ -1,7 +1,15 @@
-"""Run every table/figure experiment and collect the results."""
+"""Run every table/figure experiment and collect the results.
+
+:func:`build_context` is the one place that turns execution knobs
+(worker count, cache on/off) into a ready :class:`~repro.experiments.
+base.ExperimentContext`; the CLI and the tests both go through it so
+the 80-run evaluation sweep and ``python -m repro run --all`` share the
+same parallel/caching configuration path.
+"""
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
@@ -56,6 +64,26 @@ ALL_EXPERIMENTS: Dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
 #: Experiments that only touch the library (no synthesis) — cheap.
 LIBRARY_ONLY = ("fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
                 "table2")
+
+
+def build_context(
+    jobs: Optional[int] = None, cache: Optional[bool] = None
+) -> ExperimentContext:
+    """An :class:`ExperimentContext` honoring the execution knobs.
+
+    Starts from :meth:`~repro.flow.experiment.FlowConfig.
+    from_environment` (``REPRO_SCALE``, ``REPRO_JOBS``) and overrides
+    the characterization worker count and/or the on-disk library cache
+    when the corresponding argument is not ``None``.
+    """
+    from repro.flow.experiment import FlowConfig, TuningFlow
+
+    config = FlowConfig.from_environment()
+    if jobs is not None:
+        config = replace(config, n_workers=jobs)
+    if cache is not None:
+        config = replace(config, cache=cache)
+    return ExperimentContext(TuningFlow(config))
 
 
 def run_experiments(

@@ -13,12 +13,18 @@ microcontroller, 50 MC samples — the paper's setup) and
 ``FlowConfig.quick()`` (a scaled-down controller, 30 samples) which
 keeps the full pipeline and its trends but runs each synthesis in a few
 seconds; benchmarks default to quick and honor ``REPRO_SCALE=paper``.
+
+Execution knobs (see :mod:`repro.parallel`): ``n_workers`` fans the
+characterization out over processes with bit-identical results
+(``REPRO_JOBS`` / ``--jobs``), and ``cache`` memoizes characterized
+libraries on disk (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``) so
+repeated runs skip characterization entirely.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.cells.catalog import CellSpec, build_catalog
@@ -42,12 +48,17 @@ from repro.units import GUARD_BAND_NS
 
 @dataclass(frozen=True)
 class FlowConfig:
-    """Scale and determinism knobs of a flow."""
+    """Scale, determinism and execution knobs of a flow."""
 
     design: MicrocontrollerParams = field(default_factory=MicrocontrollerParams)
     n_samples: int = 50
     seed: int = 0
     guard_band: float = GUARD_BAND_NS
+    #: Characterization worker processes (1 = serial, 0 = one per CPU).
+    n_workers: int = 1
+    #: Memoize characterized libraries on disk (``$REPRO_CACHE_DIR`` or
+    #: ``~/.cache/repro``); results are bit-identical either way.
+    cache: bool = True
 
     @staticmethod
     def paper() -> "FlowConfig":
@@ -74,13 +85,26 @@ class FlowConfig:
 
     @staticmethod
     def from_environment() -> "FlowConfig":
-        """``REPRO_SCALE=paper`` selects the full-scale flow."""
+        """Build a config from environment knobs.
+
+        ``REPRO_SCALE=paper`` selects the full-scale flow (default
+        ``quick``); ``REPRO_JOBS=N`` sets the characterization worker
+        count (0 = one per CPU).
+        """
         scale = os.environ.get("REPRO_SCALE", "quick").lower()
         if scale == "paper":
-            return FlowConfig.paper()
-        if scale == "quick":
-            return FlowConfig.quick()
-        raise ReproError(f"unknown REPRO_SCALE {scale!r} (use 'quick' or 'paper')")
+            config = FlowConfig.paper()
+        elif scale == "quick":
+            config = FlowConfig.quick()
+        else:
+            raise ReproError(f"unknown REPRO_SCALE {scale!r} (use 'quick' or 'paper')")
+        jobs = os.environ.get("REPRO_JOBS")
+        if jobs is not None:
+            try:
+                config = replace(config, n_workers=int(jobs))
+            except ValueError:
+                raise ReproError(f"REPRO_JOBS must be an integer, got {jobs!r}") from None
+        return config
 
 
 @dataclass
@@ -146,7 +170,12 @@ class TuningFlow:
     @property
     def characterizer(self) -> Characterizer:
         if self._characterizer is None:
-            self._characterizer = Characterizer()
+            from repro.parallel import LibraryCache
+
+            self._characterizer = Characterizer(
+                cache=LibraryCache() if self.config.cache else None,
+                n_workers=self.config.n_workers,
+            )
         return self._characterizer
 
     @property

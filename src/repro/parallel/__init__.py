@@ -1,0 +1,52 @@
+"""Parallel execution and on-disk memoization of characterization.
+
+The Monte-Carlo characterization of the 304-cell catalog is
+embarrassingly parallel across (cell, sample) pairs, and its inputs are
+fully determined by a small, hashable configuration — which makes it
+both a perfect fan-out target and a perfect cache key.  This package
+provides the two halves:
+
+* :mod:`repro.parallel.executor` — a :class:`concurrent.futures.
+  ProcessPoolExecutor` fan-out that shards cells (and, for per-sample
+  libraries, sample blocks) across worker processes.  Because every
+  cell draws from its own seeded RNG stream (see
+  :func:`repro.characterization.characterize.cell_rng`), workers
+  regenerate exactly the draws the serial loop would have used and the
+  results are bit-identical to serial execution, for any worker count
+  and any chunking.
+* :mod:`repro.parallel.cache` — an on-disk library cache
+  (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``) keyed by a content hash
+  of (catalog spec, grid, technology/corner/mismatch parameters, seed,
+  sample count) that stores the mean/sigma LUT arrays as ``.npz`` and
+  rebuilds full Liberty libraries from them without re-running the
+  delay model.  Writes are atomic (temp file + ``os.replace``) so a
+  killed run can never poison later runs.
+
+Both layers thread through :class:`~repro.characterization.
+characterize.Characterizer` (``n_workers=...``, ``cache=...``),
+:class:`~repro.flow.experiment.FlowConfig` and the ``python -m repro``
+CLI (``--jobs``, ``--no-cache``, ``cache stats|clear``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ReproError
+from repro.parallel.cache import CacheStats, LibraryCache
+
+__all__ = ["CacheStats", "LibraryCache", "resolve_jobs"]
+
+
+def resolve_jobs(n_workers: int) -> int:
+    """Normalize a worker-count knob to a concrete process count.
+
+    ``1`` (the default) means serial execution in the calling process,
+    ``0`` means one worker per available CPU, and any other positive
+    value is taken literally.  Negative counts are rejected.
+    """
+    if n_workers < 0:
+        raise ReproError(f"n_workers must be >= 0, got {n_workers}")
+    if n_workers == 0:
+        return os.cpu_count() or 1
+    return n_workers

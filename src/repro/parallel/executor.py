@@ -1,0 +1,167 @@
+"""Process-pool fan-out for Monte-Carlo characterization.
+
+Sharding strategy: cells are split into contiguous chunks (a few per
+worker for load balance — drive strengths, and with them LUT sizes and
+arc counts, vary across the catalog), and for per-sample libraries the
+sample axis is additionally split into blocks, so one task is a
+(cell chunk, sample block) tile.
+
+Determinism: a worker receives only (characterizer, spec chunk,
+n_samples, seed) and regenerates its cells' draws locally via
+:meth:`~repro.characterization.characterize.Characterizer.
+sample_arc_draws`.  Because draws are keyed per cell by
+``(seed, sha256(cell name))``, the regenerated arrays are bit-identical
+to the ones the serial loop draws, so the resulting LUTs are
+bit-identical too (same IEEE-754 operations on the same inputs).  The
+die-level global draws are a single tiny stream; they are drawn once in
+the parent and shipped to every worker.
+
+The hot payload crossing process boundaries is therefore small going in
+(specs and configuration) and exactly the characterized cells coming
+back.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from repro.characterization.characterize import Characterizer, GlobalDraws
+from repro.cells.catalog import CellSpec
+from repro.liberty.model import Cell
+
+
+def chunk_indices(n_items: int, n_chunks: int) -> List[range]:
+    """Split ``range(n_items)`` into at most ``n_chunks`` balanced,
+    contiguous ranges (earlier chunks at most one element larger)."""
+    n_chunks = max(1, min(n_chunks, n_items))
+    base, extra = divmod(n_items, n_chunks)
+    ranges: List[range] = []
+    start = 0
+    for chunk in range(n_chunks):
+        size = base + (1 if chunk < extra else 0)
+        ranges.append(range(start, start + size))
+        start += size
+    return ranges
+
+
+def _statistical_chunk(
+    characterizer: Characterizer,
+    specs: Sequence[CellSpec],
+    n_samples: int,
+    seed: int,
+    global_draws: Optional[GlobalDraws],
+) -> List[Cell]:
+    """Worker: characterize one chunk of cells in statistical mode."""
+    draws = characterizer.sample_arc_draws(specs, n_samples, seed)
+    return [
+        characterizer.characterize_cell(
+            spec,
+            draws=draws[spec.name],
+            global_draws=global_draws,
+            statistical=True,
+        )
+        for spec in specs
+    ]
+
+
+def _sample_chunk(
+    characterizer: Characterizer,
+    specs: Sequence[CellSpec],
+    n_samples: int,
+    seed: int,
+    global_draws: Optional[GlobalDraws],
+    sample_indices: Sequence[int],
+) -> List[List[Cell]]:
+    """Worker: characterize a (cell chunk, sample block) tile.
+
+    Returns one list of cells per sample index, in block order.
+    """
+    draws = characterizer.sample_arc_draws(specs, n_samples, seed)
+    tile: List[List[Cell]] = []
+    for k in sample_indices:
+        sliced = None if global_draws is None else global_draws.sample(k)
+        tile.append([
+            characterizer.characterize_cell(
+                spec,
+                draws=draws[spec.name],
+                sample_index=k,
+                global_draws=sliced,
+            )
+            for spec in specs
+        ])
+    return tile
+
+
+def characterize_statistical_cells(
+    characterizer: Characterizer,
+    specs: Sequence[CellSpec],
+    n_samples: int,
+    seed: int,
+    global_draws: Optional[GlobalDraws],
+    n_workers: int,
+) -> List[Cell]:
+    """Fan the statistical characterization of ``specs`` out over
+    ``n_workers`` processes; returns cells in catalog order."""
+    specs = list(specs)
+    chunks = chunk_indices(len(specs), 4 * n_workers)
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        futures = [
+            pool.submit(
+                _statistical_chunk,
+                characterizer,
+                [specs[i] for i in chunk],
+                n_samples,
+                seed,
+                global_draws,
+            )
+            for chunk in chunks
+        ]
+        cells: List[Cell] = []
+        for future in futures:
+            cells.extend(future.result())
+    return cells
+
+
+def characterize_sample_cells(
+    characterizer: Characterizer,
+    specs: Sequence[CellSpec],
+    n_samples: int,
+    seed: int,
+    global_draws: Optional[GlobalDraws],
+    n_workers: int,
+) -> List[List[Cell]]:
+    """Fan per-sample characterization out over (cell, sample) tiles.
+
+    Returns ``cells[k][i]``: the cell of ``specs[i]`` under Monte-Carlo
+    sample ``k``, bit-identical to the serial double loop.
+    """
+    specs = list(specs)
+    cell_chunks = chunk_indices(len(specs), 2 * n_workers)
+    sample_blocks = chunk_indices(n_samples, n_workers)
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        tiles: List[Tuple[range, range, object]] = []
+        for block in sample_blocks:
+            for chunk in cell_chunks:
+                tiles.append((
+                    block,
+                    chunk,
+                    pool.submit(
+                        _sample_chunk,
+                        characterizer,
+                        [specs[i] for i in chunk],
+                        n_samples,
+                        seed,
+                        global_draws,
+                        list(block),
+                    ),
+                ))
+        cells: List[List[Optional[Cell]]] = [
+            [None] * len(specs) for _ in range(n_samples)
+        ]
+        for block, chunk, future in tiles:
+            tile = future.result()
+            for row, k in enumerate(block):
+                for column, i in enumerate(chunk):
+                    cells[k][i] = tile[row][column]
+    return cells

@@ -1,0 +1,102 @@
+"""Property-based invariants of largest-rectangle extraction.
+
+Paper Algorithm 1 contract: the returned rectangle is contained in the
+binary LUT (all ones), has maximal area (cross-checked against the
+literal quadruple-loop specification), and therefore cannot be grown
+in any direction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.rectangle import largest_rectangle, largest_rectangle_paper
+
+#: Random binary matrices big enough to be interesting, small enough
+#: for the O(N^3 M^3) reference implementation.
+MATRICES = arrays(
+    dtype=bool,
+    shape=st.tuples(st.integers(1, 7), st.integers(1, 7)),
+    elements=st.booleans(),
+)
+
+#: Larger matrices for the optimized implementation's own invariants.
+LARGE_MATRICES = arrays(
+    dtype=bool,
+    shape=st.tuples(st.integers(1, 14), st.integers(1, 14)),
+    elements=st.booleans(),
+)
+
+
+class TestContainment:
+    @given(matrix=LARGE_MATRICES)
+    @settings(max_examples=200, deadline=None)
+    def test_rectangle_is_contained_in_the_binary_lut(self, matrix):
+        """Every entry inside the returned rectangle is a one."""
+        rect = largest_rectangle(matrix)
+        if rect is None:
+            assert not matrix.any()
+            return
+        block = matrix[rect.row_lo : rect.row_hi + 1, rect.col_lo : rect.col_hi + 1]
+        assert block.all()
+        assert block.size == rect.area
+
+    @given(matrix=LARGE_MATRICES)
+    @settings(max_examples=200, deadline=None)
+    def test_rectangle_cannot_be_extended(self, matrix):
+        """Maximality: growing one step in any direction either leaves
+        the matrix or covers a zero."""
+        rect = largest_rectangle(matrix)
+        if rect is None:
+            return
+        n_rows, n_cols = matrix.shape
+        if rect.row_lo > 0:
+            assert not matrix[
+                rect.row_lo - 1, rect.col_lo : rect.col_hi + 1
+            ].all()
+        if rect.row_hi < n_rows - 1:
+            assert not matrix[
+                rect.row_hi + 1, rect.col_lo : rect.col_hi + 1
+            ].all()
+        if rect.col_lo > 0:
+            assert not matrix[
+                rect.row_lo : rect.row_hi + 1, rect.col_lo - 1
+            ].all()
+        if rect.col_hi < n_cols - 1:
+            assert not matrix[
+                rect.row_lo : rect.row_hi + 1, rect.col_hi + 1
+            ].all()
+
+
+class TestAgainstPaperSpecification:
+    @given(matrix=MATRICES)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_literal_algorithm_including_tie_break(self, matrix):
+        """The summed-area-table version returns the *same* rectangle
+        as the paper's quadruple loop — same area, same corner, which
+        pins the origin-preferring tie-break."""
+        fast = largest_rectangle(matrix)
+        reference = largest_rectangle_paper(matrix)
+        assert fast == reference
+
+    @given(matrix=MATRICES)
+    @settings(max_examples=100, deadline=None)
+    def test_area_is_globally_maximal(self, matrix):
+        """No all-ones rectangle anywhere in the matrix beats the
+        returned area (brute-force check)."""
+        rect = largest_rectangle(matrix)
+        best = 0
+        n_rows, n_cols = matrix.shape
+        for row_lo in range(n_rows):
+            for col_lo in range(n_cols):
+                for row_hi in range(row_lo, n_rows):
+                    for col_hi in range(col_lo, n_cols):
+                        if matrix[row_lo : row_hi + 1, col_lo : col_hi + 1].all():
+                            best = max(
+                                best,
+                                (row_hi - row_lo + 1) * (col_hi - col_lo + 1),
+                            )
+        assert (rect.area if rect else 0) == best

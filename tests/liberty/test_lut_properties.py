@@ -1,0 +1,125 @@
+"""Property-based invariants of bilinear LUT interpolation (hypothesis).
+
+The vectorized :func:`~repro.liberty.lut.bilinear_interpolate_many` is
+the STA hot path; these properties pin it to the scalar reference
+implementation, to the table itself on grid points, and to
+monotonicity on monotone tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.liberty.lut import bilinear_interpolate, bilinear_interpolate_many
+from repro.liberty.model import Lut
+
+
+@st.composite
+def luts(draw, monotone=False):
+    """Random LUTs with strictly increasing axes; optionally with
+    values nondecreasing along both axes."""
+    n_slew = draw(st.integers(2, 7))
+    n_load = draw(st.integers(2, 7))
+    slew_start = draw(st.floats(0.001, 0.1))
+    load_start = draw(st.floats(0.0001, 0.01))
+    slew_steps = draw(
+        st.lists(st.floats(0.01, 0.5), min_size=n_slew - 1, max_size=n_slew - 1)
+    )
+    load_steps = draw(
+        st.lists(st.floats(0.001, 0.05), min_size=n_load - 1, max_size=n_load - 1)
+    )
+    slews = slew_start + np.concatenate([[0.0], np.cumsum(slew_steps)])
+    loads = load_start + np.concatenate([[0.0], np.cumsum(load_steps)])
+    cells = st.floats(0.0, 1.0)
+    raw = np.array(
+        draw(
+            st.lists(
+                st.lists(cells, min_size=n_load, max_size=n_load),
+                min_size=n_slew,
+                max_size=n_slew,
+            )
+        )
+    )
+    if monotone:
+        raw = np.cumsum(np.cumsum(raw, axis=0), axis=1)
+    return Lut(slews, loads, raw + 0.01)
+
+
+#: Query points reaching well outside the characterized ranges, to
+#: exercise the clamping path on both axes.
+POINTS = st.tuples(st.floats(-0.5, 3.0), st.floats(-0.01, 0.2))
+
+
+class TestMatchesScalarReference:
+    @given(lut=luts(), points=st.lists(POINTS, min_size=1, max_size=12))
+    @settings(max_examples=120, deadline=None)
+    def test_vectorized_equals_scalar(self, lut, points):
+        """Identical arithmetic, identical results — bit-for-bit."""
+        slews = np.array([p[0] for p in points])
+        loads = np.array([p[1] for p in points])
+        many = bilinear_interpolate_many(lut, slews, loads)
+        scalar = np.array([
+            bilinear_interpolate(lut, slew, load) for slew, load in points
+        ])
+        assert np.array_equal(many, scalar)
+
+    @given(lut=luts())
+    @settings(max_examples=80, deadline=None)
+    def test_broadcasting_matches_flat_queries(self, lut):
+        """A (slew column, load row) outer-product query must equal the
+        element-by-element evaluation."""
+        slews = lut.index_1[:, None]
+        loads = lut.index_2[None, :]
+        grid = bilinear_interpolate_many(lut, slews, loads)
+        assert grid.shape == lut.values.shape
+        flat = bilinear_interpolate_many(
+            lut,
+            np.repeat(lut.index_1, lut.index_2.size),
+            np.tile(lut.index_2, lut.index_1.size),
+        )
+        assert np.array_equal(grid.ravel(), flat)
+
+
+class TestExactOnGridPoints:
+    @given(lut=luts())
+    @settings(max_examples=100, deadline=None)
+    def test_reproduces_table_entries_exactly(self, lut):
+        """On characterized (slew, load) grid points the interpolant is
+        the table value itself, exactly."""
+        grid = bilinear_interpolate_many(
+            lut, lut.index_1[:, None], lut.index_2[None, :]
+        )
+        assert np.array_equal(grid, lut.values)
+
+
+class TestMonotonicity:
+    @given(
+        lut=luts(monotone=True),
+        base=POINTS,
+        offsets=st.tuples(st.floats(0.0, 1.0), st.floats(0.0, 0.05)),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_monotone_table_gives_monotone_interpolant(self, lut, base, offsets):
+        """If the table is nondecreasing along both axes, moving the
+        query up along both axes cannot decrease the result."""
+        slew, load = base
+        value_low = bilinear_interpolate_many(lut, np.array(slew), np.array(load))
+        value_high = bilinear_interpolate_many(
+            lut, np.array(slew + offsets[0]), np.array(load + offsets[1])
+        )
+        assert float(value_high) >= float(value_low) - 1e-12
+
+    @given(lut=luts(monotone=True))
+    @settings(max_examples=60, deadline=None)
+    def test_interpolant_bounded_by_bracketing_entries(self, lut):
+        """Inside a monotone table, midpoint queries stay between the
+        smallest and largest table value (no over/undershoot)."""
+        mid_slews = (lut.index_1[:-1] + lut.index_1[1:]) / 2
+        mid_loads = (lut.index_2[:-1] + lut.index_2[1:]) / 2
+        values = bilinear_interpolate_many(
+            lut, mid_slews[:, None], mid_loads[None, :]
+        )
+        assert np.all(values >= lut.values.min() - 1e-12)
+        assert np.all(values <= lut.values.max() + 1e-12)
