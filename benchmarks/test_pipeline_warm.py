@@ -1,0 +1,53 @@
+"""Bench: cold vs warm artifact-pipeline evaluation (smoke).
+
+Runs one (baseline + tuned) comparison of the tiny flow cold, then warm
+from the artifact store, records both wall times (and their ratio) into
+the bench JSON via ``benchmark.extra_info``, and asserts the warm run
+performs zero synthesis calls and returns a bit-identical comparison.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.flow.experiment import FlowConfig, TuningFlow
+from repro.synth.synthesizer import (
+    reset_synthesis_call_count,
+    synthesis_call_count,
+)
+
+PERIOD = 2.0
+METHOD = "sigma_ceiling"
+PARAMETER = 0.03
+
+
+def _compare(config):
+    return TuningFlow(config).compare(PERIOD, METHOD, PARAMETER)
+
+
+def test_pipeline_warm_speedup(benchmark, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    config = FlowConfig.tiny()
+
+    start = time.perf_counter()
+    cold = _compare(config)
+    cold_s = time.perf_counter() - start
+
+    reset_synthesis_call_count()
+    start = time.perf_counter()
+    warm = _compare(config)
+    warm_s = time.perf_counter() - start
+
+    assert warm == cold
+    assert synthesis_call_count() == 0  # warm runs never synthesize
+
+    benchmark.extra_info["cold_s"] = round(cold_s, 4)
+    benchmark.extra_info["warm_s"] = round(warm_s, 4)
+    benchmark.extra_info["speedup"] = round(cold_s / warm_s, 1)
+    print(
+        f"\ncold {cold_s:.2f}s  warm {warm_s:.3f}s  "
+        f"speedup {cold_s / warm_s:.0f}x (zero synthesis warm)"
+    )
+
+    # timed leg for the bench JSON: one warm evaluation
+    benchmark.pedantic(_compare, args=(config,), rounds=3, iterations=1)

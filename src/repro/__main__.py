@@ -6,15 +6,19 @@ Usage::
     python -m repro run fig04 table2      # run a selection
     python -m repro run --all             # everything (synthesis-heavy)
     python -m repro run --all --jobs 0    # characterize on every CPU
-    python -m repro run fig07 --no-cache  # bypass the on-disk cache
+    python -m repro run fig07 --no-cache  # bypass the on-disk caches
+    python -m repro run fig10 --manifest  # print the stage manifest
     python -m repro cache stats           # cache location and size
-    python -m repro cache clear           # drop every cached library
+    python -m repro cache clear           # drop libraries and artifacts
     REPRO_SCALE=paper python -m repro run table1   # full-scale flow
 
-Characterization results are memoized under ``$REPRO_CACHE_DIR`` (or
-``~/.cache/repro``); a warm cache makes repeated runs skip Monte-Carlo
-characterization entirely, and ``--jobs`` fans cold characterization
-out over worker processes with bit-identical results.
+Every pipeline stage (characterized library, tuning, synthesis, worst
+paths, design statistics, minimum-period search) is content-addressed
+and memoized under ``$REPRO_CACHE_DIR`` (or ``~/.cache/repro``); a warm
+store makes repeated runs skip synthesis entirely, ``--jobs`` fans both
+characterization and the evaluation sweep out over worker processes
+with bit-identical results, and ``--manifest`` prints what each run
+served from the store versus computed.
 """
 
 from __future__ import annotations
@@ -56,15 +60,24 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="characterization worker processes (1 = serial, 0 = one "
-        "per CPU; default from REPRO_JOBS)",
+        help="worker processes for characterization and the evaluation "
+        "sweep (1 = serial, 0 = one per CPU; default from REPRO_JOBS)",
     )
     run_parser.add_argument(
         "--no-cache",
         action="store_true",
-        help="neither read nor write the on-disk library cache",
+        help="neither read nor write the on-disk library cache and "
+        "artifact store",
     )
-    cache_parser = sub.add_parser("cache", help="inspect or clear the library cache")
+    run_parser.add_argument(
+        "--manifest",
+        action="store_true",
+        help="after each experiment, print the run manifest (stage "
+        "fingerprints, cache hit/miss, wall time)",
+    )
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or clear the library cache and artifact store"
+    )
     cache_parser.add_argument(
         "action", choices=("stats", "clear"), help="what to do with the cache"
     )
@@ -72,15 +85,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _run_cache_command(action: str) -> int:
-    """Handle ``python -m repro cache stats|clear``."""
-    from repro.parallel import LibraryCache
+    """Handle ``python -m repro cache stats|clear`` for both halves of
+    the on-disk state: the ``.npz`` library cache and the staged
+    artifact store."""
+    from repro.parallel import ArtifactStore, LibraryCache
 
     cache = LibraryCache()
+    store = ArtifactStore()
     if action == "stats":
         print(cache.stats().to_text())
+        print(store.stats().to_text())
         return 0
     removed = cache.clear()
     print(f"removed {removed} cache entries from {cache.directory}")
+    removed = store.clear()
+    print(f"removed {removed} stage artifacts from {store.directory}")
     return 0
 
 
@@ -118,6 +137,8 @@ def main(argv: List[str]) -> int:
         result = run_experiments(context, ids=[experiment_id])[experiment_id]
         print(result.to_text())
         print(f"[{experiment_id} finished in {time.time() - start:.1f}s]\n")
+    if args.manifest:
+        print(context.flow.manifest.to_text())
     return 0
 
 

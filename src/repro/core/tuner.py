@@ -62,6 +62,58 @@ class TuningResult:
             f"{len(self.excluded_cells)} cells excluded"
         )
 
+    def to_payload(self) -> dict:
+        """JSON-serializable rendering (artifact pipeline).
+
+        Windows are flattened to ``[cell, pin, bounds-or-null]`` rows;
+        the method is stored by name and resolved from the registry on
+        load, so the payload stays pure data.
+        """
+        return {
+            "method": self.method.name,
+            "parameter": self.parameter,
+            "thresholds": dict(sorted(self.thresholds.items())),
+            "windows": [
+                [
+                    cell,
+                    pin,
+                    None
+                    if window is None
+                    else [
+                        window.min_slew,
+                        window.max_slew,
+                        window.min_load,
+                        window.max_load,
+                    ],
+                ]
+                for (cell, pin), window in sorted(self.windows.items())
+            ],
+            "excluded_cells": list(self.excluded_cells),
+        }
+
+    @staticmethod
+    def from_payload(payload: dict) -> "TuningResult":
+        """Rebuild a result stored with :meth:`to_payload`."""
+        windows: WindowMap = {}
+        for cell, pin, bounds in payload["windows"]:
+            if bounds is None:
+                windows[(cell, pin)] = None
+            else:
+                min_slew, max_slew, min_load, max_load = bounds
+                windows[(cell, pin)] = SlewLoadWindow(
+                    min_slew=float(min_slew),
+                    max_slew=float(max_slew),
+                    min_load=float(min_load),
+                    max_load=float(max_load),
+                )
+        return TuningResult(
+            method=method_by_name(payload["method"]),
+            parameter=float(payload["parameter"]),
+            thresholds={k: float(v) for k, v in payload["thresholds"].items()},
+            windows=windows,
+            excluded_cells=list(payload["excluded_cells"]),
+        )
+
 
 class LibraryTuner:
     """Tunes a statistical library (paper Sec. VI end-to-end)."""

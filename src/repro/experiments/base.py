@@ -15,9 +15,6 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.flow.experiment import FlowConfig, TuningFlow
-from repro.flow.minperiod import minimum_clock_period
-from repro.synth.constraints import SynthesisConstraints
-from repro.synth.synthesizer import synthesize
 
 
 @dataclass
@@ -72,7 +69,6 @@ class ExperimentContext:
 
     def __init__(self, flow: Optional[TuningFlow] = None):
         self.flow = flow or TuningFlow(FlowConfig.from_environment())
-        self._minimum_period: Optional[float] = None
         #: Fig. 9 only lists cells used more than 100 times on the 20k
         #: design; scale the cut to the configured design size.
         design_gates = 20_000 if self.is_paper_scale else 3_500
@@ -84,44 +80,13 @@ class ExperimentContext:
 
     # ------------------------------------------------------------------
 
-    def _probe(self, period: float):
-        """Reduced-effort feasibility probe for the minimum search.
-
-        One buffering round is enough to decide met/fail; the four
-        operating points are later synthesized at full effort, which
-        can only do better — so a probe-feasible minimum stays
-        feasible.
-        """
-        period = round(period, 4)
-        netlist = self.flow.build_design()
-        constraints = SynthesisConstraints(
-            clock_period=period,
-            guard_band=self.flow.config.guard_band,
-            max_buffer_rounds=1,
-        )
-        result = synthesize(netlist, self.flow.statistical_library, constraints)
-        return result.met, result.area
-
     def minimum_period(self, resolution: float = 0.05) -> float:
-        """Paper Sec. VII: reduce the clock until synthesis fails."""
-        if self._minimum_period is None:
-            guard = self.flow.config.guard_band
-            # seed the bracket from the logic depth (~55 ps/stage)
-            depth = max(self.flow.build_design().levelize().values())
-            guess = guard + 0.055 * depth
-            lower = round(guard + 0.55 * (guess - guard), 2)
-            upper = round(guess * 1.15, 2)
-            while self._probe(upper)[0] is False:
-                lower = upper
-                upper = round(upper * 1.4, 2)
-            while self._probe(lower)[0] is True:
-                upper = lower
-                lower = round(guard + 0.6 * (lower - guard), 2)
-            self._minimum_period = round(
-                minimum_clock_period(self._probe, lower, upper, resolution=resolution),
-                4,
-            )
-        return self._minimum_period
+        """Paper Sec. VII: reduce the clock until synthesis fails.
+
+        Delegates to the flow's content-addressed ``minperiod`` stage,
+        so a warm artifact store answers without a probe synthesis.
+        """
+        return self.flow.minimum_period(resolution)
 
     def standard_periods(self) -> Dict[str, float]:
         """The four Table 1 operating points for this flow's scale.

@@ -31,15 +31,27 @@ def sweep_all(
     context: ExperimentContext,
     periods: Optional[Sequence[float]] = None,
 ) -> Dict[Tuple[str, float], List[TuningComparison]]:
-    """All (method, period) sweeps; memoized through the flow."""
+    """All (method, period) sweeps; memoized through the flow.
+
+    The full (period, method, parameter) point grid goes through
+    :meth:`~repro.flow.experiment.TuningFlow.sweep_comparisons` as one
+    batch, so with ``n_workers > 1`` the whole evaluation fans out over
+    worker processes instead of one method sweep at a time.
+    """
     flow = context.flow
     chosen = list(periods) if periods is not None else list(
         context.standard_periods().values()
     )
+    points = [
+        (period, method, value)
+        for period in chosen
+        for method in METHOD_ORDER
+        for value in TUNING_METHODS[method].sweep_values()
+    ]
+    comparisons = flow.sweep_comparisons(points)
     sweeps: Dict[Tuple[str, float], List[TuningComparison]] = {}
-    for period in chosen:
-        for method in METHOD_ORDER:
-            sweeps[(method, period)] = flow.sweep_method(period, method)
+    for (period, method, _value), comparison in zip(points, comparisons):
+        sweeps.setdefault((method, period), []).append(comparison)
     return sweeps
 
 

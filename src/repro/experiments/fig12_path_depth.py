@@ -44,7 +44,7 @@ def run(
         rows=rows,
         notes=(
             f"mean depth baseline {base_mean:.2f} -> tuned {tuned_mean:.2f}; "
-            f"tuned adds cells (buffers): {len(tuned.result.netlist)} vs "
-            f"{len(baseline.result.netlist)} instances"
+            f"tuned adds cells (buffers): {tuned.n_instances} vs "
+            f"{baseline.n_instances} instances"
         ),
     )

@@ -90,8 +90,14 @@ def run_experiments(
     context: Optional[ExperimentContext] = None,
     ids: Optional[List[str]] = None,
 ) -> Dict[str, ExperimentResult]:
-    """Run the selected experiments (all by default) and return them."""
-    context = context or ExperimentContext()
+    """Run the selected experiments (all by default) and return them.
+
+    Without an explicit context, one is built through
+    :func:`build_context` so the environment knobs (``REPRO_SCALE``,
+    ``REPRO_JOBS``) and the default caching path apply — a bare
+    ``ExperimentContext()`` would silently bypass them.
+    """
+    context = context or build_context()
     chosen = ids if ids is not None else list(ALL_EXPERIMENTS)
     results: Dict[str, ExperimentResult] = {}
     for experiment_id in chosen:

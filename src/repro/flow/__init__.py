@@ -7,8 +7,9 @@ metrics (sigma reduction vs area increase) per tuning method, parameter
 and clock period.
 """
 
-from repro.flow.experiment import FlowConfig, SynthesisRun, TuningFlow
+from repro.flow.experiment import FlowConfig, RunSummary, SynthesisRun, TuningFlow
 from repro.flow.metrics import TuningComparison, best_under_area_cap, compare_runs
+from repro.flow.pipeline import ArtifactPipeline, RunManifest, StageRecord
 from repro.flow.minperiod import minimum_clock_period, period_area_sweep
 from repro.flow.pathmc import PathMonteCarlo, pick_paths_by_depth
 from repro.flow.yieldmodel import (
@@ -18,9 +19,12 @@ from repro.flow.yieldmodel import (
 )
 
 __all__ = [
+    "ArtifactPipeline",
     "FlowConfig",
+    "RunManifest",
+    "RunSummary",
+    "StageRecord",
     "SynthesisRun",
-    "TuningFlow",
     "TuningComparison",
     "best_under_area_cap",
     "compare_runs",

@@ -1,37 +1,61 @@
-"""The end-to-end tuning experiment flow.
+"""The end-to-end tuning experiment flow, as a staged artifact pipeline.
 
-One :class:`TuningFlow` owns everything the evaluation needs:
+One :class:`TuningFlow` owns the evaluation's stage chain::
 
-* the 304-cell catalog and its statistical library (N Monte-Carlo
-  samples at the typical corner);
-* the :class:`~repro.core.tuner.LibraryTuner`;
-* a memo of synthesis runs keyed by (method, parameter, clock period),
-  since both Fig. 10 and Table 3 reuse the same sweep.
+    catalog -> statistical library -> tuning -> synthesis -> paths
+            -> design statistics          (+ the minimum-period search)
 
-Two scales are provided: ``FlowConfig.paper()`` (the ~18k-gate
-microcontroller, 50 MC samples — the paper's setup) and
-``FlowConfig.quick()`` (a scaled-down controller, 30 samples) which
-keeps the full pipeline and its trends but runs each synthesis in a few
-seconds; benchmarks default to quick and honor ``REPRO_SCALE=paper``.
+Every stage is a pure function of a content-addressed fingerprint (see
+:mod:`repro.flow.pipeline`) and its artifact is persisted in the
+on-disk store under ``$REPRO_CACHE_DIR``, so a warm run of the Fig. 10
+/ Table 3 evaluation sweep (5 methods x Table 2 parameters x 4 clock
+periods) skips synthesis entirely — not just characterization.  The
+in-process memos remain in front of the store, so repeated access
+within a flow stays allocation-free.
 
-Execution knobs (see :mod:`repro.parallel`): ``n_workers`` fans the
-characterization out over processes with bit-identical results
-(``REPRO_JOBS`` / ``--jobs``), and ``cache`` memoizes characterized
-libraries on disk (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``) so
-repeated runs skip characterization entirely.
+Three scales are provided: ``FlowConfig.paper()`` (the ~18k-gate
+microcontroller, 50 MC samples — the paper's setup), ``FlowConfig.
+quick()`` (a scaled-down controller, 30 samples) which keeps the
+trends but runs each synthesis in a few seconds, and ``FlowConfig.
+tiny()`` (a few hundred gates, 10 samples) for smoke runs and CI.
+
+Execution knobs (see :mod:`repro.parallel`): ``n_workers`` fans both
+the Monte-Carlo characterization *and* the evaluation sweep points out
+over processes with bit-identical results (``REPRO_JOBS`` /
+``--jobs``), and ``cache`` memoizes characterized libraries and every
+downstream stage artifact on disk.  Each flow records a
+:class:`~repro.flow.pipeline.RunManifest` of stage resolutions
+(fingerprint, hit/miss, wall time), surfaced via ``--manifest``.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cells.catalog import CellSpec, build_catalog
 from repro.characterization.characterize import Characterizer
+from repro.core.methods import TuningMethod, method_by_name
 from repro.core.tuner import LibraryTuner, TuningResult
 from repro.errors import ReproError
 from repro.flow.metrics import TuningComparison, compare_runs
+from repro.flow.minperiod import minimum_clock_period
+from repro.flow.pipeline import (
+    BASELINE_WINDOWS,
+    ArtifactPipeline,
+    RunManifest,
+    SweepPoint,
+    catalog_fingerprint,
+    design_fingerprint,
+    minperiod_fingerprint,
+    paths_fingerprint,
+    stats_fingerprint,
+    synthesis_fingerprint,
+    sweep_comparisons,
+    tuning_fingerprint,
+)
 from repro.liberty.model import Library
 from repro.netlist.generators.microcontroller import (
     MicrocontrollerParams,
@@ -54,10 +78,12 @@ class FlowConfig:
     n_samples: int = 50
     seed: int = 0
     guard_band: float = GUARD_BAND_NS
-    #: Characterization worker processes (1 = serial, 0 = one per CPU).
+    #: Worker processes for characterization and sweep fan-out
+    #: (1 = serial, 0 = one per CPU).
     n_workers: int = 1
-    #: Memoize characterized libraries on disk (``$REPRO_CACHE_DIR`` or
-    #: ``~/.cache/repro``); results are bit-identical either way.
+    #: Persist characterized libraries and stage artifacts on disk
+    #: (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``); results are
+    #: bit-identical either way.
     cache: bool = True
 
     @staticmethod
@@ -84,20 +110,42 @@ class FlowConfig:
         )
 
     @staticmethod
+    def tiny() -> "FlowConfig":
+        """A few hundred gates, 10 samples — smoke runs and CI."""
+        return FlowConfig(
+            design=MicrocontrollerParams(
+                width=12,
+                regfile_bits=2,
+                mult_width=8,
+                n_timers=1,
+                timer_width=8,
+                control_gates=400,
+                status_width=16,
+                n_uarts=1,
+                gpio_width=4,
+            ),
+            n_samples=10,
+        )
+
+    @staticmethod
     def from_environment() -> "FlowConfig":
         """Build a config from environment knobs.
 
-        ``REPRO_SCALE=paper`` selects the full-scale flow (default
-        ``quick``); ``REPRO_JOBS=N`` sets the characterization worker
-        count (0 = one per CPU).
+        ``REPRO_SCALE=paper|quick|tiny`` selects the scale (default
+        ``quick``); ``REPRO_JOBS=N`` sets the worker count for
+        characterization and sweep fan-out (0 = one per CPU).
         """
         scale = os.environ.get("REPRO_SCALE", "quick").lower()
         if scale == "paper":
             config = FlowConfig.paper()
         elif scale == "quick":
             config = FlowConfig.quick()
+        elif scale == "tiny":
+            config = FlowConfig.tiny()
         else:
-            raise ReproError(f"unknown REPRO_SCALE {scale!r} (use 'quick' or 'paper')")
+            raise ReproError(
+                f"unknown REPRO_SCALE {scale!r} (use 'quick', 'paper' or 'tiny')"
+            )
         jobs = os.environ.get("REPRO_JOBS")
         if jobs is not None:
             try:
@@ -107,22 +155,97 @@ class FlowConfig:
         return config
 
 
+@dataclass(frozen=True)
+class RunSummary:
+    """Serializable summary of a synthesis outcome (stage ``synth``).
+
+    Everything the evaluation reads off a run that is *not* the paths
+    or the statistics: feasibility, area, the sizing/buffering effort,
+    and the bound-cell usage of the final netlist.
+    """
+
+    met: bool
+    area: float
+    wns: float
+    sizing_iterations: int
+    buffer_instances: int
+    failure_reason: str
+    legality_violations: int
+    n_instances: int
+    cell_counts: Tuple[Tuple[str, int], ...]
+
+    @staticmethod
+    def from_result(result: SynthesisResult) -> "RunSummary":
+        """Summarize a live synthesis result."""
+        return RunSummary(
+            met=result.met,
+            area=result.area,
+            wns=float(result.timing.wns),
+            sizing_iterations=result.sizing_iterations,
+            buffer_instances=result.buffer_instances,
+            failure_reason=result.failure_reason,
+            legality_violations=result.legality_violations,
+            n_instances=len(result.netlist),
+            cell_counts=tuple(sorted(result.cell_histogram().items())),
+        )
+
+    def to_payload(self) -> dict:
+        """JSON-serializable rendering (artifact pipeline)."""
+        return {
+            "met": self.met,
+            "area": self.area,
+            "wns": self.wns,
+            "sizing_iterations": self.sizing_iterations,
+            "buffer_instances": self.buffer_instances,
+            "failure_reason": self.failure_reason,
+            "legality_violations": self.legality_violations,
+            "n_instances": self.n_instances,
+            "cell_counts": [list(item) for item in self.cell_counts],
+        }
+
+    @staticmethod
+    def from_payload(payload: dict) -> "RunSummary":
+        """Rebuild a summary stored with :meth:`to_payload`."""
+        return RunSummary(
+            met=bool(payload["met"]),
+            area=float(payload["area"]),
+            wns=float(payload["wns"]),
+            sizing_iterations=int(payload["sizing_iterations"]),
+            buffer_instances=int(payload["buffer_instances"]),
+            failure_reason=payload["failure_reason"],
+            legality_violations=int(payload["legality_violations"]),
+            n_instances=int(payload["n_instances"]),
+            cell_counts=tuple(
+                (name, int(count)) for name, count in payload["cell_counts"]
+            ),
+        )
+
+
 @dataclass
 class SynthesisRun:
-    """A synthesis outcome plus the paper's measurements on it."""
+    """A synthesis outcome plus the paper's measurements on it.
+
+    Live runs keep the full :class:`~repro.synth.synthesizer.
+    SynthesisResult` (netlist, timing graph); runs assembled from the
+    artifact store carry ``result=None`` — every evaluation metric
+    (area, sigma, histograms, paths) is available either way, only the
+    raw timing graph is live-only.
+    """
 
     clock_period: float
-    result: SynthesisResult
+    summary: RunSummary
     paths: List[TimingPath]
     stats: DesignStatistics
+    #: Live-synthesis handle; ``None`` when served from the store.
+    result: Optional[SynthesisResult] = None
 
     @property
     def met(self) -> bool:
-        return self.result.met
+        return self.summary.met
 
     @property
     def area(self) -> float:
-        return self.result.area
+        return self.summary.area
 
     @property
     def design_sigma(self) -> float:
@@ -130,12 +253,24 @@ class SynthesisRun:
         return self.stats.sigma
 
     @property
+    def n_instances(self) -> int:
+        """Instances in the synthesized netlist (buffers included)."""
+        return self.summary.n_instances
+
+    @property
     def timing(self) -> TimingResult:
+        """The live timing result — raises for store-served runs."""
+        if self.result is None:
+            raise ReproError(
+                "timing graph not retained in a cached synthesis artifact; "
+                "re-run with FlowConfig(cache=False) or clear the store to "
+                "synthesize live"
+            )
         return self.result.timing
 
     def cell_histogram(self) -> Dict[str, int]:
         """Bound-cell usage of the run (paper Fig. 9)."""
-        return self.result.cell_histogram()
+        return dict(self.summary.cell_counts)
 
     def depth_histogram(self) -> Dict[int, int]:
         """Worst-path count per depth (paper Fig. 12)."""
@@ -146,16 +281,31 @@ class SynthesisRun:
 
 
 class TuningFlow:
-    """Characterize once, tune and synthesize many times (memoized)."""
+    """Characterize once, tune and synthesize many times — every stage
+    memoized in-process and content-addressed on disk."""
 
     def __init__(self, config: Optional[FlowConfig] = None):
         self.config = config or FlowConfig.paper()
+        self.manifest = RunManifest()
+        self._store = None
+        if self.config.cache:
+            from repro.parallel import ArtifactStore
+
+            self._store = ArtifactStore()
+        self._pipeline = ArtifactPipeline(self._store, self.manifest)
         self._specs: Optional[List[CellSpec]] = None
         self._characterizer: Optional[Characterizer] = None
         self._statistical: Optional[Library] = None
         self._tuner: Optional[LibraryTuner] = None
+        self._statlib_key: Optional[str] = None
+        self._design_key: Optional[str] = None
         self._tunings: Dict[Tuple[str, float], TuningResult] = {}
-        self._runs: Dict[Tuple[str, float, float], SynthesisRun] = {}
+        #: Memoized runs, keyed disjointly: ``("baseline", period)``
+        #: for untuned synthesis, ``("tuned", method, parameter,
+        #: period)`` for tuned — no tuning-method name can collide
+        #: with the baseline entry.
+        self._runs: Dict[tuple, SynthesisRun] = {}
+        self._minimum_periods: Dict[float, float] = {}
 
     # ------------------------------------------------------------------
     # Lazy stages
@@ -164,7 +314,14 @@ class TuningFlow:
     @property
     def specs(self) -> List[CellSpec]:
         if self._specs is None:
+            start = time.perf_counter()
             self._specs = build_catalog()
+            self._pipeline.note(
+                "catalog",
+                catalog_fingerprint(self._specs),
+                "computed",
+                time.perf_counter() - start,
+            )
         return self._specs
 
     @property
@@ -179,10 +336,50 @@ class TuningFlow:
         return self._characterizer
 
     @property
+    def statlib_key(self) -> str:
+        """Content fingerprint of the statistical-library stage."""
+        if self._statlib_key is None:
+            from repro.parallel.cache import characterization_key
+
+            self._statlib_key = characterization_key(
+                self.characterizer,
+                self.specs,
+                self.config.n_samples,
+                self.config.seed,
+                include_global=False,
+                kind="stat",
+            )
+        return self._statlib_key
+
+    @property
+    def design_key(self) -> str:
+        """Content fingerprint of the evaluation design's parameters."""
+        if self._design_key is None:
+            self._design_key = design_fingerprint(self.config.design)
+        return self._design_key
+
+    @property
     def statistical_library(self) -> Library:
         if self._statistical is None:
+            start = time.perf_counter()
+            cache = self.characterizer.cache
+            if cache is None:
+                status = "computed"
+            elif cache.has_statistical(
+                self.characterizer,
+                self.specs,
+                self.config.n_samples,
+                self.config.seed,
+                include_global=False,
+            ):
+                status = "hit"
+            else:
+                status = "miss"
             self._statistical = self.characterizer.statistical_library(
                 self.specs, n_samples=self.config.n_samples, seed=self.config.seed
+            )
+            self._pipeline.note(
+                "statlib", self.statlib_key, status, time.perf_counter() - start
             )
         return self._statistical
 
@@ -192,11 +389,23 @@ class TuningFlow:
             self._tuner = LibraryTuner(self.statistical_library)
         return self._tuner
 
+    def _method(self, method) -> TuningMethod:
+        """Resolve (and validate) a method given by name or value."""
+        return method_by_name(method) if isinstance(method, str) else method
+
     def tuning(self, method: str, parameter: float) -> TuningResult:
-        """Memoized tuning result for (method, parameter)."""
-        key = (method, parameter)
+        """Tuning result for (method, parameter) — memoized in-process,
+        content-addressed on disk."""
+        resolved = self._method(method)
+        key = (resolved.name, parameter)
         if key not in self._tunings:
-            self._tunings[key] = self.tuner.tune(method, parameter)
+            self._tunings[key] = self._pipeline.resolve(
+                "tuning",
+                tuning_fingerprint(self.statlib_key, resolved, parameter),
+                compute=lambda: self.tuner.tune(resolved, parameter),
+                encode=lambda result: result.to_payload(),
+                decode=TuningResult.from_payload,
+            )
         return self._tunings[key]
 
     def build_design(self) -> Netlist:
@@ -204,43 +413,111 @@ class TuningFlow:
         return build_microcontroller(self.config.design)
 
     # ------------------------------------------------------------------
-    # Synthesis runs
+    # Synthesis runs (stages: synth -> paths -> stats)
     # ------------------------------------------------------------------
 
-    def _run(self, constraints: SynthesisConstraints) -> SynthesisRun:
+    def _resolve_run(
+        self,
+        windows_key: str,
+        constraints: SynthesisConstraints,
+        windows_factory: Optional[Callable[[], object]] = None,
+    ) -> SynthesisRun:
+        """Serve a synthesis run from the store, or synthesize live.
+
+        ``constraints`` arrives *without* windows (they are represented
+        by ``windows_key`` in the fingerprint); ``windows_factory``
+        materializes them only when the run must actually synthesize —
+        a warm hit never touches the tuning stage.
+
+        The three downstream stages (synth summary, worst paths,
+        design statistics) are stored under chained fingerprints; a
+        partially populated store (e.g. an interrupted run) counts as a
+        full miss so the artifacts can never disagree with each other.
+        """
+        synth_key = synthesis_fingerprint(
+            self.statlib_key, self.design_key, windows_key, constraints
+        )
+        path_key = paths_fingerprint(synth_key)
+        stat_key = stats_fingerprint(synth_key)
+        store = self._store
+        if store is not None:
+            start = time.perf_counter()
+            summary_payload = store.load("synth", synth_key)
+            paths_payload = store.load("paths", path_key)
+            stats_payload = store.load("stats", stat_key)
+            if (
+                summary_payload is not None
+                and paths_payload is not None
+                and stats_payload is not None
+            ):
+                elapsed = (time.perf_counter() - start) / 3
+                for stage, key in (
+                    ("synth", synth_key),
+                    ("paths", path_key),
+                    ("stats", stat_key),
+                ):
+                    self._pipeline.note(stage, key, "hit", elapsed)
+                return SynthesisRun(
+                    clock_period=constraints.clock_period,
+                    summary=RunSummary.from_payload(summary_payload),
+                    paths=[TimingPath.from_payload(p) for p in paths_payload],
+                    stats=DesignStatistics.from_payload(stats_payload),
+                )
+        if windows_factory is not None:
+            constraints = replace(constraints, windows=windows_factory())
+        status = "computed" if store is None else "miss"
+
+        start = time.perf_counter()
         netlist = self.build_design()
         result = synthesize(netlist, self.statistical_library, constraints)
+        summary = RunSummary.from_result(result)
+        if store is not None:
+            store.store("synth", synth_key, summary.to_payload())
+        self._pipeline.note("synth", synth_key, status, time.perf_counter() - start)
+
+        start = time.perf_counter()
         paths = extract_worst_paths(result.timing)
+        if store is not None:
+            store.store("paths", path_key, [p.to_payload() for p in paths])
+        self._pipeline.note("paths", path_key, status, time.perf_counter() - start)
+
+        start = time.perf_counter()
         stats = design_statistics(paths, self.statistical_library)
+        if store is not None:
+            store.store("stats", stat_key, stats.to_payload())
+        self._pipeline.note("stats", stat_key, status, time.perf_counter() - start)
+
         return SynthesisRun(
             clock_period=constraints.clock_period,
-            result=result,
+            summary=summary,
             paths=paths,
             stats=stats,
+            result=result,
         )
 
     def baseline(self, clock_period: float) -> SynthesisRun:
         """Baseline (untuned) synthesis at a clock period (memoized)."""
-        key = ("baseline", 0.0, clock_period)
+        key = ("baseline", clock_period)
         if key not in self._runs:
-            self._runs[key] = self._run(
+            self._runs[key] = self._resolve_run(
+                BASELINE_WINDOWS,
                 SynthesisConstraints(
                     clock_period=clock_period, guard_band=self.config.guard_band
-                )
+                ),
             )
         return self._runs[key]
 
     def tuned(self, clock_period: float, method: str, parameter: float) -> SynthesisRun:
         """Tuned synthesis at a clock period (memoized)."""
-        key = (method, parameter, clock_period)
+        resolved = self._method(method)
+        key = ("tuned", resolved.name, parameter, clock_period)
         if key not in self._runs:
-            tuning = self.tuning(method, parameter)
-            self._runs[key] = self._run(
+            self._runs[key] = self._resolve_run(
+                tuning_fingerprint(self.statlib_key, resolved, parameter),
                 SynthesisConstraints(
-                    clock_period=clock_period,
-                    guard_band=self.config.guard_band,
-                    windows=tuning.windows,
-                )
+                    clock_period=clock_period, guard_band=self.config.guard_band
+                ),
+                windows_factory=lambda: self.tuning(resolved, parameter).windows,
             )
         return self._runs[key]
 
@@ -250,13 +527,108 @@ class TuningFlow:
         """Baseline-vs-tuned comparison (paper Figs. 10-11 data point)."""
         baseline = self.baseline(clock_period)
         tuned = self.tuned(clock_period, method, parameter)
-        return compare_runs(baseline, tuned, method, parameter)
+        return compare_runs(baseline, tuned, self._method(method).name, parameter)
 
     def sweep_method(
         self, clock_period: float, method: str, parameters: Optional[List[float]] = None
     ) -> List[TuningComparison]:
         """Compare every Table 2 parameter of a method at one period."""
-        from repro.core.methods import method_by_name
+        values = parameters or list(self._method(method).sweep_values())
+        return self.sweep_comparisons(
+            [(clock_period, self._method(method).name, value) for value in values]
+        )
 
-        values = parameters or list(method_by_name(method).sweep_values())
-        return [self.compare(clock_period, method, value) for value in values]
+    def sweep_comparisons(
+        self, points: Sequence[SweepPoint]
+    ) -> List[TuningComparison]:
+        """Evaluate many (period, method, parameter) points.
+
+        With ``n_workers > 1`` *and* the on-disk store enabled, the
+        points fan out over worker processes (the store is the shared
+        medium — baselines are synthesized once, artifacts are written
+        atomically, and reassembly follows ``points`` order, so the
+        result list is bit-identical to the serial path).  Otherwise
+        the points run serially through :meth:`compare`.
+        """
+        from repro.parallel import resolve_jobs
+
+        points = [(p, self._method(m).name, v) for (p, m, v) in points]
+        jobs = resolve_jobs(self.config.n_workers)
+        if jobs <= 1 or self._store is None or len(points) <= 1:
+            return [self.compare(p, m, v) for (p, m, v) in points]
+        # characterize (and persist) the library before forking so the
+        # workers all load the same cached artifact instead of racing
+        # to recompute it
+        self.statistical_library
+        start = time.perf_counter()
+        comparisons = sweep_comparisons(
+            self.config, points, min(jobs, len(points))
+        )
+        self._pipeline.note(
+            "sweep",
+            f"{len(points)}pts@{min(jobs, len(points))}w",
+            "computed",
+            time.perf_counter() - start,
+        )
+        return comparisons
+
+    # ------------------------------------------------------------------
+    # Minimum-period search (stage: minperiod)
+    # ------------------------------------------------------------------
+
+    def _probe(self, period: float) -> Tuple[bool, float]:
+        """Reduced-effort feasibility probe for the minimum search.
+
+        One buffering round is enough to decide met/fail; the operating
+        points are later synthesized at full effort, which can only do
+        better — so a probe-feasible minimum stays feasible.
+        """
+        period = round(period, 4)
+        netlist = self.build_design()
+        constraints = SynthesisConstraints(
+            clock_period=period,
+            guard_band=self.config.guard_band,
+            max_buffer_rounds=1,
+        )
+        result = synthesize(netlist, self.statistical_library, constraints)
+        return result.met, result.area
+
+    def _search_minimum_period(self, resolution: float) -> float:
+        """Paper Sec. VII: reduce the clock until synthesis fails."""
+        guard = self.config.guard_band
+        # seed the bracket from the logic depth (~55 ps/stage)
+        depth = max(self.build_design().levelize().values())
+        guess = guard + 0.055 * depth
+        lower = round(guard + 0.55 * (guess - guard), 2)
+        upper = round(guess * 1.15, 2)
+        while self._probe(upper)[0] is False:
+            lower = upper
+            upper = round(upper * 1.4, 2)
+        while self._probe(lower)[0] is True:
+            upper = lower
+            lower = round(guard + 0.6 * (lower - guard), 2)
+        return round(
+            minimum_clock_period(self._probe, lower, upper, resolution=resolution), 4
+        )
+
+    def minimum_period(self, resolution: float = 0.05) -> float:
+        """The smallest feasible clock period (content-addressed).
+
+        A warm store serves the search result without running a single
+        probe synthesis — the stage that otherwise dominates a warm
+        evaluation's cost.
+        """
+        if resolution not in self._minimum_periods:
+            self._minimum_periods[resolution] = self._pipeline.resolve(
+                "minperiod",
+                minperiod_fingerprint(
+                    self.statlib_key,
+                    self.design_key,
+                    self.config.guard_band,
+                    resolution,
+                ),
+                compute=lambda: self._search_minimum_period(resolution),
+                encode=lambda minimum: {"minimum": minimum},
+                decode=lambda payload: float(payload["minimum"]),
+            )
+        return self._minimum_periods[resolution]

@@ -1,0 +1,339 @@
+"""The staged artifact pipeline behind :class:`~repro.flow.experiment.
+TuningFlow`.
+
+The end-to-end evaluation is a chain of pure stages::
+
+    catalog -> statistical library -> tuning -> synthesis -> paths
+            -> design statistics          (+ the minimum-period search)
+
+Each stage has a canonical **content fingerprint** — a sha256 over a
+sorted-JSON rendering of every input that can change its output — and
+a serializable **artifact** persisted in the generalized
+:class:`~repro.parallel.artifacts.ArtifactStore`.  Fingerprints chain:
+the tuning stage folds in the statistical library's characterization
+key, the synthesis stage folds in the tuning fingerprint (or the
+baseline sentinel), and so on, so a change anywhere upstream
+invalidates exactly the artifacts it can affect.
+
+Layout under ``$REPRO_CACHE_DIR`` (or ``~/.cache/repro``)::
+
+    stat-<key>.npz            characterized library   (repro.parallel.cache)
+    tuning-<key>.json.gz      TuningResult             (windows, thresholds)
+    synth-<key>.json.gz       RunSummary               (met, area, histogram)
+    paths-<key>.json.gz       worst endpoint paths     (full step data)
+    stats-<key>.json.gz       DesignStatistics         (eq. 11 roll-up)
+    minperiod-<key>.json.gz   minimum-period search    (one float)
+
+Every stage resolution appends a :class:`StageRecord` (stage id, key,
+hit/miss, wall time) to the flow's :class:`RunManifest`, surfaced via
+``python -m repro run ... --manifest`` and ``python -m repro cache
+stats``.
+
+The sweep fan-out (:func:`sweep_comparisons`) runs independent
+``(clock period, method, parameter)`` evaluation points on a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Workers rebuild the
+flow from the (picklable) config, hit the shared on-disk caches for the
+library and the per-period baselines, and return plain
+:class:`~repro.flow.metrics.TuningComparison` values which the parent
+reassembles in submission order — deterministic and bit-identical to
+the serial path, because every stage is a pure function of its
+fingerprinted inputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.parallel.artifacts import ARTIFACT_VERSION, ArtifactStore, fingerprint
+from repro.sta.graph import StaConfig
+from repro.synth.constraints import SynthesisConstraints
+
+#: A sweep point: (clock period, method name, parameter); method
+#: ``None`` marks a baseline warm-up point (parameter is ignored).
+SweepPoint = Tuple[float, Optional[str], float]
+
+
+# ----------------------------------------------------------------------
+# Run manifest
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """One stage resolution: what ran, from where, and how long."""
+
+    stage: str
+    key: str
+    #: ``hit`` (served from the store), ``miss`` (computed and stored),
+    #: ``computed`` (computed; no store attached).
+    status: str
+    seconds: float
+
+
+@dataclass
+class RunManifest:
+    """Ordered record of every stage resolution of a flow."""
+
+    records: List[StageRecord] = field(default_factory=list)
+
+    def record(self, stage: str, key: str, status: str, seconds: float) -> None:
+        """Append one stage resolution."""
+        self.records.append(
+            StageRecord(stage=stage, key=key, status=status, seconds=seconds)
+        )
+
+    def counts(self) -> Dict[str, int]:
+        """Resolutions per status (hit / miss / computed)."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return counts
+
+    def to_text(self) -> str:
+        """Fixed-width table of every record plus a hit/miss summary."""
+        if not self.records:
+            return "run manifest: empty (no stages resolved)"
+        lines = ["stage        key           status    seconds"]
+        for record in self.records:
+            lines.append(
+                f"{record.stage:<12s} {record.key[:12]:<13s} "
+                f"{record.status:<9s} {record.seconds:8.3f}"
+            )
+        counts = self.counts()
+        summary = ", ".join(f"{n} {status}" for status, n in sorted(counts.items()))
+        lines.append(f"-- {len(self.records)} stage resolutions: {summary}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Stage fingerprints
+# ----------------------------------------------------------------------
+
+
+def catalog_fingerprint(specs: Sequence) -> str:
+    """Content hash of the cell catalog (stage ``catalog``)."""
+    from repro.parallel.cache import spec_fingerprint
+
+    return fingerprint({
+        "version": ARTIFACT_VERSION,
+        "stage": "catalog",
+        "specs": [spec_fingerprint(spec) for spec in specs],
+    })
+
+
+def design_fingerprint(design) -> str:
+    """Content hash of the evaluation design's generator parameters."""
+    return fingerprint({
+        "version": ARTIFACT_VERSION,
+        "stage": "design",
+        "params": dataclasses.asdict(design),
+    })
+
+
+def tuning_fingerprint(statlib_key: str, method, parameter: float) -> str:
+    """Content hash of one tuning run (stage ``tuning``).
+
+    ``method`` carries its clustering and swept-bound kind so a method
+    rename or semantic change invalidates the artifact even when the
+    name-to-parameter mapping stays the same.
+    """
+    return fingerprint({
+        "version": ARTIFACT_VERSION,
+        "stage": "tuning",
+        "statlib": statlib_key,
+        "method": {
+            "name": method.name,
+            "clustering": method.clustering,
+            "kind": method.kind,
+        },
+        "parameter": parameter,
+    })
+
+
+#: Sentinel taking the place of a tuning fingerprint for untuned runs;
+#: disjoint from any sha256 hex digest.
+BASELINE_WINDOWS = "baseline/unrestricted"
+
+
+def synthesis_fingerprint(
+    statlib_key: str,
+    design_key: str,
+    windows_key: str,
+    constraints: SynthesisConstraints,
+    sta_config: Optional[StaConfig] = None,
+) -> str:
+    """Content hash of one synthesis run (stage ``synth``).
+
+    ``windows_key`` is the tuning stage's fingerprint, or
+    :data:`BASELINE_WINDOWS` for untuned synthesis — which keeps the
+    baseline in a namespace no (method, parameter) pair can collide
+    with.
+    """
+    return fingerprint({
+        "version": ARTIFACT_VERSION,
+        "stage": "synth",
+        "statlib": statlib_key,
+        "design": design_key,
+        "windows": windows_key,
+        "constraints": constraints.fingerprint_payload(),
+        "sta": dataclasses.asdict(sta_config or StaConfig()),
+    })
+
+
+def paths_fingerprint(synth_key: str) -> str:
+    """Content hash of the worst-path extraction (stage ``paths``)."""
+    return fingerprint({
+        "version": ARTIFACT_VERSION,
+        "stage": "paths",
+        "synth": synth_key,
+    })
+
+
+def stats_fingerprint(synth_key: str, rho: float = 0.0) -> str:
+    """Content hash of the design-statistics roll-up (stage ``stats``)."""
+    return fingerprint({
+        "version": ARTIFACT_VERSION,
+        "stage": "stats",
+        "synth": synth_key,
+        "rho": rho,
+    })
+
+
+def minperiod_fingerprint(
+    statlib_key: str,
+    design_key: str,
+    guard_band: float,
+    resolution: float,
+    sta_config: Optional[StaConfig] = None,
+) -> str:
+    """Content hash of the minimum-period search (stage ``minperiod``).
+
+    The search probes with reduced effort (one buffering round); that
+    knob is part of the hash so a probe-policy change invalidates the
+    stored minimum.
+    """
+    return fingerprint({
+        "version": ARTIFACT_VERSION,
+        "stage": "minperiod",
+        "statlib": statlib_key,
+        "design": design_key,
+        "guard_band": guard_band,
+        "resolution": resolution,
+        "probe": {"max_buffer_rounds": 1},
+        "sta": dataclasses.asdict(sta_config or StaConfig()),
+    })
+
+
+# ----------------------------------------------------------------------
+# Stage resolution
+# ----------------------------------------------------------------------
+
+
+class ArtifactPipeline:
+    """Resolves stages against a store, recording every resolution.
+
+    A ``None`` store (``FlowConfig(cache=False)``) degrades every stage
+    to compute-only; the manifest still records what ran.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ArtifactStore] = None,
+        manifest: Optional[RunManifest] = None,
+    ):
+        self.store = store
+        self.manifest = manifest if manifest is not None else RunManifest()
+
+    def resolve(
+        self,
+        stage: str,
+        key: str,
+        compute: Callable[[], Any],
+        encode: Callable[[Any], Any],
+        decode: Callable[[Any], Any],
+    ) -> Any:
+        """Load ``(stage, key)`` from the store, or compute and persist.
+
+        ``encode``/``decode`` translate between the live value and its
+        JSON payload; a hit is decoded, a miss is computed, encoded and
+        stored atomically.
+        """
+        start = time.perf_counter()
+        if self.store is not None:
+            payload = self.store.load(stage, key)
+            if payload is not None:
+                value = decode(payload)
+                self.manifest.record(stage, key, "hit", time.perf_counter() - start)
+                return value
+        value = compute()
+        if self.store is not None:
+            self.store.store(stage, key, encode(value))
+            status = "miss"
+        else:
+            status = "computed"
+        self.manifest.record(stage, key, status, time.perf_counter() - start)
+        return value
+
+    def note(self, stage: str, key: str, status: str, seconds: float) -> None:
+        """Record a stage resolved outside :meth:`resolve` (e.g. the
+        characterization stage, whose artifact lives in the ``.npz``
+        library cache)."""
+        self.manifest.record(stage, key, status, seconds)
+
+
+# ----------------------------------------------------------------------
+# Sweep fan-out
+# ----------------------------------------------------------------------
+
+
+def _sweep_worker(config, point: SweepPoint):
+    """Worker: evaluate one sweep point in a fresh flow.
+
+    The flow rebuilds its statistical library from the on-disk library
+    cache (the parent characterizes before fanning out) and serves or
+    stores synthesis artifacts through the shared store; worker-side
+    characterization parallelism is disabled — the sweep is the
+    parallel axis here.
+    """
+    from repro.flow.experiment import TuningFlow
+
+    flow = TuningFlow(dataclasses.replace(config, n_workers=1))
+    period, method, parameter = point
+    if method is None:
+        flow.baseline(period)
+        return None
+    return flow.compare(period, method, parameter)
+
+
+def sweep_comparisons(
+    config,
+    points: Sequence[SweepPoint],
+    n_workers: int,
+) -> List:
+    """Fan independent sweep points out over worker processes.
+
+    Two phases keep the work non-redundant: the unique clock periods'
+    baselines are synthesized (and stored) first, then every tuned
+    point runs against warm baseline artifacts.  Results return in
+    ``points`` order — reassembly is deterministic, and each value is
+    bit-identical to the serial path because every stage is a pure
+    function of its fingerprinted inputs.
+    """
+    points = list(points)
+    baseline_points: List[SweepPoint] = []
+    seen_periods = set()
+    for period, _method, _parameter in points:
+        if period not in seen_periods:
+            seen_periods.add(period)
+            baseline_points.append((period, None, 0.0))
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        for future in [
+            pool.submit(_sweep_worker, config, point) for point in baseline_points
+        ]:
+            future.result()
+        futures = [pool.submit(_sweep_worker, config, point) for point in points]
+        return [future.result() for future in futures]

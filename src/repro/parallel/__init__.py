@@ -33,9 +33,16 @@ from __future__ import annotations
 import os
 
 from repro.errors import ReproError
+from repro.parallel.artifacts import ArtifactStats, ArtifactStore
 from repro.parallel.cache import CacheStats, LibraryCache
 
-__all__ = ["CacheStats", "LibraryCache", "resolve_jobs"]
+__all__ = [
+    "ArtifactStats",
+    "ArtifactStore",
+    "CacheStats",
+    "LibraryCache",
+    "resolve_jobs",
+]
 
 
 def resolve_jobs(n_workers: int) -> int:

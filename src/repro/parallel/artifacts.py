@@ -1,0 +1,175 @@
+"""Generalized content-addressed artifact store for pipeline stages.
+
+Where :mod:`repro.parallel.cache` stores characterized *libraries* (big
+numeric arrays, ``.npz``), this module stores the artifacts of every
+*downstream* stage of the flow — tuning windows, synthesis-run
+summaries, extracted worst paths, design statistics, the minimum-period
+search — as gzip-compressed canonical JSON.  An artifact is addressed
+by ``(stage, fingerprint)`` where the fingerprint is a sha256 over a
+canonical JSON rendering of every input that can change the stage's
+output (see :func:`fingerprint` and the per-stage payload builders in
+:mod:`repro.flow.pipeline`).
+
+The durability contract matches the library cache: writes go to a
+temporary sibling and are moved into place with :func:`os.replace`
+(atomic on POSIX and Windows), and any entry that cannot be read back
+intact — truncated, garbage, wrong stage/key/version — is treated as a
+miss and deleted, so a corrupted store heals itself.  Because writes
+are atomic and keys are content hashes, concurrent writers (the sweep
+fan-out workers) can only ever race to write *identical* bytes.
+
+Artifacts live next to the library cache (``$REPRO_CACHE_DIR`` or
+``~/.cache/repro``) as ``<stage>-<fingerprint[:40]>.json.gz``.  Bump
+:data:`ARTIFACT_VERSION` whenever a stage's semantics or stored layout
+changes meaning.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.parallel.cache import default_cache_dir
+
+#: Format/semantics version folded into every artifact key and file.
+ARTIFACT_VERSION = 1
+
+#: File suffix of every store entry.
+ARTIFACT_SUFFIX = ".json.gz"
+
+
+def canonical_json(payload: Any) -> str:
+    """Canonical (sorted, compact) JSON rendering of a payload."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint(payload: Any) -> str:
+    """sha256 hex digest of the canonical JSON rendering of ``payload``.
+
+    Payloads must be built from JSON-serializable primitives only;
+    every stage folds :data:`ARTIFACT_VERSION` and its stage name into
+    the payload so fingerprints can never collide across stages or
+    format revisions.
+    """
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ArtifactStats:
+    """Summary of an artifact store directory's contents."""
+
+    directory: Path
+    entries: int
+    total_bytes: int
+
+    def to_text(self) -> str:
+        """One-line human-readable rendering."""
+        kib = self.total_bytes / 1024
+        return f"{self.directory}: {self.entries} artifacts, {kib:.1f} KiB"
+
+
+class ArtifactStore:
+    """Content-addressed on-disk store of JSON stage artifacts."""
+
+    def __init__(self, directory: Optional[Path] = None):
+        self.directory = Path(directory) if directory else default_cache_dir()
+
+    # ------------------------------------------------------------------
+
+    def path_for(self, stage: str, key: str) -> Path:
+        """File an artifact of ``(stage, key)`` lives at."""
+        return self.directory / f"{stage}-{key[:40]}{ARTIFACT_SUFFIX}"
+
+    def has(self, stage: str, key: str) -> bool:
+        """Cheap existence probe (no integrity check)."""
+        return self.path_for(stage, key).is_file()
+
+    def load(self, stage: str, key: str) -> Optional[Any]:
+        """The stored payload of ``(stage, key)``, or ``None`` on miss.
+
+        An entry that exists but cannot be decoded, or whose envelope
+        does not match the requested stage/key/version, counts as a
+        miss and is deleted.
+        """
+        path = self.path_for(stage, key)
+        if not path.is_file():
+            return None
+        try:
+            with gzip.open(path, "rt", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+            if (
+                envelope.get("version") != ARTIFACT_VERSION
+                or envelope.get("stage") != stage
+                or envelope.get("key") != key
+            ):
+                raise ValueError("artifact envelope mismatch")
+            return envelope["payload"]
+        except Exception:
+            self._discard(path)
+            return None
+
+    def store(self, stage: str, key: str, payload: Any) -> Path:
+        """Persist ``payload`` under ``(stage, key)`` (atomically)."""
+        envelope = {
+            "version": ARTIFACT_VERSION,
+            "stage": stage,
+            "key": key,
+            "payload": payload,
+        }
+        path = self.path_for(stage, key)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=path.stem + "-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as raw:
+                with gzip.open(raw, "wt", encoding="utf-8") as handle:
+                    json.dump(envelope, handle, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ArtifactStats:
+        """Entry count and total size of the artifact entries."""
+        entries = 0
+        total = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob(f"*{ARTIFACT_SUFFIX}"):
+                entries += 1
+                total += path.stat().st_size
+        return ArtifactStats(
+            directory=self.directory, entries=entries, total_bytes=total
+        )
+
+    def clear(self) -> int:
+        """Delete every artifact entry; returns the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob(f"*{ARTIFACT_SUFFIX}"):
+                self._discard(path)
+                removed += 1
+            for path in self.directory.glob("*.tmp"):
+                self._discard(path)
+        return removed
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

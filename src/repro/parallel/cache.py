@@ -75,8 +75,12 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
-def _spec_fingerprint(spec: CellSpec) -> dict:
-    """Everything about a spec that characterization results depend on."""
+def spec_fingerprint(spec: CellSpec) -> dict:
+    """Everything about a spec that characterization results depend on.
+
+    Shared by the library cache key and the artifact pipeline's catalog
+    stage fingerprint (:mod:`repro.flow.pipeline`).
+    """
     function = spec.function
     return {
         "name": spec.name,
@@ -124,7 +128,7 @@ def characterization_key(
         "pelgrom": dataclasses.asdict(characterizer.pelgrom),
         "grid": dataclasses.asdict(characterizer.grid),
         "global_sigmas": dataclasses.asdict(characterizer.global_sigmas),
-        "specs": [_spec_fingerprint(spec) for spec in specs],
+        "specs": [spec_fingerprint(spec) for spec in specs],
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -157,6 +161,20 @@ class LibraryCache:
     # ------------------------------------------------------------------
     # Statistical libraries
     # ------------------------------------------------------------------
+
+    def has_statistical(
+        self,
+        characterizer,
+        specs: Sequence[CellSpec],
+        n_samples: int,
+        seed: int,
+        include_global: bool,
+    ) -> bool:
+        """Cheap existence probe for a statistical entry (no integrity
+        check) — used by the pipeline manifest to label hit vs miss."""
+        return self._path(
+            characterizer, specs, n_samples, seed, include_global, "stat"
+        ).is_file()
 
     def load_statistical(
         self,

@@ -58,6 +58,25 @@ class Endpoint:
     #: Setup time to subtract from the required time (FF endpoints).
     setup: float = 0.0
 
+    def to_payload(self) -> dict:
+        """JSON-serializable rendering (artifact pipeline)."""
+        return {
+            "net_id": self.net_id,
+            "kind": self.kind,
+            "name": self.name,
+            "setup": self.setup,
+        }
+
+    @staticmethod
+    def from_payload(payload: dict) -> "Endpoint":
+        """Rebuild an endpoint stored with :meth:`to_payload`."""
+        return Endpoint(
+            net_id=int(payload["net_id"]),
+            kind=payload["kind"],
+            name=payload["name"],
+            setup=float(payload["setup"]),
+        )
+
 
 @dataclass
 class ArcGroup:

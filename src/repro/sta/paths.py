@@ -41,6 +41,37 @@ class PathStep:
     #: True for the launching flip-flop's clock->Q step.
     is_launch: bool = False
 
+    def to_payload(self) -> dict:
+        """JSON-serializable rendering (artifact pipeline)."""
+        return {
+            "instance": self.instance,
+            "cell_name": self.cell_name,
+            "related_pin": self.related_pin,
+            "out_pin": self.out_pin,
+            "input_net": self.input_net,
+            "output_net": self.output_net,
+            "delay": self.delay,
+            "slew": self.slew,
+            "load": self.load,
+            "is_launch": self.is_launch,
+        }
+
+    @staticmethod
+    def from_payload(payload: dict) -> "PathStep":
+        """Rebuild a step stored with :meth:`to_payload`."""
+        return PathStep(
+            instance=payload["instance"],
+            cell_name=payload["cell_name"],
+            related_pin=payload["related_pin"],
+            out_pin=payload["out_pin"],
+            input_net=payload["input_net"],
+            output_net=payload["output_net"],
+            delay=float(payload["delay"]),
+            slew=float(payload["slew"]),
+            load=float(payload["load"]),
+            is_launch=bool(payload["is_launch"]),
+        )
+
 
 @dataclass
 class TimingPath:
@@ -63,6 +94,30 @@ class TimingPath:
     def delays(self) -> np.ndarray:
         """Per-step delays (ns)."""
         return np.array([step.delay for step in self.steps])
+
+    def to_payload(self) -> dict:
+        """JSON-serializable rendering (artifact pipeline).
+
+        Floats survive the JSON round trip bit-exactly, so a path
+        rebuilt with :meth:`from_payload` compares equal (``==``) to
+        the one extracted from the live timing graph.
+        """
+        return {
+            "endpoint": self.endpoint.to_payload(),
+            "steps": [step.to_payload() for step in self.steps],
+            "arrival": self.arrival,
+            "required": self.required,
+        }
+
+    @staticmethod
+    def from_payload(payload: dict) -> "TimingPath":
+        """Rebuild a path stored with :meth:`to_payload`."""
+        return TimingPath(
+            endpoint=Endpoint.from_payload(payload["endpoint"]),
+            steps=[PathStep.from_payload(step) for step in payload["steps"]],
+            arrival=float(payload["arrival"]),
+            required=float(payload["required"]),
+        )
 
 
 def _backtrack(result: TimingResult, endpoint: Endpoint) -> TimingPath:

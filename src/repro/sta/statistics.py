@@ -60,6 +60,25 @@ class PathStatistics:
         """mu + 3 sigma — the paper's robustness view of a path."""
         return self.mean + 3.0 * self.sigma
 
+    def to_payload(self) -> dict:
+        """JSON-serializable rendering (artifact pipeline)."""
+        return {
+            "mean": self.mean,
+            "sigma": self.sigma,
+            "depth": self.depth,
+            "step_sigmas": list(self.step_sigmas),
+        }
+
+    @staticmethod
+    def from_payload(payload: dict) -> "PathStatistics":
+        """Rebuild statistics stored with :meth:`to_payload`."""
+        return PathStatistics(
+            mean=float(payload["mean"]),
+            sigma=float(payload["sigma"]),
+            depth=int(payload["depth"]),
+            step_sigmas=tuple(float(s) for s in payload["step_sigmas"]),
+        )
+
 
 def path_sigma_correlated(step_sigmas: Sequence[float], rho: float) -> float:
     """Eq. (9): path sigma under equal pairwise correlation ``rho``."""
@@ -102,6 +121,27 @@ class DesignStatistics:
     def worst_three_sigma(self) -> float:
         """Worst per-path mu + 3 sigma across the design (Fig. 14)."""
         return max(p.three_sigma for p in self.path_stats)
+
+    def to_payload(self) -> dict:
+        """JSON-serializable rendering (artifact pipeline)."""
+        return {
+            "mean": self.mean,
+            "sigma": self.sigma,
+            "n_paths": self.n_paths,
+            "path_stats": [p.to_payload() for p in self.path_stats],
+        }
+
+    @staticmethod
+    def from_payload(payload: dict) -> "DesignStatistics":
+        """Rebuild statistics stored with :meth:`to_payload`."""
+        return DesignStatistics(
+            mean=float(payload["mean"]),
+            sigma=float(payload["sigma"]),
+            n_paths=int(payload["n_paths"]),
+            path_stats=tuple(
+                PathStatistics.from_payload(p) for p in payload["path_stats"]
+            ),
+        )
 
 
 def design_statistics(

@@ -49,6 +49,24 @@ class SynthesisConstraints:
         """Timing budget the paths are checked against."""
         return self.clock_period - self.guard_band
 
+    def fingerprint_payload(self) -> Dict[str, float]:
+        """Every scalar knob that can change a synthesis outcome.
+
+        The tuning *windows* are deliberately excluded: the artifact
+        pipeline fingerprints them through the tuning stage's own
+        content hash (windows are a pure function of library + method +
+        parameter), which keeps this payload small and canonical.
+        """
+        return {
+            "clock_period": self.clock_period,
+            "guard_band": self.guard_band,
+            "max_sizing_iterations": self.max_sizing_iterations,
+            "max_buffer_rounds": self.max_buffer_rounds,
+            "area_recovery_passes": self.area_recovery_passes,
+            "downsize_margin": self.downsize_margin,
+            "max_transition": self.max_transition,
+        }
+
     def window_for(self, cell_name: str, pin: str) -> Optional[SlewLoadWindow]:
         """Tuning window of a cell output pin.
 

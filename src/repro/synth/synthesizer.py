@@ -39,6 +39,25 @@ from repro.synth.mapping import CellChoices, initial_mapping
 
 _EPS = 1e-9
 
+#: Process-wide synthesis invocation counter (see the test hooks below).
+_SYNTHESIS_CALLS = 0
+
+
+def synthesis_call_count() -> int:
+    """Number of :func:`synthesize` invocations in this process.
+
+    Test hook (with :func:`reset_synthesis_call_count`) to assert that
+    a warm artifact store serves synthesis runs without re-synthesizing
+    — the downstream mirror of ``characterization_call_count``.
+    """
+    return _SYNTHESIS_CALLS
+
+
+def reset_synthesis_call_count() -> None:
+    """Reset the synthesis invocation counter to zero."""
+    global _SYNTHESIS_CALLS
+    _SYNTHESIS_CALLS = 0
+
 
 @dataclass
 class SynthesisResult:
@@ -620,4 +639,6 @@ def synthesize(
     sta_config: Optional[StaConfig] = None,
 ) -> SynthesisResult:
     """Map and size ``netlist`` against ``library`` under ``constraints``."""
+    global _SYNTHESIS_CALLS
+    _SYNTHESIS_CALLS += 1
     return Synthesizer(netlist, library, constraints, sta_config).run()

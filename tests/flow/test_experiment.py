@@ -49,7 +49,7 @@ class TestFlowStages:
         assert run.met
         assert run.area > 0
         assert run.design_sigma > 0
-        assert len(run.paths) == len(run.timing.graph.endpoints)
+        assert len(run.paths) == run.stats.n_paths
         assert tiny_flow.baseline(4.0) is run  # memoized
 
     def test_tuned_run_and_comparison(self, tiny_flow):
