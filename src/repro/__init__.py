@@ -17,15 +17,72 @@ The package implements the paper's full flow from scratch:
   analysis (:mod:`repro.sta`) and a timing-driven synthesizer honoring
   per-pin slew/load windows (:mod:`repro.synth`);
 * end-to-end flows and every table/figure of the evaluation
-  (:mod:`repro.flow`, :mod:`repro.experiments`).
+  (:mod:`repro.flow`, :mod:`repro.experiments`);
+* an observability layer — spans, counters, profiling — over all of it
+  (:mod:`repro.observe`).
+
+The names below are the curated public surface, re-exported lazily
+(PEP 562) so ``import repro`` stays fast and dependency-free — nothing
+heavier than the standard library loads until an attribute is touched.
 
 Quickstart::
 
-    from repro.cells import build_catalog
-    from repro.characterization import Characterizer
+    from repro import Characterizer, FlowConfig, TuningFlow, build_catalog
 
     specs = build_catalog()
     stat_lib = Characterizer().statistical_library(specs, n_samples=50, seed=0)
+
+    flow = TuningFlow(FlowConfig.tiny())
+    comparison = flow.compare(1.5, "cell_strength_slew_slope", 0.03)
+
+Profiling the same run::
+
+    from dataclasses import replace
+
+    from repro import Tracer
+    from repro.observe import JsonlExporter, load_trace, render_trace
+
+    tracer = Tracer(JsonlExporter("run.jsonl", truncate=True))
+    flow = TuningFlow(replace(FlowConfig.tiny(), tracer=tracer))
+    flow.compare(1.5, "cell_strength_slew_slope", 0.03)
+    tracer.finish()
+    print(render_trace(load_trace("run.jsonl")))
 """
 
-__version__ = "1.0.0"
+from typing import List
+
+__version__ = "1.1.0"
+
+#: Public name -> defining module, resolved lazily on first access.
+_EXPORTS = {
+    "ArtifactPipeline": "repro.flow.pipeline",
+    "Characterizer": "repro.characterization.characterize",
+    "FlowConfig": "repro.flow.experiment",
+    "SynthesisRun": "repro.flow.experiment",
+    "Tracer": "repro.observe.tracer",
+    "TuningFlow": "repro.flow.experiment",
+    "build_catalog": "repro.cells.catalog",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    """Resolve a curated re-export on first access (PEP 562).
+
+    Keeps ``import repro`` light: the heavy numerical stack behind the
+    flow only loads when one of the public names is actually used.
+    """
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> List[str]:
+    """Advertise the lazy exports alongside the module globals."""
+    return sorted(set(globals()) | set(_EXPORTS))

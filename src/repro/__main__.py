@@ -4,12 +4,16 @@ Usage::
 
     python -m repro list                  # available experiments
     python -m repro run fig04 table2      # run a selection
+    python -m repro fig10                 # shorthand for `run fig10`
     python -m repro run --all             # everything (synthesis-heavy)
     python -m repro run --all --jobs 0    # characterize on every CPU
     python -m repro run fig07 --no-cache  # bypass the on-disk caches
     python -m repro run fig10 --manifest  # print the stage manifest
-    python -m repro cache stats           # cache location and size
-    python -m repro cache clear           # drop libraries and artifacts
+    python -m repro fig10 --trace out.jsonl   # record a JSONL trace
+    python -m repro fig10 --profile       # print the per-stage time tree
+    python -m repro run --all --trace-dir traces/  # one trace per experiment
+    python -m repro store stats           # cache location and size
+    python -m repro store clear           # drop libraries and artifacts
     REPRO_SCALE=paper python -m repro run table1   # full-scale flow
 
 Every pipeline stage (characterized library, tuning, synthesis, worst
@@ -19,6 +23,17 @@ store makes repeated runs skip synthesis entirely, ``--jobs`` fans both
 characterization and the evaluation sweep out over worker processes
 with bit-identical results, and ``--manifest`` prints what each run
 served from the store versus computed.
+
+``--trace PATH`` records every span and counter of the run — including
+those of worker processes — to a JSONL file (see
+:mod:`repro.observe`); ``--profile`` prints the per-stage time tree and
+counter totals on completion.  Both change *observation only*: traced
+results are bit-identical to untraced ones.
+
+The execution flags (``--jobs``, ``--no-cache``, ``--manifest``,
+``--trace``, ``--profile``) are defined once on a shared parent parser,
+so every run-like invocation accepts the same set.  ``cache`` remains a
+deprecated alias of ``store``.
 """
 
 from __future__ import annotations
@@ -36,7 +51,58 @@ from repro.experiments.runner import (
 )
 
 
+def _shared_options() -> argparse.ArgumentParser:
+    """The parent parser holding the execution flags shared by every
+    run-like subcommand (defined once, inherited via ``parents=``)."""
+    shared = argparse.ArgumentParser(add_help=False)
+    group = shared.add_argument_group("execution options")
+    group.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for characterization and the evaluation "
+        "sweep (1 = serial, 0 = one per CPU; default from REPRO_JOBS)",
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the on-disk library cache and "
+        "artifact store",
+    )
+    group.add_argument(
+        "--manifest",
+        action="store_true",
+        help="after each experiment, print the run manifest (stage "
+        "fingerprints, cache hit/miss, wall time)",
+    )
+    group.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a JSONL trace of the run (spans, counters — worker "
+        "processes included) to PATH",
+    )
+    group.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-stage time tree and counter totals when the "
+        "run finishes",
+    )
+    group.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default=None,
+        help="write one standalone trace artifact per experiment "
+        "(DIR/<id>.trace.jsonl)",
+    )
+    return shared
+
+
 def _build_parser() -> argparse.ArgumentParser:
+    """The full CLI parser: list / run / store (+ the ``cache`` alias)."""
+    shared = _shared_options()
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce 'Standard Cell Library Tuning for "
@@ -44,7 +110,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
-    run_parser = sub.add_parser("run", help="run experiments")
+    run_parser = sub.add_parser(
+        "run", help="run experiments", parents=[shared]
+    )
     run_parser.add_argument("ids", nargs="*", help="experiment ids (see list)")
     run_parser.add_argument(
         "--all", action="store_true", help="run every experiment"
@@ -54,38 +122,21 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run only the fast, synthesis-free experiments",
     )
-    run_parser.add_argument(
-        "--jobs",
-        "-j",
-        type=int,
-        default=None,
-        metavar="N",
-        help="worker processes for characterization and the evaluation "
-        "sweep (1 = serial, 0 = one per CPU; default from REPRO_JOBS)",
-    )
-    run_parser.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="neither read nor write the on-disk library cache and "
-        "artifact store",
-    )
-    run_parser.add_argument(
-        "--manifest",
-        action="store_true",
-        help="after each experiment, print the run manifest (stage "
-        "fingerprints, cache hit/miss, wall time)",
-    )
-    cache_parser = sub.add_parser(
-        "cache", help="inspect or clear the library cache and artifact store"
-    )
-    cache_parser.add_argument(
-        "action", choices=("stats", "clear"), help="what to do with the cache"
-    )
+    for name, help_text in (
+        ("store", "inspect or clear the library cache and artifact store"),
+        ("cache", "deprecated alias of 'store'"),
+    ):
+        store_parser = sub.add_parser(name, help=help_text)
+        store_parser.add_argument(
+            "action",
+            choices=("stats", "clear"),
+            help="what to do with the on-disk state",
+        )
     return parser
 
 
-def _run_cache_command(action: str) -> int:
-    """Handle ``python -m repro cache stats|clear`` for both halves of
+def _run_store_command(action: str) -> int:
+    """Handle ``python -m repro store stats|clear`` for both halves of
     the on-disk state: the ``.npz`` library cache and the staged
     artifact store."""
     from repro.parallel import ArtifactStore, LibraryCache
@@ -103,8 +154,63 @@ def _run_cache_command(action: str) -> int:
     return 0
 
 
+def _normalize_argv(argv: List[str]) -> List[str]:
+    """Allow an experiment id as a direct subcommand.
+
+    ``python -m repro fig10 --trace out.jsonl`` is rewritten to
+    ``run fig10 --trace out.jsonl`` — the common case deserves the
+    short spelling.
+    """
+    if argv and argv[0] in ALL_EXPERIMENTS:
+        return ["run"] + argv
+    return argv
+
+
+def _build_run_tracer(args: argparse.Namespace):
+    """The tracer implied by ``--trace``/``--profile`` (or ``None``).
+
+    ``--trace`` gets a (truncated) file-backed tracer so worker
+    processes merge into the same JSONL file; ``--profile`` alone uses
+    an in-memory sink — enough for the parent-side time tree.
+    """
+    if not args.trace and not args.profile:
+        return None
+    from repro.observe import JsonlExporter, MemorySink, Tracer
+
+    sink = (
+        JsonlExporter(args.trace, truncate=True)
+        if args.trace
+        else MemorySink()
+    )
+    return Tracer(sink)
+
+
+def _report_trace(tracer, args: argparse.Namespace) -> None:
+    """Close out the run's tracer: flush, then print what was asked.
+
+    With ``--trace`` the tree is rebuilt from the file, so spans and
+    counter deltas appended by worker processes are included.
+    """
+    from repro.observe import Trace, load_trace, render_trace, set_tracer
+
+    tracer.finish()
+    set_tracer(None)
+    if args.trace:
+        trace = load_trace(args.trace)
+        print(f"[trace: {len(trace.spans)} spans written to {args.trace}]")
+    else:
+        trace = Trace(
+            spans=[span.to_record() for span in tracer.spans],
+            counters=tracer.counters(),
+            gauges=tracer.gauges(),
+        )
+    if args.profile:
+        print(render_trace(trace))
+
+
 def main(argv: List[str]) -> int:
     """Parse arguments and dispatch to the selected subcommand."""
+    argv = _normalize_argv(argv)
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         for experiment_id, fn in ALL_EXPERIMENTS.items():
@@ -112,8 +218,14 @@ def main(argv: List[str]) -> int:
             tag = " (library-only)" if experiment_id in LIBRARY_ONLY else ""
             print(f"{experiment_id:8s} {doc}{tag}")
         return 0
-    if args.command == "cache":
-        return _run_cache_command(args.action)
+    if args.command in ("store", "cache"):
+        if args.command == "cache":
+            print(
+                "note: 'cache' is deprecated; use 'python -m repro store "
+                f"{args.action}'",
+                file=sys.stderr,
+            )
+        return _run_store_command(args.action)
 
     if args.all:
         ids = list(ALL_EXPERIMENTS)
@@ -129,16 +241,21 @@ def main(argv: List[str]) -> int:
         print("nothing to run; pass experiment ids, --all or --library-only")
         return 2
 
+    tracer = _build_run_tracer(args)
     context = build_context(
-        jobs=args.jobs, cache=False if args.no_cache else None
+        jobs=args.jobs, cache=False if args.no_cache else None, tracer=tracer
     )
     for experiment_id in ids:
         start = time.time()
-        result = run_experiments(context, ids=[experiment_id])[experiment_id]
+        result = run_experiments(
+            context, ids=[experiment_id], trace_dir=args.trace_dir
+        )[experiment_id]
         print(result.to_text())
         print(f"[{experiment_id} finished in {time.time() - start:.1f}s]\n")
     if args.manifest:
         print(context.flow.manifest.to_text())
+    if tracer is not None:
+        _report_trace(tracer, args)
     return 0
 
 

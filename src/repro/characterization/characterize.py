@@ -35,6 +35,7 @@ from repro.characterization.delaymodel import GateDelayModel
 from repro.characterization.devices import CellElectricalView, network_geometry
 from repro.characterization.grids import GridConfig, load_grid, slew_grid
 from repro.errors import CharacterizationError, ReproError
+from repro.observe import get_tracer
 from repro.liberty.model import (
     Cell,
     Library,
@@ -168,6 +169,7 @@ class Characterizer:
         """
         if n_samples < 2:
             raise CharacterizationError("need at least 2 Monte-Carlo samples")
+        get_tracer().add("characterize.mc_samples", n_samples * len(specs))
         draws: Dict[str, CellDraws] = {}
         for spec in specs:
             rng = cell_rng(seed, spec.name)
@@ -291,6 +293,21 @@ class Characterizer:
         """
         global _characterize_calls
         _characterize_calls += 1
+        tracer = get_tracer()
+        tracer.add("characterize.cells", 1)
+        with tracer.span("characterize.cell", cell=spec.name):
+            return self._characterize_cell(
+                spec, draws, sample_index, global_draws, statistical
+            )
+
+    def _characterize_cell(
+        self,
+        spec: CellSpec,
+        draws: Optional[CellDraws],
+        sample_index: Optional[int],
+        global_draws: Optional[GlobalDraws],
+        statistical: bool,
+    ) -> Cell:
         cell = self._make_cell_shell(spec)
         slews = slew_grid(self.grid)
         loads = load_grid(self.grid, spec)
@@ -445,10 +462,33 @@ class Characterizer:
         from its own seeded stream.  With a cache attached and
         ``use_cache`` left on, results are memoized on disk.
         """
-        if use_cache and self.cache is not None:
-            cached = self.cache.load_samples(self, specs, n_samples, seed, include_global)
-            if cached is not None:
-                return cached
+        tracer = get_tracer()
+        with tracer.span(
+            "characterize.samples", n_cells=len(specs), n_samples=n_samples
+        ) as span:
+            if use_cache and self.cache is not None:
+                cached = self.cache.load_samples(
+                    self, specs, n_samples, seed, include_global
+                )
+                if cached is not None:
+                    span.set(status="hit")
+                    tracer.add("store.library.hit", 1)
+                    return cached
+                tracer.add("store.library.miss", 1)
+                span.set(status="miss")
+            return self._compute_sample_libraries(
+                specs, n_samples, seed, include_global, n_workers, use_cache
+            )
+
+    def _compute_sample_libraries(
+        self,
+        specs: Sequence[CellSpec],
+        n_samples: int,
+        seed: int,
+        include_global: bool,
+        n_workers: Optional[int],
+        use_cache: bool,
+    ) -> List[Library]:
         jobs = self._resolve_jobs(n_workers)
         global_draws = (
             self.sample_global_draws(n_samples, seed + 1) if include_global else None
@@ -503,12 +543,34 @@ class Characterizer:
         mean/sigma arrays are memoized on disk and a warm hit skips
         characterization entirely.
         """
-        if use_cache and self.cache is not None:
-            cached = self.cache.load_statistical(
-                self, specs, n_samples, seed, include_global, name
+        tracer = get_tracer()
+        with tracer.span(
+            "characterize.statistical", n_cells=len(specs), n_samples=n_samples
+        ) as span:
+            if use_cache and self.cache is not None:
+                cached = self.cache.load_statistical(
+                    self, specs, n_samples, seed, include_global, name
+                )
+                if cached is not None:
+                    span.set(status="hit")
+                    tracer.add("store.library.hit", 1)
+                    return cached
+                tracer.add("store.library.miss", 1)
+                span.set(status="miss")
+            return self._compute_statistical_library(
+                specs, n_samples, seed, include_global, name, n_workers, use_cache
             )
-            if cached is not None:
-                return cached
+
+    def _compute_statistical_library(
+        self,
+        specs: Sequence[CellSpec],
+        n_samples: int,
+        seed: int,
+        include_global: bool,
+        name: Optional[str],
+        n_workers: Optional[int],
+        use_cache: bool,
+    ) -> Library:
         jobs = self._resolve_jobs(n_workers)
         global_draws = (
             self.sample_global_draws(n_samples, seed + 1) if include_global else None

@@ -60,3 +60,16 @@ class TuningError(ReproError):
 
 class VariationError(ReproError):
     """Raised by the process-variation substrate."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid execution configuration.
+
+    Covers malformed environment knobs (``REPRO_SCALE``, ``REPRO_JOBS``)
+    and invalid :class:`~repro.flow.experiment.FlowConfig` values — a
+    typo must fail loudly instead of silently falling back to defaults.
+    """
+
+
+class ObservabilityError(ReproError):
+    """Raised by the tracing/metrics layer (:mod:`repro.observe`)."""

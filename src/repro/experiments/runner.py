@@ -1,16 +1,23 @@
 """Run every table/figure experiment and collect the results.
 
 :func:`build_context` is the one place that turns execution knobs
-(worker count, cache on/off) into a ready :class:`~repro.experiments.
-base.ExperimentContext`; the CLI and the tests both go through it so
-the 80-run evaluation sweep and ``python -m repro run --all`` share the
-same parallel/caching configuration path.
+(worker count, cache on/off, tracer) into a ready
+:class:`~repro.experiments.base.ExperimentContext`; the CLI and the
+tests both go through it so the 80-run evaluation sweep and ``python
+-m repro run --all`` share the same parallel/caching/tracing
+configuration path.
+
+Each experiment runs inside an ``experiment.<id>`` span, so a traced
+``run --all`` produces one tree with per-experiment roll-ups; with
+``trace_dir`` set, every experiment additionally writes its own JSONL
+trace artifact (``<id>.trace.jsonl``) — the shape CI uploads.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.experiments import (
     base,
@@ -67,14 +74,16 @@ LIBRARY_ONLY = ("fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
 
 
 def build_context(
-    jobs: Optional[int] = None, cache: Optional[bool] = None
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> ExperimentContext:
     """An :class:`ExperimentContext` honoring the execution knobs.
 
     Starts from :meth:`~repro.flow.experiment.FlowConfig.
     from_environment` (``REPRO_SCALE``, ``REPRO_JOBS``) and overrides
-    the characterization worker count and/or the on-disk library cache
-    when the corresponding argument is not ``None``.
+    the characterization worker count, the on-disk library cache
+    and/or the tracer when the corresponding argument is not ``None``.
     """
     from repro.flow.experiment import FlowConfig, TuningFlow
 
@@ -83,12 +92,15 @@ def build_context(
         config = replace(config, n_workers=jobs)
     if cache is not None:
         config = replace(config, cache=cache)
+    if tracer is not None:
+        config = replace(config, tracer=tracer)
     return ExperimentContext(TuningFlow(config))
 
 
 def run_experiments(
     context: Optional[ExperimentContext] = None,
     ids: Optional[List[str]] = None,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> Dict[str, ExperimentResult]:
     """Run the selected experiments (all by default) and return them.
 
@@ -96,12 +108,35 @@ def run_experiments(
     :func:`build_context` so the environment knobs (``REPRO_SCALE``,
     ``REPRO_JOBS``) and the default caching path apply — a bare
     ``ExperimentContext()`` would silently bypass them.
+
+    Every experiment runs inside an ``experiment.<id>`` span on the
+    active tracer.  With ``trace_dir`` set, each experiment *also*
+    records a standalone trace artifact ``<trace_dir>/<id>.trace.
+    jsonl`` (spans and counter totals of just that experiment).
     """
+    from repro.observe import JsonlExporter, Tracer, get_tracer, set_tracer
+
     context = context or build_context()
     chosen = ids if ids is not None else list(ALL_EXPERIMENTS)
+    directory = None if trace_dir is None else Path(trace_dir)
+    if directory is not None:
+        directory.mkdir(parents=True, exist_ok=True)
     results: Dict[str, ExperimentResult] = {}
     for experiment_id in chosen:
-        results[experiment_id] = ALL_EXPERIMENTS[experiment_id](context)
+        session = get_tracer()
+        if directory is not None:
+            path = directory / f"{experiment_id}.trace.jsonl"
+            artifact_tracer = Tracer(JsonlExporter(path, truncate=True))
+            previous = set_tracer(artifact_tracer)
+            try:
+                with artifact_tracer.span(f"experiment.{experiment_id}"):
+                    results[experiment_id] = ALL_EXPERIMENTS[experiment_id](context)
+                artifact_tracer.finish()
+            finally:
+                set_tracer(previous)
+        else:
+            with session.span(f"experiment.{experiment_id}"):
+                results[experiment_id] = ALL_EXPERIMENTS[experiment_id](context)
     return results
 
 

@@ -39,7 +39,8 @@ from repro.cells.catalog import CellSpec, build_catalog
 from repro.characterization.characterize import Characterizer
 from repro.core.methods import TuningMethod, method_by_name
 from repro.core.tuner import LibraryTuner, TuningResult
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
+from repro.observe import Tracer, get_tracer, set_tracer
 from repro.flow.metrics import TuningComparison, compare_runs
 from repro.flow.minperiod import minimum_clock_period
 from repro.flow.pipeline import (
@@ -85,6 +86,11 @@ class FlowConfig:
     #: (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``); results are
     #: bit-identical either way.
     cache: bool = True
+    #: Optional :class:`~repro.observe.Tracer` the flow installs as the
+    #: process-wide active tracer; travels (as a trace handle) into the
+    #: sweep worker processes so their spans merge into the same trace.
+    #: Excluded from comparison — tracing never changes results.
+    tracer: Optional[Tracer] = field(default=None, compare=False, repr=False)
 
     @staticmethod
     def paper() -> "FlowConfig":
@@ -127,31 +133,40 @@ class FlowConfig:
             n_samples=10,
         )
 
+    #: The recognized ``REPRO_SCALE`` values and their factories.
+    SCALES = ("quick", "paper", "tiny")
+
     @staticmethod
     def from_environment() -> "FlowConfig":
-        """Build a config from environment knobs.
+        """Build a config from environment knobs, validating them.
 
         ``REPRO_SCALE=paper|quick|tiny`` selects the scale (default
         ``quick``); ``REPRO_JOBS=N`` sets the worker count for
-        characterization and sweep fan-out (0 = one per CPU).
+        characterization and sweep fan-out (0 = one per CPU).  Any
+        other value — a typo'd scale, a non-integer or negative job
+        count — raises :class:`~repro.errors.ConfigError` instead of
+        silently falling back to a default.
         """
-        scale = os.environ.get("REPRO_SCALE", "quick").lower()
-        if scale == "paper":
-            config = FlowConfig.paper()
-        elif scale == "quick":
-            config = FlowConfig.quick()
-        elif scale == "tiny":
-            config = FlowConfig.tiny()
-        else:
-            raise ReproError(
-                f"unknown REPRO_SCALE {scale!r} (use 'quick', 'paper' or 'tiny')"
+        scale = os.environ.get("REPRO_SCALE", "quick").strip().lower()
+        if scale not in FlowConfig.SCALES:
+            raise ConfigError(
+                f"unknown REPRO_SCALE {scale!r} "
+                f"(use one of {', '.join(FlowConfig.SCALES)})"
             )
+        config = getattr(FlowConfig, scale)()
         jobs = os.environ.get("REPRO_JOBS")
         if jobs is not None:
             try:
-                config = replace(config, n_workers=int(jobs))
+                n_workers = int(jobs.strip())
             except ValueError:
-                raise ReproError(f"REPRO_JOBS must be an integer, got {jobs!r}") from None
+                raise ConfigError(
+                    f"REPRO_JOBS must be an integer, got {jobs!r}"
+                ) from None
+            if n_workers < 0:
+                raise ConfigError(
+                    f"REPRO_JOBS must be >= 0 (0 = one per CPU), got {n_workers}"
+                )
+            config = replace(config, n_workers=n_workers)
         return config
 
 
@@ -286,6 +301,8 @@ class TuningFlow:
 
     def __init__(self, config: Optional[FlowConfig] = None):
         self.config = config or FlowConfig.paper()
+        if self.config.tracer is not None:
+            set_tracer(self.config.tracer)
         self.manifest = RunManifest()
         self._store = None
         if self.config.cache:
@@ -312,16 +329,23 @@ class TuningFlow:
     # ------------------------------------------------------------------
 
     @property
+    def tracer(self) -> Tracer:
+        """The tracer instrumentation reports to: the config's, or the
+        process-wide active tracer (a no-op tracer by default)."""
+        return self.config.tracer or get_tracer()
+
+    @property
     def specs(self) -> List[CellSpec]:
         if self._specs is None:
-            start = time.perf_counter()
-            self._specs = build_catalog()
-            self._pipeline.note(
-                "catalog",
-                catalog_fingerprint(self._specs),
-                "computed",
-                time.perf_counter() - start,
-            )
+            with self.tracer.span("stage.catalog", status="computed"):
+                start = time.perf_counter()
+                self._specs = build_catalog()
+                self._pipeline.note(
+                    "catalog",
+                    catalog_fingerprint(self._specs),
+                    "computed",
+                    time.perf_counter() - start,
+                )
         return self._specs
 
     @property
@@ -361,26 +385,28 @@ class TuningFlow:
     @property
     def statistical_library(self) -> Library:
         if self._statistical is None:
-            start = time.perf_counter()
-            cache = self.characterizer.cache
-            if cache is None:
-                status = "computed"
-            elif cache.has_statistical(
-                self.characterizer,
-                self.specs,
-                self.config.n_samples,
-                self.config.seed,
-                include_global=False,
-            ):
-                status = "hit"
-            else:
-                status = "miss"
-            self._statistical = self.characterizer.statistical_library(
-                self.specs, n_samples=self.config.n_samples, seed=self.config.seed
-            )
-            self._pipeline.note(
-                "statlib", self.statlib_key, status, time.perf_counter() - start
-            )
+            with self.tracer.span("stage.statlib", key=self.statlib_key[:12]) as span:
+                start = time.perf_counter()
+                cache = self.characterizer.cache
+                if cache is None:
+                    status = "computed"
+                elif cache.has_statistical(
+                    self.characterizer,
+                    self.specs,
+                    self.config.n_samples,
+                    self.config.seed,
+                    include_global=False,
+                ):
+                    status = "hit"
+                else:
+                    status = "miss"
+                span.set(status=status)
+                self._statistical = self.characterizer.statistical_library(
+                    self.specs, n_samples=self.config.n_samples, seed=self.config.seed
+                )
+                self._pipeline.note(
+                    "statlib", self.statlib_key, status, time.perf_counter() - start
+                )
         return self._statistical
 
     @property
@@ -440,6 +466,7 @@ class TuningFlow:
         path_key = paths_fingerprint(synth_key)
         stat_key = stats_fingerprint(synth_key)
         store = self._store
+        tracer = self.tracer
         if store is not None:
             start = time.perf_counter()
             summary_payload = store.load("synth", synth_key)
@@ -457,6 +484,10 @@ class TuningFlow:
                     ("stats", stat_key),
                 ):
                     self._pipeline.note(stage, key, "hit", elapsed)
+                    tracer.record_span(
+                        f"stage.{stage}", elapsed, key=key[:12], status="hit"
+                    )
+                    tracer.add("store.artifact.hit", 1)
                 return SynthesisRun(
                     clock_period=constraints.clock_period,
                     summary=RunSummary.from_payload(summary_payload),
@@ -467,25 +498,37 @@ class TuningFlow:
             constraints = replace(constraints, windows=windows_factory())
         status = "computed" if store is None else "miss"
 
-        start = time.perf_counter()
-        netlist = self.build_design()
-        result = synthesize(netlist, self.statistical_library, constraints)
-        summary = RunSummary.from_result(result)
-        if store is not None:
-            store.store("synth", synth_key, summary.to_payload())
-        self._pipeline.note("synth", synth_key, status, time.perf_counter() - start)
+        with tracer.span("stage.synth", key=synth_key[:12], status=status):
+            start = time.perf_counter()
+            netlist = self.build_design()
+            result = synthesize(netlist, self.statistical_library, constraints)
+            summary = RunSummary.from_result(result)
+            if store is not None:
+                store.store("synth", synth_key, summary.to_payload())
+                tracer.add("store.artifact.miss", 1)
+            self._pipeline.note(
+                "synth", synth_key, status, time.perf_counter() - start
+            )
 
-        start = time.perf_counter()
-        paths = extract_worst_paths(result.timing)
-        if store is not None:
-            store.store("paths", path_key, [p.to_payload() for p in paths])
-        self._pipeline.note("paths", path_key, status, time.perf_counter() - start)
+        with tracer.span("stage.paths", key=path_key[:12], status=status):
+            start = time.perf_counter()
+            paths = extract_worst_paths(result.timing)
+            if store is not None:
+                store.store("paths", path_key, [p.to_payload() for p in paths])
+                tracer.add("store.artifact.miss", 1)
+            self._pipeline.note(
+                "paths", path_key, status, time.perf_counter() - start
+            )
 
-        start = time.perf_counter()
-        stats = design_statistics(paths, self.statistical_library)
-        if store is not None:
-            store.store("stats", stat_key, stats.to_payload())
-        self._pipeline.note("stats", stat_key, status, time.perf_counter() - start)
+        with tracer.span("stage.stats", key=stat_key[:12], status=status):
+            start = time.perf_counter()
+            stats = design_statistics(paths, self.statistical_library)
+            if store is not None:
+                store.store("stats", stat_key, stats.to_payload())
+                tracer.add("store.artifact.miss", 1)
+            self._pipeline.note(
+                "stats", stat_key, status, time.perf_counter() - start
+            )
 
         return SynthesisRun(
             clock_period=constraints.clock_period,
@@ -560,16 +603,17 @@ class TuningFlow:
         # workers all load the same cached artifact instead of racing
         # to recompute it
         self.statistical_library
-        start = time.perf_counter()
-        comparisons = sweep_comparisons(
-            self.config, points, min(jobs, len(points))
-        )
-        self._pipeline.note(
-            "sweep",
-            f"{len(points)}pts@{min(jobs, len(points))}w",
-            "computed",
-            time.perf_counter() - start,
-        )
+        n_workers = min(jobs, len(points))
+        tracer = self.tracer
+        with tracer.span("flow.sweep", points=len(points), workers=n_workers):
+            start = time.perf_counter()
+            comparisons = sweep_comparisons(self.config, points, n_workers)
+            self._pipeline.note(
+                "sweep",
+                f"{len(points)}pts@{n_workers}w",
+                "computed",
+                time.perf_counter() - start,
+            )
         return comparisons
 
     # ------------------------------------------------------------------

@@ -48,6 +48,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.observe import get_tracer
 from repro.parallel.artifacts import ARTIFACT_VERSION, ArtifactStore, fingerprint
 from repro.sta.graph import StaConfig
 from repro.synth.constraints import SynthesisConstraints
@@ -261,27 +262,41 @@ class ArtifactPipeline:
         ``encode``/``decode`` translate between the live value and its
         JSON payload; a hit is decoded, a miss is computed, encoded and
         stored atomically.
+
+        Every resolution is both a manifest record and a trace span
+        (``stage.<name>`` with the key and hit/miss status as
+        attributes), so the run manifest and the time tree agree.
         """
-        start = time.perf_counter()
-        if self.store is not None:
-            payload = self.store.load(stage, key)
-            if payload is not None:
-                value = decode(payload)
-                self.manifest.record(stage, key, "hit", time.perf_counter() - start)
-                return value
-        value = compute()
-        if self.store is not None:
-            self.store.store(stage, key, encode(value))
-            status = "miss"
-        else:
-            status = "computed"
-        self.manifest.record(stage, key, status, time.perf_counter() - start)
-        return value
+        tracer = get_tracer()
+        with tracer.span(f"stage.{stage}", key=key[:12]) as span:
+            start = time.perf_counter()
+            if self.store is not None:
+                payload = self.store.load(stage, key)
+                if payload is not None:
+                    value = decode(payload)
+                    span.set(status="hit")
+                    tracer.add("store.artifact.hit", 1)
+                    self.manifest.record(
+                        stage, key, "hit", time.perf_counter() - start
+                    )
+                    return value
+            value = compute()
+            if self.store is not None:
+                self.store.store(stage, key, encode(value))
+                status = "miss"
+                tracer.add("store.artifact.miss", 1)
+            else:
+                status = "computed"
+            span.set(status=status)
+            self.manifest.record(stage, key, status, time.perf_counter() - start)
+            return value
 
     def note(self, stage: str, key: str, status: str, seconds: float) -> None:
         """Record a stage resolved outside :meth:`resolve` (e.g. the
         characterization stage, whose artifact lives in the ``.npz``
-        library cache)."""
+        library cache).  The callers wrap the timed region in their own
+        trace span and count their own store hits; this only appends
+        the manifest record."""
         self.manifest.record(stage, key, status, seconds)
 
 
@@ -290,23 +305,36 @@ class ArtifactPipeline:
 # ----------------------------------------------------------------------
 
 
-def _sweep_worker(config, point: SweepPoint):
+def _sweep_worker(config, point: SweepPoint, trace=None):
     """Worker: evaluate one sweep point in a fresh flow.
 
     The flow rebuilds its statistical library from the on-disk library
     cache (the parent characterizes before fanning out) and serves or
     stores synthesis artifacts through the shared store; worker-side
     characterization parallelism is disabled — the sweep is the
-    parallel axis here.
+    parallel axis here.  With a :class:`~repro.observe.TraceHandle`,
+    the worker's spans merge into the parent's trace under the span
+    that was open at submission time.
     """
     from repro.flow.experiment import TuningFlow
+    from repro.observe import install_worker_tracer
 
-    flow = TuningFlow(dataclasses.replace(config, n_workers=1))
+    tracer = install_worker_tracer(trace)
     period, method, parameter = point
-    if method is None:
-        flow.baseline(period)
-        return None
-    return flow.compare(period, method, parameter)
+    with tracer.span(
+        "sweep.point",
+        period=period,
+        method=method or "baseline",
+        parameter=parameter,
+    ):
+        flow = TuningFlow(dataclasses.replace(config, n_workers=1))
+        if method is None:
+            flow.baseline(period)
+            result = None
+        else:
+            result = flow.compare(period, method, parameter)
+    tracer.flush_counters()
+    return result
 
 
 def sweep_comparisons(
@@ -322,7 +350,16 @@ def sweep_comparisons(
     ``points`` order — reassembly is deterministic, and each value is
     bit-identical to the serial path because every stage is a pure
     function of its fingerprinted inputs.
+
+    The worker trace handle is captured *here*, in the submitting
+    thread, while the caller's sweep span is still open — the executor
+    pickles arguments from its queue-feeder thread, where the
+    thread-local span stack is empty and the parent link would be lost.
     """
+    tracer = getattr(config, "tracer", None) or get_tracer()
+    trace = tracer.handle()
+    if getattr(config, "tracer", None) is not None:
+        config = dataclasses.replace(config, tracer=None)
     points = list(points)
     baseline_points: List[SweepPoint] = []
     seen_periods = set()
@@ -332,8 +369,11 @@ def sweep_comparisons(
             baseline_points.append((period, None, 0.0))
     with ProcessPoolExecutor(max_workers=n_workers) as pool:
         for future in [
-            pool.submit(_sweep_worker, config, point) for point in baseline_points
+            pool.submit(_sweep_worker, config, point, trace)
+            for point in baseline_points
         ]:
             future.result()
-        futures = [pool.submit(_sweep_worker, config, point) for point in points]
+        futures = [
+            pool.submit(_sweep_worker, config, point, trace) for point in points
+        ]
         return [future.result() for future in futures]

@@ -1,0 +1,61 @@
+"""Observability: spans, counters, profiling for the whole flow.
+
+The package answers "where does the wall time of a run go?" with three
+pieces:
+
+* :mod:`repro.observe.tracer` — a lightweight :class:`Tracer` with
+  nested spans (name, attributes, wall/CPU time, peak-RSS delta),
+  monotone counters and last-write gauges.  A no-op
+  :class:`NullTracer` is the process default, so instrumentation costs
+  nothing when tracing is off.
+* :mod:`repro.observe.export` — a process-safe JSONL exporter
+  (``O_APPEND`` single-write lines) so spans emitted by
+  ``ProcessPoolExecutor`` workers merge into one trace file, plus
+  :func:`load_trace` to read a trace back.
+* :mod:`repro.observe.render` — a console renderer printing the
+  per-stage time tree with percentages and the counter totals.
+
+Entry points: ``FlowConfig(tracer=...)``, ``python -m repro fig10
+--trace out.jsonl`` / ``--profile``, or directly::
+
+    from repro import Tracer
+    from repro.observe import JsonlExporter, load_trace, render_trace
+
+    tracer = Tracer(JsonlExporter("out.jsonl", truncate=True))
+    with tracer.span("my-run"):
+        ...  # any instrumented repro code
+    tracer.finish()
+    print(render_trace(load_trace("out.jsonl")))
+"""
+
+from repro.observe.export import JsonlExporter, MemorySink, Trace, load_trace, merge_records
+from repro.observe.render import render_counters, render_trace, render_tree
+from repro.observe.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceHandle,
+    Tracer,
+    get_tracer,
+    install_worker_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "JsonlExporter",
+    "MemorySink",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Trace",
+    "TraceHandle",
+    "Tracer",
+    "get_tracer",
+    "install_worker_tracer",
+    "load_trace",
+    "merge_records",
+    "render_counters",
+    "render_trace",
+    "render_tree",
+    "set_tracer",
+]

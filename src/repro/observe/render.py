@@ -1,0 +1,118 @@
+"""Console rendering of traces: the per-stage time tree and counters.
+
+The tree groups sibling spans by name — 304 ``characterize.cell``
+spans render as one line with a count — and shows, per group, the
+call count, total wall time and its percentage of the parent span's
+wall time.  Unaccounted parent time shows as a ``(self)`` line, so a
+serial run's percentages sum to ~100% at every level; concurrent
+children (worker fan-out) can legitimately exceed 100% of the parent's
+wall clock, which is itself useful signal — it *is* the parallel
+speedup.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.observe.export import Trace
+
+#: Child groups below this share of their parent are folded away.
+_MIN_SHARE = 0.002
+
+
+def _children_by_parent(
+    spans: List[Dict[str, Any]],
+) -> Dict[Optional[str], List[Dict[str, Any]]]:
+    known = {span["id"] for span in spans}
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    for span in spans:
+        parent = span.get("parent")
+        if parent not in known:
+            parent = None  # roots, and worker spans whose parent is elsewhere
+        children.setdefault(parent, []).append(span)
+    return children
+
+
+def _group_by_name(spans: List[Dict[str, Any]]) -> List[List[Dict[str, Any]]]:
+    groups: Dict[str, List[Dict[str, Any]]] = {}
+    for span in sorted(spans, key=lambda s: s.get("start", 0.0)):
+        groups.setdefault(span["name"], []).append(span)
+    return sorted(groups.values(), key=lambda g: -sum(s["wall"] for s in g))
+
+
+def _render_group(
+    group: List[Dict[str, Any]],
+    parent_wall: float,
+    depth: int,
+    children: Dict[Optional[str], List[Dict[str, Any]]],
+    lines: List[str],
+) -> None:
+    total = sum(span["wall"] for span in group)
+    cpu = sum(span.get("cpu", 0.0) for span in group)
+    share = 100.0 * total / parent_wall if parent_wall > 0 else 100.0
+    count = f"x{len(group)}" if len(group) > 1 else ""
+    name = "  " * depth + group[0]["name"]
+    lines.append(
+        f"{name:<44s} {count:>6s} {total:9.3f}s {share:6.1f}%  cpu {cpu:8.3f}s"
+    )
+    grandchildren: List[Dict[str, Any]] = []
+    for span in group:
+        grandchildren.extend(children.get(span["id"], ()))
+    if not grandchildren:
+        return
+    child_total = 0.0
+    for child_group in _group_by_name(grandchildren):
+        group_wall = sum(span["wall"] for span in child_group)
+        child_total += group_wall
+        if total > 0 and group_wall / total < _MIN_SHARE:
+            continue
+        _render_group(child_group, total, depth + 1, children, lines)
+    self_time = total - child_total
+    if total > 0 and self_time / total >= _MIN_SHARE:
+        self_name = "  " * (depth + 1) + "(self)"
+        lines.append(
+            f"{self_name:<44s} {'':>6s} {self_time:9.3f}s "
+            f"{100.0 * self_time / total:6.1f}%"
+        )
+
+
+def render_tree(spans: List[Dict[str, Any]]) -> str:
+    """The per-stage time tree over a list of span records."""
+    if not spans:
+        return "trace: no spans recorded"
+    children = _children_by_parent(spans)
+    roots = children.get(None, [])
+    root_wall = sum(span["wall"] for span in roots)
+    lines = [
+        f"trace: {len(spans)} spans, {root_wall:.3f}s at the root",
+        f"{'span':<44s} {'calls':>6s} {'wall':>10s} {'share':>7s}",
+    ]
+    for group in _group_by_name(roots):
+        _render_group(group, root_wall, 0, children, lines)
+    return "\n".join(lines)
+
+
+def render_counters(
+    counters: Dict[str, float], gauges: Optional[Dict[str, Any]] = None
+) -> str:
+    """Fixed-width table of counter totals (and gauges, when present)."""
+    if not counters and not gauges:
+        return "counters: none recorded"
+    lines = ["counters:"]
+    for name in sorted(counters):
+        value = counters[name]
+        rendered = f"{value:g}" if isinstance(value, float) else str(value)
+        lines.append(f"  {name:<40s} {rendered:>12s}")
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<40s} {str(gauges[name]):>12s}")
+    return "\n".join(lines)
+
+
+def render_trace(trace: Trace) -> str:
+    """Tree plus counters: the full console report of one trace."""
+    parts = [render_tree(trace.spans)]
+    if trace.counters or trace.gauges:
+        parts.append(render_counters(trace.counters, trace.gauges))
+    return "\n\n".join(parts)

@@ -1,0 +1,454 @@
+"""Nested-span tracing, counters and gauges.
+
+The tracing model is deliberately small — three record kinds cover the
+whole flow:
+
+* a **span** is one timed region of work: a name, free-form attributes,
+  wall time, CPU time and the peak-RSS growth observed while it ran.
+  Spans nest (per thread) and carry ``parent_id`` links, so a trace
+  reconstructs the stage tree of a run: experiment -> flow stage ->
+  synthesis phase -> STA pass -> per-cell characterization.
+* a **counter** is a monotone named total (cells characterized, MC
+  samples drawn, sizing iterations, STA node visits, cache hits and
+  misses per store).
+* a **gauge** is a last-write-wins named value (worker count, design
+  size).
+
+A :class:`Tracer` owns all three plus an optional export sink (see
+:mod:`repro.observe.export`).  The active tracer is a per-process
+global (:func:`get_tracer` / :func:`set_tracer`) defaulting to a
+:class:`NullTracer` whose every operation is a no-op — instrumentation
+left in the hot path costs one dictionary-free method call when
+tracing is off.
+
+Worker processes join a trace through a picklable :class:`TraceHandle`
+(file path, trace id, parent span id): the pool entry point calls
+:func:`install_worker_tracer` and the worker's spans land in the same
+JSONL file under the submitting span, merging the fan-out back into
+one tree.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+try:
+    import resource
+
+    def _peak_rss_kib() -> int:
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+except ImportError:  # pragma: no cover - non-POSIX platforms
+
+    def _peak_rss_kib() -> int:
+        return 0
+
+
+def _new_trace_id() -> str:
+    return os.urandom(8).hex()
+
+
+@dataclass
+class Span:
+    """One timed, attributed region of work.
+
+    ``wall``/``cpu``/``rss_delta_kib`` are filled in when the span
+    closes; ``start`` is an epoch timestamp so spans from different
+    processes interleave correctly in a merged trace.
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    pid: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    start: float = 0.0
+    wall: float = 0.0
+    cpu: float = 0.0
+    rss_delta_kib: int = 0
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes after the span opened."""
+        self.attrs.update(attrs)
+
+    def to_record(self) -> Dict[str, Any]:
+        """JSON-serializable rendering (one trace-file line)."""
+        return {
+            "type": "span",
+            "trace": self.trace_id,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "attrs": self.attrs,
+            "pid": self.pid,
+            "start": self.start,
+            "wall": self.wall,
+            "cpu": self.cpu,
+            "rss_kib": self.rss_delta_kib,
+        }
+
+
+class _NullSpan(Span):
+    """Shared dummy span handed out by :class:`NullTracer`."""
+
+    def set(self, **attrs: Any) -> None:
+        """Discard attributes (tracing is off)."""
+
+
+_NULL_SPAN = _NullSpan(
+    name="null", trace_id="", span_id="", parent_id=None, pid=0
+)
+
+
+class _SpanContext:
+    """Context manager closing a span and handing it to its tracer."""
+
+    __slots__ = ("_tracer", "_span", "_t0", "_c0", "_r0")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+        self._r0 = _peak_rss_kib()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.wall = time.perf_counter() - self._t0
+        span.cpu = time.process_time() - self._c0
+        span.rss_delta_kib = max(0, _peak_rss_kib() - self._r0)
+        if exc_type is not None:
+            span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._close_span(span)
+        return False
+
+
+class _NullContext:
+    """Reusable no-op context manager for :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Span:
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+@dataclass(frozen=True)
+class TraceHandle:
+    """Picklable pointer a worker process uses to join a trace.
+
+    Carries everything a worker needs to merge its spans into the
+    parent's trace file: the JSONL path, the trace id and the span id
+    the worker's spans should hang under.
+    """
+
+    path: str
+    trace_id: str
+    parent_id: Optional[str]
+
+    def tracer(self) -> "Tracer":
+        """Build a tracer appending to the handle's trace file."""
+        from repro.observe.export import JsonlExporter
+
+        return Tracer(
+            sink=JsonlExporter(self.path),
+            trace_id=self.trace_id,
+            parent_id=self.parent_id,
+        )
+
+
+class Tracer:
+    """Collects spans, counters and gauges; optionally exports them.
+
+    Thread-safe: each thread keeps its own span stack (spans nest per
+    thread), counters and the finished-span list are lock-guarded.
+    Process-safe export: every finished span is written as one
+    appended JSONL line, so tracers in different processes sharing one
+    file interleave without tearing (see :mod:`repro.observe.export`).
+
+    Pickling a tracer reduces it to its :class:`TraceHandle` (path,
+    trace id, the currently open span as parent), which is how
+    ``FlowConfig.tracer`` travels into sweep worker processes.
+    """
+
+    #: Tracing is active (the :class:`NullTracer` overrides this).
+    enabled = True
+
+    def __init__(
+        self,
+        sink: Optional[Any] = None,
+        trace_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+    ):
+        self.sink = sink
+        self.trace_id = trace_id or _new_trace_id()
+        self._root_parent = parent_id
+        self._pid = os.getpid()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.spans: List[Span] = []
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, Any] = {}
+        self._flushed: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @property
+    def pid(self) -> int:
+        """Process id the tracer was created in."""
+        return self._pid
+
+    def current_span_id(self) -> Optional[str]:
+        """Id of the innermost open span of this thread (or the root
+        parent the tracer was created with)."""
+        stack = self._stack()
+        return stack[-1].span_id if stack else self._root_parent
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        """Open a nested span; use as a context manager.
+
+        The yielded :class:`Span` accepts post-hoc attributes via
+        :meth:`Span.set` (e.g. a cache status known only at the end).
+        """
+        span = Span(
+            name=name,
+            trace_id=self.trace_id,
+            span_id=f"{self._pid:x}-{next(self._ids):x}",
+            parent_id=self.current_span_id(),
+            pid=self._pid,
+            attrs=dict(attrs),
+            start=time.time(),
+        )
+        self._stack().append(span)
+        return _SpanContext(self, span)
+
+    def _close_span(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            self.spans.append(span)
+        if self.sink is not None:
+            self.sink.write(span.to_record())
+
+    def record_span(
+        self, name: str, wall: float, parent_id: Optional[str] = None, **attrs: Any
+    ) -> Span:
+        """Record an already-measured region as a span.
+
+        For code that timed itself before tracing existed (e.g. the
+        run-manifest stage records): the span closes immediately with
+        the given wall time and no CPU/RSS detail.
+        """
+        span = Span(
+            name=name,
+            trace_id=self.trace_id,
+            span_id=f"{self._pid:x}-{next(self._ids):x}",
+            parent_id=parent_id if parent_id is not None else self.current_span_id(),
+            pid=self._pid,
+            attrs=dict(attrs),
+            start=time.time() - wall,
+            wall=wall,
+        )
+        with self._lock:
+            self.spans.append(span)
+        if self.sink is not None:
+            self.sink.write(span.to_record())
+        return span
+
+    # ------------------------------------------------------------------
+    # Counters and gauges
+    # ------------------------------------------------------------------
+
+    def add(self, name: str, value: float = 1) -> None:
+        """Increment counter ``name`` by ``value``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: Any) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def counters(self) -> Dict[str, float]:
+        """Snapshot of all counter totals."""
+        with self._lock:
+            return dict(self._counters)
+
+    def gauges(self) -> Dict[str, Any]:
+        """Snapshot of all gauges."""
+        with self._lock:
+            return dict(self._gauges)
+
+    # ------------------------------------------------------------------
+    # Export plumbing
+    # ------------------------------------------------------------------
+
+    def flush_counters(self) -> None:
+        """Export counter growth since the previous flush.
+
+        Counter records in the trace file are *deltas*, so tracers in
+        many processes (each flushing at task end) sum correctly when
+        the file is read back; the in-memory totals are unaffected.
+        """
+        if self.sink is None:
+            return
+        with self._lock:
+            delta = {
+                name: total - self._flushed.get(name, 0)
+                for name, total in self._counters.items()
+                if total != self._flushed.get(name, 0)
+            }
+            gauges = dict(self._gauges)
+            self._flushed = dict(self._counters)
+        if delta or gauges:
+            self.sink.write({
+                "type": "counters",
+                "trace": self.trace_id,
+                "pid": self._pid,
+                "counters": delta,
+                "gauges": gauges,
+            })
+
+    def finish(self) -> None:
+        """Flush pending counters and sync the sink."""
+        self.flush_counters()
+        if self.sink is not None:
+            self.sink.flush()
+
+    def handle(self) -> Optional[TraceHandle]:
+        """A picklable handle for worker processes, or ``None`` when
+        the tracer has no file sink to merge into."""
+        path = getattr(self.sink, "path", None)
+        if path is None:
+            return None
+        return TraceHandle(str(path), self.trace_id, self.current_span_id())
+
+    # ------------------------------------------------------------------
+    # Pickling (how FlowConfig.tracer reaches sweep workers)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        path = getattr(self.sink, "path", None)
+        return {
+            "path": None if path is None else str(path),
+            "trace_id": self.trace_id,
+            "parent_id": self.current_span_id(),
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        sink = None
+        if state["path"] is not None:
+            from repro.observe.export import JsonlExporter
+
+            sink = JsonlExporter(state["path"])
+        self.__init__(
+            sink=sink, trace_id=state["trace_id"], parent_id=state["parent_id"]
+        )
+
+
+class NullTracer(Tracer):
+    """A tracer whose every operation is a no-op.
+
+    The default active tracer: instrumentation in the hot path reduces
+    to one cheap method call, so an untraced run pays (almost) nothing.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullContext:
+        """Return the shared no-op context manager."""
+        return _NULL_CONTEXT
+
+    def record_span(self, name, wall, parent_id=None, **attrs):
+        """Discard the record; returns the shared dummy span."""
+        return _NULL_SPAN
+
+    def add(self, name: str, value: float = 1) -> None:
+        """Discard the increment."""
+
+    def gauge(self, name: str, value: Any) -> None:
+        """Discard the value."""
+
+    def flush_counters(self) -> None:
+        """Nothing to flush."""
+
+    def handle(self) -> Optional[TraceHandle]:
+        """Null tracers never merge across processes."""
+        return None
+
+    @property
+    def pid(self) -> int:
+        """Always the current process (null tracers survive forks)."""
+        return os.getpid()
+
+
+#: The process-wide default tracer (all instrumentation is off).
+NULL_TRACER = NullTracer()
+
+_ACTIVE: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The process-wide active tracer (a no-op tracer by default)."""
+    return _ACTIVE
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install ``tracer`` as the active tracer; returns the previous.
+
+    ``None`` restores the no-op default.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+_WORKER_TRACERS: Dict[tuple, Tracer] = {}
+
+
+def install_worker_tracer(handle: Optional[TraceHandle]) -> Tracer:
+    """Activate (and memoize) a tracer for ``handle`` in this process.
+
+    Pool entry points call this first thing: with a handle, the worker
+    gets a tracer appending to the parent's trace file (reused across
+    tasks landing in the same worker process); with ``None`` — tracing
+    off, or an in-memory-only parent tracer — any tracer inherited
+    through ``fork`` from the parent process is dropped so worker spans
+    can never masquerade as parent spans.
+    """
+    if handle is None:
+        if get_tracer().pid != os.getpid():
+            set_tracer(None)
+        return get_tracer()
+    key = (handle.path, handle.trace_id, handle.parent_id)
+    tracer = _WORKER_TRACERS.get(key)
+    if tracer is None or tracer.pid != os.getpid():
+        tracer = handle.tracer()
+        _WORKER_TRACERS[key] = tracer
+    set_tracer(tracer)
+    return tracer

@@ -29,6 +29,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.characterization.characterize import Characterizer, GlobalDraws
 from repro.cells.catalog import CellSpec
 from repro.liberty.model import Cell
+from repro.observe import TraceHandle, get_tracer, install_worker_tracer
 
 
 def chunk_indices(n_items: int, n_chunks: int) -> List[range]:
@@ -51,18 +52,23 @@ def _statistical_chunk(
     n_samples: int,
     seed: int,
     global_draws: Optional[GlobalDraws],
+    trace: Optional[TraceHandle] = None,
 ) -> List[Cell]:
     """Worker: characterize one chunk of cells in statistical mode."""
-    draws = characterizer.sample_arc_draws(specs, n_samples, seed)
-    return [
-        characterizer.characterize_cell(
-            spec,
-            draws=draws[spec.name],
-            global_draws=global_draws,
-            statistical=True,
-        )
-        for spec in specs
-    ]
+    tracer = install_worker_tracer(trace)
+    with tracer.span("characterize.chunk", n_cells=len(specs)):
+        draws = characterizer.sample_arc_draws(specs, n_samples, seed)
+        cells = [
+            characterizer.characterize_cell(
+                spec,
+                draws=draws[spec.name],
+                global_draws=global_draws,
+                statistical=True,
+            )
+            for spec in specs
+        ]
+    tracer.flush_counters()
+    return cells
 
 
 def _sample_chunk(
@@ -72,24 +78,30 @@ def _sample_chunk(
     seed: int,
     global_draws: Optional[GlobalDraws],
     sample_indices: Sequence[int],
+    trace: Optional[TraceHandle] = None,
 ) -> List[List[Cell]]:
     """Worker: characterize a (cell chunk, sample block) tile.
 
     Returns one list of cells per sample index, in block order.
     """
-    draws = characterizer.sample_arc_draws(specs, n_samples, seed)
-    tile: List[List[Cell]] = []
-    for k in sample_indices:
-        sliced = None if global_draws is None else global_draws.sample(k)
-        tile.append([
-            characterizer.characterize_cell(
-                spec,
-                draws=draws[spec.name],
-                sample_index=k,
-                global_draws=sliced,
-            )
-            for spec in specs
-        ])
+    tracer = install_worker_tracer(trace)
+    with tracer.span(
+        "characterize.chunk", n_cells=len(specs), n_samples=len(sample_indices)
+    ):
+        draws = characterizer.sample_arc_draws(specs, n_samples, seed)
+        tile: List[List[Cell]] = []
+        for k in sample_indices:
+            sliced = None if global_draws is None else global_draws.sample(k)
+            tile.append([
+                characterizer.characterize_cell(
+                    spec,
+                    draws=draws[spec.name],
+                    sample_index=k,
+                    global_draws=sliced,
+                )
+                for spec in specs
+            ])
+    tracer.flush_counters()
     return tile
 
 
@@ -105,6 +117,7 @@ def characterize_statistical_cells(
     ``n_workers`` processes; returns cells in catalog order."""
     specs = list(specs)
     chunks = chunk_indices(len(specs), 4 * n_workers)
+    trace = get_tracer().handle()
     with ProcessPoolExecutor(max_workers=n_workers) as pool:
         futures = [
             pool.submit(
@@ -114,6 +127,7 @@ def characterize_statistical_cells(
                 n_samples,
                 seed,
                 global_draws,
+                trace,
             )
             for chunk in chunks
         ]
@@ -139,6 +153,7 @@ def characterize_sample_cells(
     specs = list(specs)
     cell_chunks = chunk_indices(len(specs), 2 * n_workers)
     sample_blocks = chunk_indices(n_samples, n_workers)
+    trace = get_tracer().handle()
     with ProcessPoolExecutor(max_workers=n_workers) as pool:
         tiles: List[Tuple[range, range, object]] = []
         for block in sample_blocks:
@@ -154,6 +169,7 @@ def characterize_sample_cells(
                         seed,
                         global_draws,
                         list(block),
+                        trace,
                     ),
                 ))
         cells: List[List[Optional[Cell]]] = [

@@ -22,6 +22,7 @@ import numpy as np
 from repro.errors import TimingError
 from repro.liberty.lut import bilinear_interpolate_many
 from repro.liberty.model import TimingArc
+from repro.observe import get_tracer
 from repro.sta.graph import Endpoint, TimingGraph
 from repro.units import GUARD_BAND_NS
 
@@ -117,6 +118,17 @@ def analyze(
             f"clock period {clock_period} ns must exceed the guard band "
             f"{guard_band} ns"
         )
+    tracer = get_tracer()
+    tracer.add("sta.analyze_calls", 1)
+    tracer.add("sta.node_visits", len(graph.net_names))
+    tracer.add("sta.arc_evaluations", graph.n_arcs)
+    with tracer.span("sta.analyze", nets=len(graph.net_names), arcs=graph.n_arcs):
+        return _analyze(graph, clock_period, guard_band)
+
+
+def _analyze(
+    graph: TimingGraph, clock_period: float, guard_band: float
+) -> TimingResult:
     config = graph.config
     n_nets = len(graph.net_names)
     arrival = np.full(n_nets, _NEG_INF)

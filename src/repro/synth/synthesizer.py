@@ -31,6 +31,7 @@ import numpy as np
 from repro.errors import SynthesisError
 from repro.liberty.model import Library
 from repro.netlist.model import Instance, Netlist
+from repro.observe import get_tracer
 from repro.sta.engine import TimingResult, analyze
 from repro.sta.graph import StaConfig, TimingGraph
 from repro.synth.buffering import plan_groups, split_fanout
@@ -107,21 +108,29 @@ class Synthesizer:
 
     def run(self) -> SynthesisResult:
         """Execute the full loop and return the final state."""
-        initial_mapping(self.netlist, self.choices)
-        self._rebuild_graph()
-        result = self._sizing_loop()
-        for _round in range(self.constraints.max_buffer_rounds):
-            buffered = self._fix_fanout(result)
-            if buffered == 0:
-                break
+        tracer = get_tracer()
+        with tracer.span("synth.map", instances=len(self.netlist)):
+            initial_mapping(self.netlist, self.choices)
             self._rebuild_graph()
-            # no global re-presize after buffering: re-applying the
-            # utilization headroom would re-inflate the fresh buffers'
-            # sinks and undo the split (ping-pong); legality and the
-            # critical-path machinery still run
-            result = self._sizing_loop(presize_all=False)
+        with tracer.span("synth.size"):
+            result = self._sizing_loop()
+        with tracer.span("synth.buffer") as buffer_span:
+            for _round in range(self.constraints.max_buffer_rounds):
+                buffered = self._fix_fanout(result)
+                if buffered == 0:
+                    break
+                self._rebuild_graph()
+                # no global re-presize after buffering: re-applying the
+                # utilization headroom would re-inflate the fresh buffers'
+                # sinks and undo the split (ping-pong); legality and the
+                # critical-path machinery still run
+                result = self._sizing_loop(presize_all=False)
+            buffer_span.set(buffers=self.buffer_instances)
         if result.met:
-            result = self._area_recovery(result)
+            with tracer.span("synth.recover"):
+                result = self._area_recovery(result)
+        tracer.add("synth.sizing_iterations", self.sizing_iterations)
+        tracer.add("synth.buffer_instances", self.buffer_instances)
         met = result.met
         reason = "" if met else (
             f"WNS {result.wns:+.4f} ns at sizing fixpoint "
@@ -641,4 +650,13 @@ def synthesize(
     """Map and size ``netlist`` against ``library`` under ``constraints``."""
     global _SYNTHESIS_CALLS
     _SYNTHESIS_CALLS += 1
-    return Synthesizer(netlist, library, constraints, sta_config).run()
+    tracer = get_tracer()
+    tracer.add("synth.calls", 1)
+    with tracer.span(
+        "synth.run",
+        period=constraints.clock_period,
+        instances=len(netlist),
+    ) as span:
+        result = Synthesizer(netlist, library, constraints, sta_config).run()
+        span.set(met=result.met, iterations=result.sizing_iterations)
+        return result

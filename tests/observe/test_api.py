@@ -1,0 +1,240 @@
+"""The redesigned top-level surface: lazy exports, CLI, config errors.
+
+``import repro`` must stay cheap (the curated names resolve lazily on
+first touch), the CLI must accept the shared execution flags everywhere
+and keep ``cache`` as a working alias of ``store``, and the
+environment knobs must fail loudly on typos.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ConfigError, ReproError
+
+
+class TestLazyPackage:
+    """`import repro` is light; attributes resolve on first access."""
+
+    def test_import_is_lazy(self):
+        """Importing the package must not pull in the numeric stack or
+        the flow machinery (checked in a pristine interpreter)."""
+        import os
+        from pathlib import Path
+
+        import repro
+
+        src_dir = str(Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir
+        code = (
+            "import sys; import repro; "
+            "heavy = [m for m in ('numpy', 'repro.flow', 'repro.synth', "
+            "'repro.characterization') if m in sys.modules]; "
+            "assert not heavy, f'eagerly imported: {heavy}'; "
+            "print('lazy-ok')"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            env=env,
+        )
+        assert "lazy-ok" in result.stdout
+
+    def test_all_public_names_resolve(self):
+        """Every name in ``__all__`` is importable from the top level."""
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_expected_surface(self):
+        """The curated API covers the flow, pipeline, characterization,
+        catalog and tracing entry points."""
+        import repro
+
+        for name in (
+            "TuningFlow",
+            "FlowConfig",
+            "SynthesisRun",
+            "ArtifactPipeline",
+            "Tracer",
+            "build_catalog",
+            "Characterizer",
+        ):
+            assert name in repro.__all__
+
+    def test_unknown_attribute_raises(self):
+        """A missing attribute raises AttributeError, not ImportError."""
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_dir_lists_exports(self):
+        """``dir(repro)`` advertises the lazy names for tab completion."""
+        import repro
+
+        assert set(repro.__all__) <= set(dir(repro))
+
+    def test_top_level_import_matches_deep_import(self):
+        """The lazy re-export is the same object as the deep import."""
+        import repro
+        from repro.flow.experiment import TuningFlow
+        from repro.observe.tracer import Tracer
+
+        assert repro.TuningFlow is TuningFlow
+        assert repro.Tracer is Tracer
+
+
+class TestConfigValidation:
+    """Environment knobs fail loudly instead of silently defaulting."""
+
+    def test_bad_scale_raises_config_error(self, monkeypatch):
+        """A typo'd REPRO_SCALE names the bad value and the options."""
+        from repro.flow.experiment import FlowConfig
+
+        monkeypatch.setenv("REPRO_SCALE", "tiyn")
+        with pytest.raises(ConfigError, match="tiyn"):
+            FlowConfig.from_environment()
+
+    def test_config_error_is_a_repro_error(self):
+        """ConfigError slots into the package exception hierarchy."""
+        assert issubclass(ConfigError, ReproError)
+
+    def test_non_integer_jobs_raises(self, monkeypatch):
+        """REPRO_JOBS must be an integer."""
+        from repro.flow.experiment import FlowConfig
+
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ConfigError, match="REPRO_JOBS"):
+            FlowConfig.from_environment()
+
+    def test_negative_jobs_raises(self, monkeypatch):
+        """REPRO_JOBS must be >= 0 (0 = one worker per CPU)."""
+        from repro.flow.experiment import FlowConfig
+
+        monkeypatch.setenv("REPRO_JOBS", "-2")
+        with pytest.raises(ConfigError, match=">= 0"):
+            FlowConfig.from_environment()
+
+    def test_valid_environment_accepted(self, monkeypatch):
+        """The happy path still works, whitespace and case tolerated."""
+        from repro.flow.experiment import FlowConfig
+
+        monkeypatch.setenv("REPRO_SCALE", " Tiny ")
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        config = FlowConfig.from_environment()
+        assert config.n_workers == 3
+
+
+class TestCliSurface:
+    """Subcommand layout: shared flags, store/cache, id shorthand."""
+
+    def test_experiment_id_shorthand(self):
+        """``python -m repro fig10 ...`` rewrites to ``run fig10 ...``."""
+        from repro.__main__ import _normalize_argv
+
+        assert _normalize_argv(["fig10", "--profile"]) == [
+            "run",
+            "fig10",
+            "--profile",
+        ]
+        assert _normalize_argv(["list"]) == ["list"]
+        assert _normalize_argv([]) == []
+
+    def test_run_accepts_shared_flags(self):
+        """The parent parser wires every execution flag into ``run``."""
+        from repro.__main__ import _build_parser
+
+        args = _build_parser().parse_args(
+            ["run", "fig10", "-j", "2", "--no-cache", "--manifest",
+             "--trace", "out.jsonl", "--profile"]
+        )
+        assert args.ids == ["fig10"]
+        assert args.jobs == 2
+        assert args.no_cache and args.manifest and args.profile
+        assert args.trace == "out.jsonl"
+
+    def test_store_stats(self, capsys):
+        """``store stats`` reports both on-disk halves and exits 0."""
+        from repro.__main__ import main
+
+        assert main(["store", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "artifacts" in out
+
+    def test_cache_alias_deprecated_but_working(self, capsys):
+        """``cache`` still works, with a deprecation note on stderr."""
+        from repro.__main__ import main
+
+        assert main(["cache", "stats"]) == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "entries" in captured.out
+
+    def test_traced_run_writes_jsonl_and_profile(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """A traced CLI run (against a stub experiment) writes a
+        readable JSONL trace and prints the time tree."""
+        import repro.__main__ as cli
+        import repro.experiments.runner as runner
+        from repro.experiments.base import ExperimentResult
+        from repro.observe import get_tracer, load_trace
+
+        def fake_run(context):
+            """Stub experiment recording one span and one counter."""
+            tracer = get_tracer()
+            with tracer.span("fake.work"):
+                tracer.add("fake.items", 3)
+            return ExperimentResult("fake", "stub", rows=[])
+
+        fake_table = {"fake": fake_run}
+        monkeypatch.setattr(runner, "ALL_EXPERIMENTS", fake_table)
+        monkeypatch.setattr(cli, "ALL_EXPERIMENTS", fake_table)
+        path = tmp_path / "out.jsonl"
+        assert cli.main(["fake", "--trace", str(path), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "spans written to" in out
+        assert "experiment.fake" in out  # the rendered tree
+        trace = load_trace(path)
+        assert "fake.work" in trace.span_names()
+        assert trace.counters["fake.items"] == 3
+
+    def test_trace_dir_writes_per_experiment_artifacts(
+        self, tmp_path, monkeypatch
+    ):
+        """``--trace-dir`` produces one ``<id>.trace.jsonl`` per
+        experiment, each a self-contained trace."""
+        import repro.__main__ as cli
+        import repro.experiments.runner as runner
+        from repro.experiments.base import ExperimentResult
+        from repro.observe import get_tracer, load_trace
+
+        def make_run(experiment_id):
+            """A stub experiment factory recording one counted span."""
+
+            def run(context):
+                """Stub experiment body."""
+                with get_tracer().span("stub.work"):
+                    get_tracer().add("stub.items", 1)
+                return ExperimentResult(experiment_id, "stub", rows=[])
+
+            return run
+
+        fake_table = {"one": make_run("one"), "two": make_run("two")}
+        monkeypatch.setattr(runner, "ALL_EXPERIMENTS", fake_table)
+        monkeypatch.setattr(cli, "ALL_EXPERIMENTS", fake_table)
+        directory = tmp_path / "traces"
+        assert cli.main(["run", "--all", "--trace-dir", str(directory)]) == 0
+        for experiment_id in ("one", "two"):
+            trace = load_trace(directory / f"{experiment_id}.trace.jsonl")
+            assert f"experiment.{experiment_id}" in trace.span_names()
+            assert "stub.work" in trace.span_names()
+            assert trace.counters["stub.items"] == 1

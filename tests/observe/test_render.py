@@ -1,0 +1,95 @@
+"""Console rendering: the time tree, shares and counter tables."""
+
+from __future__ import annotations
+
+from repro.observe import MemorySink, Trace, Tracer, render_counters, render_trace, render_tree
+
+
+def _span(name, span_id, parent, wall, start=0.0):
+    """A minimal span record for rendering tests."""
+    return {
+        "type": "span",
+        "name": name,
+        "id": span_id,
+        "parent": parent,
+        "wall": wall,
+        "cpu": wall,
+        "start": start,
+    }
+
+
+class TestRenderTree:
+    """Grouping, ordering and percentage arithmetic of the tree."""
+
+    def test_empty_trace(self):
+        """No spans renders a clear placeholder line."""
+        assert "no spans" in render_tree([])
+
+    def test_groups_siblings_by_name_with_counts(self):
+        """Same-name siblings fold to one ``xN`` line; shares are of
+        the parent's wall time."""
+        spans = [
+            _span("root", "r", None, 10.0),
+            _span("work", "w1", "r", 4.0, start=1),
+            _span("work", "w2", "r", 4.0, start=2),
+        ]
+        text = render_tree(spans)
+        assert "x2" in text
+        assert "80.0%" in text  # 8s of work under a 10s root
+        assert "(self)" in text  # the remaining 2s
+        assert "20.0%" in text
+
+    def test_orphan_spans_render_as_roots(self):
+        """A span whose parent isn't in the file (cross-process tail)
+        still renders, as a root."""
+        spans = [_span("lonely", "x", "missing-parent", 1.0)]
+        text = render_tree(spans)
+        assert "lonely" in text
+        assert "1 spans" in text
+
+    def test_deep_nesting_indents(self):
+        """Child groups indent under their parents."""
+        spans = [
+            _span("a", "1", None, 4.0),
+            _span("b", "2", "1", 3.0),
+            _span("c", "3", "2", 2.0),
+        ]
+        lines = render_tree(spans).splitlines()
+        a_line = next(l for l in lines if l.lstrip().startswith("a"))
+        c_line = next(l for l in lines if l.lstrip().startswith("c"))
+        assert len(c_line) - len(c_line.lstrip()) > len(a_line) - len(
+            a_line.lstrip()
+        )
+
+
+class TestRenderCounters:
+    """The counter/gauge table."""
+
+    def test_counters_and_gauges_listed(self):
+        """Counter totals and gauges render sorted by name."""
+        text = render_counters({"b.count": 2, "a.count": 1}, {"workers": 4})
+        assert text.index("a.count") < text.index("b.count")
+        assert "workers" in text
+
+    def test_empty(self):
+        """Nothing recorded renders a placeholder."""
+        assert "none recorded" in render_counters({})
+
+
+class TestRenderTrace:
+    """End to end: a live tracer's output renders as tree + counters."""
+
+    def test_full_report(self):
+        """A real traced region produces both sections."""
+        tracer = Tracer(MemorySink())
+        with tracer.span("run"):
+            with tracer.span("step"):
+                pass
+            tracer.add("items", 3)
+        trace = Trace(
+            spans=[s.to_record() for s in tracer.spans],
+            counters=tracer.counters(),
+        )
+        text = render_trace(trace)
+        assert "run" in text and "step" in text
+        assert "items" in text

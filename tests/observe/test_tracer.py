@@ -1,0 +1,201 @@
+"""Tracer core: span nesting, timing, counters, the null default.
+
+The span tree is the contract everything else (export, rendering)
+builds on: children must link to the span open at their creation,
+wall times must be real measurements, and the process-default
+:class:`NullTracer` must swallow everything without side effects.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.observe import (
+    NULL_TRACER,
+    MemorySink,
+    NullTracer,
+    TraceHandle,
+    Tracer,
+    get_tracer,
+    set_tracer,
+)
+
+
+class TestSpans:
+    """Nesting, timing and attributes of spans."""
+
+    def test_nested_spans_link_parent_to_child(self):
+        """An inner span's parent id is the enclosing span's id."""
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("middle") as middle:
+                with tracer.span("inner") as inner:
+                    pass
+        assert outer.parent_id is None
+        assert middle.parent_id == outer.span_id
+        assert inner.parent_id == middle.span_id
+        assert [s.name for s in tracer.spans] == ["inner", "middle", "outer"]
+
+    def test_siblings_share_a_parent(self):
+        """Sequential spans at one level hang off the same parent."""
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == parent.span_id
+        assert b.parent_id == parent.span_id
+
+    def test_wall_time_is_measured(self):
+        """A span's wall time covers the slept interval; nesting sums."""
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                time.sleep(0.02)
+        assert inner.wall >= 0.02
+        assert outer.wall >= inner.wall
+
+    def test_attributes_at_open_and_post_hoc(self):
+        """Attributes pass at open time and via :meth:`Span.set`."""
+        tracer = Tracer()
+        with tracer.span("stage", key="abc") as span:
+            span.set(status="hit")
+        assert span.attrs == {"key": "abc", "status": "hit"}
+
+    def test_exception_closes_span_and_marks_error(self):
+        """An exception still closes the span and tags its type."""
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        (span,) = tracer.spans
+        assert span.attrs["error"] == "ValueError"
+
+    def test_record_span_uses_given_wall_time(self):
+        """Pre-measured regions record with the caller's wall time."""
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            recorded = tracer.record_span("warm.hit", 1.25, status="hit")
+        assert recorded.wall == 1.25
+        assert recorded.parent_id == parent.span_id
+
+    def test_span_ids_unique_and_pid_tagged(self):
+        """Ids are unique and namespaced by the creating process."""
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        ids = [s.span_id for s in tracer.spans]
+        assert len(set(ids)) == 5
+        assert all(s.pid == tracer.pid for s in tracer.spans)
+
+
+class TestCountersAndGauges:
+    """Counter accumulation and gauge last-write-wins."""
+
+    def test_counters_accumulate(self):
+        """``add`` sums; missing counters start at zero."""
+        tracer = Tracer()
+        tracer.add("x", 2)
+        tracer.add("x")
+        tracer.add("y", 0.5)
+        assert tracer.counters() == {"x": 3, "y": 0.5}
+
+    def test_gauges_last_write_wins(self):
+        """A re-set gauge keeps only the latest value."""
+        tracer = Tracer()
+        tracer.gauge("workers", 2)
+        tracer.gauge("workers", 8)
+        assert tracer.gauges() == {"workers": 8}
+
+    def test_flush_counters_exports_deltas(self):
+        """Each flush exports only the growth since the previous one."""
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.add("n", 3)
+        tracer.flush_counters()
+        tracer.add("n", 4)
+        tracer.flush_counters()
+        tracer.flush_counters()  # no growth -> no record
+        counter_records = [r for r in sink.records if r["type"] == "counters"]
+        assert [r["counters"]["n"] for r in counter_records] == [3, 4]
+        assert tracer.counters() == {"n": 7}
+
+
+class TestNullTracer:
+    """The no-op default: everything swallowed, nothing allocated."""
+
+    def test_default_tracer_is_null(self):
+        """With nothing installed, the active tracer is the shared null."""
+        assert get_tracer() is NULL_TRACER
+        assert not get_tracer().enabled
+
+    def test_null_operations_are_noops(self):
+        """Spans, counters and gauges all discard on the null tracer."""
+        tracer = NullTracer()
+        with tracer.span("ignored") as span:
+            span.set(status="ignored")
+        tracer.add("n", 5)
+        tracer.gauge("g", 1)
+        assert tracer.spans == []
+        assert tracer.counters() == {}
+        assert tracer.handle() is None
+
+    def test_set_tracer_installs_and_restores(self):
+        """``set_tracer`` swaps the active tracer; ``None`` restores."""
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is NULL_TRACER
+
+
+class TestHandles:
+    """Trace handles and tracer pickling (the worker join path)."""
+
+    def test_memory_tracer_has_no_handle(self):
+        """Only file-backed tracers can merge across processes."""
+        assert Tracer(MemorySink()).handle() is None
+        assert Tracer().handle() is None
+
+    def test_handle_captures_open_span(self, tmp_path):
+        """The handle's parent is the span open at capture time."""
+        from repro.observe import JsonlExporter
+
+        tracer = Tracer(JsonlExporter(tmp_path / "t.jsonl"))
+        with tracer.span("submit") as span:
+            handle = tracer.handle()
+        assert isinstance(handle, TraceHandle)
+        assert handle.trace_id == tracer.trace_id
+        assert handle.parent_id == span.span_id
+
+    def test_handle_tracer_appends_to_same_file(self, tmp_path):
+        """A handle rebuilds a tracer on the same file and trace id."""
+        from repro.observe import JsonlExporter, load_trace
+
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(JsonlExporter(path))
+        with tracer.span("parent") as parent:
+            handle = tracer.handle()
+        worker = handle.tracer()
+        with worker.span("child"):
+            pass
+        trace = load_trace(path)
+        child = next(s for s in trace.spans if s["name"] == "child")
+        assert child["parent"] == parent.span_id
+        assert child["trace"] == tracer.trace_id
+
+    def test_pickled_tracer_rejoins_file(self, tmp_path):
+        """Pickling reduces to (path, trace id, open parent)."""
+        from repro.observe import JsonlExporter
+
+        tracer = Tracer(JsonlExporter(tmp_path / "t.jsonl"))
+        clone = pickle.loads(pickle.dumps(tracer))
+        assert clone.trace_id == tracer.trace_id
+        assert str(clone.sink.path) == str(tracer.sink.path)
