@@ -7,13 +7,32 @@ are memoized inside it, so each bench pays only for what it adds.
 Scale: benches default to the quick flow (scaled-down design, 30 MC
 samples) which preserves every trend; set ``REPRO_SCALE=paper`` for the
 full ~18k-gate, 50-sample setup.
+
+Every bench session also writes a consolidated ``BENCH_<runid>.json``
+(per-test wall times plus every experiment metric that flowed through
+:func:`show`) — with or without ``pytest-benchmark`` installed — so the
+perf trajectory of the repo accumulates one artifact per CI bench run.
+``BENCH_RUN_ID`` pins the run id (CI sets it per job); ``BENCH_DIR``
+redirects the output directory (default: the working directory).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List
+
 import pytest
 
 from repro.experiments.base import ExperimentContext
+
+#: Wall time per finished bench test, in run order.
+_TEST_TIMES: List[Dict[str, Any]] = []
+
+#: Experiment metrics captured by :func:`show`, keyed by experiment id.
+_EXPERIMENT_METRICS: Dict[str, Dict[str, float]] = {}
 
 
 @pytest.fixture(scope="session")
@@ -22,6 +41,57 @@ def context():
 
 
 def show(result) -> None:
-    """Print an experiment's table (captured by pytest, shown with -s)."""
+    """Print an experiment's table (captured by pytest, shown with -s).
+
+    Also folds the result's numeric cells into the session's
+    ``BENCH_<runid>.json`` so the artifact carries science, not just
+    wall times.
+    """
+    from repro.observe.ledger import metrics_from_result
+
+    _EXPERIMENT_METRICS[result.experiment_id] = metrics_from_result(result)
     print()
     print(result.to_text())
+
+
+def pytest_runtest_logreport(report):
+    """Collect per-test wall times (call phase only)."""
+    if report.when == "call":
+        _TEST_TIMES.append({
+            "test": report.nodeid,
+            "seconds": round(report.duration, 4),
+            "outcome": report.outcome,
+        })
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the consolidated ``BENCH_<runid>.json`` artifact.
+
+    Runs regardless of whether ``pytest-benchmark`` is installed — the
+    trajectory must not depend on an optional plugin.  Skipped when no
+    bench test actually ran (e.g. a collection-only invocation).
+    """
+    if not _TEST_TIMES:
+        return
+    run_id = os.environ.get("BENCH_RUN_ID") or time.strftime(
+        "%Y%m%d-%H%M%S", time.gmtime()
+    )
+    directory = Path(os.environ.get("BENCH_DIR", "."))
+    payload = {
+        "run_id": run_id,
+        "timestamp": time.time(),
+        "scale": os.environ.get("REPRO_SCALE", "quick"),
+        "exit_status": int(exitstatus),
+        "total_seconds": round(sum(t["seconds"] for t in _TEST_TIMES), 4),
+        "tests": list(_TEST_TIMES),
+        "metrics": {k: dict(v) for k, v in sorted(_EXPERIMENT_METRICS.items())},
+    }
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{run_id}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    # pytest's terminal summary has not printed yet; a plain print
+    # lands right above it so the artifact path is discoverable in CI
+    # logs.
+    print(f"\n[bench artifact: {path}]")

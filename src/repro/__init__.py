@@ -18,8 +18,9 @@ The package implements the paper's full flow from scratch:
   per-pin slew/load windows (:mod:`repro.synth`);
 * end-to-end flows and every table/figure of the evaluation
   (:mod:`repro.flow`, :mod:`repro.experiments`);
-* an observability layer — spans, counters, profiling — over all of it
-  (:mod:`repro.observe`).
+* an observability layer — spans, counters, profiling, an append-only
+  run ledger with trend reports and a metrics regression gate — over
+  all of it (:mod:`repro.observe`).
 
 The names below are the curated public surface, re-exported lazily
 (PEP 562) so ``import repro`` stays fast and dependency-free — nothing
@@ -58,6 +59,8 @@ _EXPORTS = {
     "ArtifactPipeline": "repro.flow.pipeline",
     "Characterizer": "repro.characterization.characterize",
     "FlowConfig": "repro.flow.experiment",
+    "RunLedger": "repro.observe.ledger",
+    "RunRecord": "repro.observe.ledger",
     "SynthesisRun": "repro.flow.experiment",
     "Tracer": "repro.observe.tracer",
     "TuningFlow": "repro.flow.experiment",

@@ -14,6 +14,10 @@ Usage::
     python -m repro run --all --trace-dir traces/  # one trace per experiment
     python -m repro store stats           # cache location and size
     python -m repro store clear           # drop libraries and artifacts
+    python -m repro trace summarize a.jsonl        # flat per-path table
+    python -m repro trace diff a.jsonl b.jsonl     # flag wall-time growth
+    python -m repro report                # metric/stage trends (ledger)
+    python -m repro check --baseline benchmarks/baselines/fig10.json
     REPRO_SCALE=paper python -m repro run table1   # full-scale flow
 
 Every pipeline stage (characterized library, tuning, synthesis, worst
@@ -29,6 +33,19 @@ those of worker processes — to a JSONL file (see
 :mod:`repro.observe`); ``--profile`` prints the per-stage time tree and
 counter totals on completion.  Both change *observation only*: traced
 results are bit-identical to untraced ones.
+
+``--trace PATH`` *truncates* PATH at run start, so reusing one path
+across runs keeps only the latest trace — two runs never interleave in
+one file.  (Programmatic ``JsonlExporter`` use defaults to appending,
+the mode worker processes joining a live trace need; ``trace
+summarize`` flags a file that accumulated several runs.)
+
+Every run additionally appends one record — scientific metrics, stage
+wall times, cache hit rates — to the run ledger beside the artifact
+store (``REPRO_LEDGER`` redirects it, ``REPRO_LEDGER=off`` disables).
+``report`` renders metric and stage-time trends across those records;
+``check`` compares the latest matching run against a committed
+baseline and exits nonzero on drift — the CI regression gate.
 
 The execution flags (``--jobs``, ``--no-cache``, ``--manifest``,
 ``--trace``, ``--profile``) are defined once on a shared parent parser,
@@ -132,6 +149,81 @@ def _build_parser() -> argparse.ArgumentParser:
             choices=("stats", "clear"),
             help="what to do with the on-disk state",
         )
+
+    trace_parser = sub.add_parser(
+        "trace", help="analyze recorded JSONL traces"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    summarize_parser = trace_sub.add_parser(
+        "summarize", help="flat per-span-path wall/CPU table of one trace"
+    )
+    summarize_parser.add_argument("path", help="JSONL trace file")
+    summarize_parser.add_argument(
+        "--top", type=int, default=40, metavar="N",
+        help="paths to show (default 40)",
+    )
+    diff_parser = trace_sub.add_parser(
+        "diff",
+        help="align two traces by span path and flag wall-time regressions "
+        "(exit 1 when any are found)",
+    )
+    diff_parser.add_argument("a", help="reference trace (before)")
+    diff_parser.add_argument("b", help="candidate trace (after)")
+    diff_parser.add_argument(
+        "--rtol", type=float, default=None, metavar="R",
+        help="relative wall-time growth to tolerate (default 0.25)",
+    )
+    diff_parser.add_argument(
+        "--min-seconds", type=float, default=None, metavar="S",
+        help="absolute growth floor below which nothing is flagged "
+        "(default 0.05)",
+    )
+
+    report_parser = sub.add_parser(
+        "report", help="metric and stage-time trends across ledger records"
+    )
+    report_parser.add_argument(
+        "--ledger", metavar="PATH", default=None,
+        help="ledger file (default: beside the artifact store)",
+    )
+    report_parser.add_argument(
+        "--experiment", metavar="ID", default=None,
+        help="only this experiment's records",
+    )
+    report_parser.add_argument(
+        "--scale", default=None, help="only records at this scale"
+    )
+    report_parser.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="show only the last N runs per section",
+    )
+
+    check_parser = sub.add_parser(
+        "check",
+        help="gate the latest ledger run against a committed baseline "
+        "(exit 1 on metric drift or stage-budget violation)",
+    )
+    check_parser.add_argument(
+        "--baseline", required=True, metavar="PATH",
+        help="baseline JSON (experiment, scale, metrics, tolerances)",
+    )
+    check_parser.add_argument(
+        "--ledger", metavar="PATH", default=None,
+        help="ledger file (default: beside the artifact store)",
+    )
+    check_parser.add_argument(
+        "--rtol", type=float, default=None, metavar="R",
+        help="override the baseline's relative tolerance",
+    )
+    check_parser.add_argument(
+        "--atol", type=float, default=None, metavar="A",
+        help="override the baseline's absolute tolerance",
+    )
+    check_parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from the latest matching run instead "
+        "of checking (the refresh path after an intended change)",
+    )
     return parser
 
 
@@ -151,6 +243,122 @@ def _run_store_command(action: str) -> int:
     print(f"removed {removed} cache entries from {cache.directory}")
     removed = store.clear()
     print(f"removed {removed} stage artifacts from {store.directory}")
+    return 0
+
+
+def _run_trace_command(args: argparse.Namespace) -> int:
+    """Handle ``python -m repro trace summarize|diff``."""
+    from repro.observe import load_trace
+    from repro.observe.analyze import (
+        DIFF_MIN_SECONDS,
+        DIFF_RTOL,
+        diff_traces,
+        summarize_trace,
+    )
+
+    try:
+        if args.trace_command == "summarize":
+            print(summarize_trace(load_trace(args.path), top=args.top))
+            return 0
+        diff = diff_traces(
+            load_trace(args.a),
+            load_trace(args.b),
+            rtol=args.rtol if args.rtol is not None else DIFF_RTOL,
+            min_seconds=(
+                args.min_seconds
+                if args.min_seconds is not None
+                else DIFF_MIN_SECONDS
+            ),
+        )
+    except OSError as error:
+        print(f"cannot read trace: {error}", file=sys.stderr)
+        return 2
+    print(diff.to_text())
+    return 1 if diff.regressions else 0
+
+
+def _run_report_command(args: argparse.Namespace) -> int:
+    """Handle ``python -m repro report``."""
+    from repro.observe.analyze import render_report
+    from repro.observe.ledger import RunLedger
+
+    ledger = RunLedger(args.ledger)
+    records = ledger.read(experiment=args.experiment, scale=args.scale)
+    print(render_report(records, last=args.last))
+    return 0
+
+
+def _run_check_command(args: argparse.Namespace) -> int:
+    """Handle ``python -m repro check`` — the regression gate.
+
+    Exit 0 when the latest matching ledger run satisfies the baseline,
+    1 on metric drift or a stage-budget violation, 2 when the gate
+    cannot run (unreadable baseline, no matching ledger record).
+    """
+    import json
+
+    from repro.observe.analyze import (
+        baseline_from_record,
+        check_record,
+        load_baseline,
+    )
+    from repro.observe.ledger import RunLedger
+
+    try:
+        baseline = load_baseline(args.baseline)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"cannot read baseline: {error}", file=sys.stderr)
+        return 2
+    experiment = baseline.get("experiment")
+    if not experiment:
+        print(f"baseline names no experiment: {args.baseline}", file=sys.stderr)
+        return 2
+    ledger = RunLedger(args.ledger)
+    record = ledger.latest(experiment, baseline.get("scale"))
+    if record is None:
+        scale = baseline.get("scale", "any")
+        print(
+            f"no ledger record of {experiment} @ {scale} in {ledger.path}; "
+            f"run 'python -m repro {experiment}' first",
+            file=sys.stderr,
+        )
+        return 2
+    if args.update:
+        refreshed = baseline_from_record(
+            record,
+            rtol=(
+                args.rtol
+                if args.rtol is not None
+                else float(baseline.get("rtol", 0.05))
+            ),
+            atol=baseline.get("atol"),
+        )
+        if "stage_budget_seconds" in baseline:
+            refreshed["stage_budget_seconds"] = baseline["stage_budget_seconds"]
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(refreshed, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"baseline refreshed from run {record.run_id} "
+            f"({len(refreshed['metrics'])} metrics) -> {args.baseline}"
+        )
+        return 0
+    violations = check_record(
+        record, baseline, rtol=args.rtol, atol=args.atol
+    )
+    if violations:
+        for violation in violations:
+            print(f"FAIL: {violation}")
+        print(
+            f"check failed: {len(violations)} violations against "
+            f"{args.baseline} (run {record.run_id})"
+        )
+        return 1
+    print(
+        f"check ok: run {record.run_id} of {record.experiment} @ "
+        f"{record.scale} matches {args.baseline} "
+        f"({len(baseline.get('metrics', {}))} metrics)"
+    )
     return 0
 
 
@@ -226,6 +434,12 @@ def main(argv: List[str]) -> int:
                 file=sys.stderr,
             )
         return _run_store_command(args.action)
+    if args.command == "trace":
+        return _run_trace_command(args)
+    if args.command == "report":
+        return _run_report_command(args)
+    if args.command == "check":
+        return _run_check_command(args)
 
     if args.all:
         ids = list(ALL_EXPERIMENTS)

@@ -11,10 +11,19 @@ Each experiment runs inside an ``experiment.<id>`` span, so a traced
 ``run --all`` produces one tree with per-experiment roll-ups; with
 ``trace_dir`` set, every experiment additionally writes its own JSONL
 trace artifact (``<id>.trace.jsonl``) — the shape CI uploads.
+
+Every run also appends one record to the **run ledger** (scientific
+metrics, stage aggregates, fingerprints — see
+:mod:`repro.observe.ledger`), the longitudinal trail behind ``python
+-m repro report`` and ``check``.  Set ``REPRO_LEDGER=off`` (or pass
+``ledger=False``) to suppress it, or ``REPRO_LEDGER=<path>`` to
+redirect it.
 """
 
 from __future__ import annotations
 
+import sys
+import time
 from dataclasses import replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
@@ -97,10 +106,44 @@ def build_context(
     return ExperimentContext(TuningFlow(config))
 
 
+def _record_in_ledger(
+    ledger,
+    experiment_id: str,
+    result: ExperimentResult,
+    context: ExperimentContext,
+    manifest_start: int,
+    counters_start: Dict[str, float],
+    counters_end: Dict[str, float],
+    wall: float,
+) -> None:
+    """Append one run record; a ledger failure never fails the run."""
+    from repro.observe.ledger import capture_run
+
+    deltas = {
+        name: total - counters_start.get(name, 0)
+        for name, total in counters_end.items()
+        if total != counters_start.get(name, 0)
+    }
+    try:
+        ledger.append(
+            capture_run(
+                experiment_id,
+                result,
+                context.flow,
+                stage_records=context.flow.manifest.records[manifest_start:],
+                counters=deltas,
+                wall=wall,
+            )
+        )
+    except OSError as error:  # pragma: no cover - disk-full / perms
+        print(f"warning: ledger append failed: {error}", file=sys.stderr)
+
+
 def run_experiments(
     context: Optional[ExperimentContext] = None,
     ids: Optional[List[str]] = None,
     trace_dir: Optional[Union[str, Path]] = None,
+    ledger=None,
 ) -> Dict[str, ExperimentResult]:
     """Run the selected experiments (all by default) and return them.
 
@@ -113,20 +156,34 @@ def run_experiments(
     active tracer.  With ``trace_dir`` set, each experiment *also*
     records a standalone trace artifact ``<trace_dir>/<id>.trace.
     jsonl`` (spans and counter totals of just that experiment).
+
+    Each finished experiment appends one :class:`~repro.observe.
+    ledger.RunRecord` to the run ledger: ``ledger=None`` resolves it
+    from the environment (``REPRO_LEDGER``; default beside the
+    artifact store), ``ledger=False`` disables recording, and an
+    explicit :class:`~repro.observe.ledger.RunLedger` pins the path.
     """
     from repro.observe import JsonlExporter, Tracer, get_tracer, set_tracer
+    from repro.observe.ledger import resolve_ledger
 
     context = context or build_context()
     chosen = ids if ids is not None else list(ALL_EXPERIMENTS)
     directory = None if trace_dir is None else Path(trace_dir)
     if directory is not None:
         directory.mkdir(parents=True, exist_ok=True)
+    if ledger is None:
+        ledger = resolve_ledger()
+    elif ledger is False:
+        ledger = None
     results: Dict[str, ExperimentResult] = {}
     for experiment_id in chosen:
         session = get_tracer()
+        manifest_start = len(context.flow.manifest.records)
+        start = time.perf_counter()
         if directory is not None:
             path = directory / f"{experiment_id}.trace.jsonl"
             artifact_tracer = Tracer(JsonlExporter(path, truncate=True))
+            counters_start = artifact_tracer.counters()
             previous = set_tracer(artifact_tracer)
             try:
                 with artifact_tracer.span(f"experiment.{experiment_id}"):
@@ -134,9 +191,23 @@ def run_experiments(
                 artifact_tracer.finish()
             finally:
                 set_tracer(previous)
+            counters_end = artifact_tracer.counters()
         else:
+            counters_start = session.counters()
             with session.span(f"experiment.{experiment_id}"):
                 results[experiment_id] = ALL_EXPERIMENTS[experiment_id](context)
+            counters_end = session.counters()
+        if ledger is not None:
+            _record_in_ledger(
+                ledger,
+                experiment_id,
+                results[experiment_id],
+                context,
+                manifest_start,
+                counters_start,
+                counters_end,
+                wall=time.perf_counter() - start,
+            )
     return results
 
 

@@ -136,6 +136,26 @@ class FlowConfig:
     #: The recognized ``REPRO_SCALE`` values and their factories.
     SCALES = ("quick", "paper", "tiny")
 
+    def scale_name(self) -> str:
+        """The named scale this config matches, or ``custom``.
+
+        Matches on the science-defining knobs (design parameters,
+        sample count, seed, guard band) only — worker count, caching
+        and tracing never change results, so a ``tiny`` run stays
+        ``tiny`` however it executes.  The run ledger records this so
+        metric trends never mix scales.
+        """
+        for name in self.SCALES:
+            factory = getattr(FlowConfig, name)()
+            if (
+                factory.design,
+                factory.n_samples,
+                factory.seed,
+                factory.guard_band,
+            ) == (self.design, self.n_samples, self.seed, self.guard_band):
+                return name
+        return "custom"
+
     @staticmethod
     def from_environment() -> "FlowConfig":
         """Build a config from environment knobs, validating them.

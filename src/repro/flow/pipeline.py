@@ -94,6 +94,15 @@ class RunManifest:
             counts[record.status] = counts.get(record.status, 0) + 1
         return counts
 
+    def aggregates(self) -> Dict[str, Dict[str, Any]]:
+        """Per-stage roll-up: count, hit/miss/computed, total seconds.
+
+        The shape the run ledger persists (see
+        :mod:`repro.observe.ledger`) and ``--manifest`` summarizes —
+        one entry per stage id, statuses as counts.
+        """
+        return stage_aggregates(self.records)
+
     def to_text(self) -> str:
         """Fixed-width table of every record plus a hit/miss summary."""
         if not self.records:
@@ -108,6 +117,28 @@ class RunManifest:
         summary = ", ".join(f"{n} {status}" for status, n in sorted(counts.items()))
         lines.append(f"-- {len(self.records)} stage resolutions: {summary}")
         return "\n".join(lines)
+
+
+def stage_aggregates(
+    records: Sequence[StageRecord],
+) -> Dict[str, Dict[str, Any]]:
+    """Fold stage records into per-stage totals.
+
+    Accepts any slice of a manifest, so callers attributing work to a
+    single experiment (the run ledger) can aggregate just the records
+    that run appended.
+    """
+    aggregates: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        entry = aggregates.setdefault(
+            record.stage, {"count": 0, "seconds": 0.0}
+        )
+        entry["count"] += 1
+        entry["seconds"] += record.seconds
+        entry[record.status] = entry.get(record.status, 0) + 1
+    for entry in aggregates.values():
+        entry["seconds"] = round(entry["seconds"], 6)
+    return aggregates
 
 
 # ----------------------------------------------------------------------

@@ -14,6 +14,12 @@ pieces:
   :func:`load_trace` to read a trace back.
 * :mod:`repro.observe.render` — a console renderer printing the
   per-stage time tree with percentages and the counter totals.
+* :mod:`repro.observe.ledger` — the append-only run ledger: one JSONL
+  record per experiment run (scientific metrics, stage aggregates,
+  fingerprints, host info) beside the artifact store.
+* :mod:`repro.observe.analyze` — trace summarize/diff, the ledger
+  trend report and the baseline regression gate behind ``python -m
+  repro trace|report|check``.
 
 Entry points: ``FlowConfig(tracer=...)``, ``python -m repro fig10
 --trace out.jsonl`` / ``--profile``, or directly::
@@ -28,7 +34,15 @@ Entry points: ``FlowConfig(tracer=...)``, ``python -m repro fig10
     print(render_trace(load_trace("out.jsonl")))
 """
 
+from repro.observe.analyze import (
+    TraceDiff,
+    check_record,
+    diff_traces,
+    render_report,
+    summarize_trace,
+)
 from repro.observe.export import JsonlExporter, MemorySink, Trace, load_trace, merge_records
+from repro.observe.ledger import RunLedger, RunRecord, metrics_from_result
 from repro.observe.render import render_counters, render_trace, render_tree
 from repro.observe.tracer import (
     NULL_TRACER,
@@ -46,16 +60,24 @@ __all__ = [
     "MemorySink",
     "NULL_TRACER",
     "NullTracer",
+    "RunLedger",
+    "RunRecord",
     "Span",
     "Trace",
+    "TraceDiff",
     "TraceHandle",
     "Tracer",
+    "check_record",
+    "diff_traces",
     "get_tracer",
     "install_worker_tracer",
     "load_trace",
     "merge_records",
+    "metrics_from_result",
     "render_counters",
+    "render_report",
     "render_trace",
     "render_tree",
     "set_tracer",
+    "summarize_trace",
 ]

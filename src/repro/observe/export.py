@@ -32,6 +32,21 @@ class JsonlExporter:
     and empties — it eagerly, so a fresh trace never mixes with stale
     worker output).  Safe to share across threads; safe to *reopen*
     from any number of processes.
+
+    Truncate vs append — the reuse contract for one path:
+
+    * ``truncate=True`` is for the exporter that *starts* a run: the
+      CLI's ``--trace PATH`` and per-experiment ``--trace-dir``
+      artifacts truncate, so reusing a path across runs keeps only the
+      latest run.
+    * ``truncate=False`` (the default) is for exporters that *join* a
+      run in flight — worker processes reopening the parent's file —
+      and must never empty it.
+
+    Constructing an appending exporter on a recycled path therefore
+    interleaves two runs (two trace ids) in one file; the analytics
+    layer (``python -m repro trace summarize``) flags that, and
+    :class:`Trace` keeps the distinct ids it saw.
     """
 
     def __init__(self, path: Union[str, Path], truncate: bool = False):
@@ -98,34 +113,53 @@ class MemorySink:
 
 @dataclass
 class Trace:
-    """Parsed contents of a trace: spans plus merged counters/gauges."""
+    """Parsed contents of a trace: spans plus merged counters/gauges.
+
+    ``trace_ids`` keeps the distinct trace ids seen in file order —
+    more than one means the file accumulated several runs (an
+    appending exporter on a recycled path), which the analytics layer
+    flags rather than silently summing unrelated runs.
+    """
 
     spans: List[Dict[str, Any]] = field(default_factory=list)
     counters: Dict[str, float] = field(default_factory=dict)
     gauges: Dict[str, Any] = field(default_factory=dict)
+    trace_ids: List[str] = field(default_factory=list)
 
     def span_names(self) -> List[str]:
         """Distinct span names, in first-appearance order."""
         seen: List[str] = []
         for span in self.spans:
-            if span["name"] not in seen:
-                seen.append(span["name"])
+            name = span.get("name", "?")
+            if name not in seen:
+                seen.append(name)
         return seen
 
     def total_wall(self, name: str) -> float:
-        """Summed wall time of every span called ``name``."""
-        return sum(s["wall"] for s in self.spans if s["name"] == name)
+        """Summed wall time of every span called ``name``.
+
+        Unclosed spans (no ``wall`` recorded) count as zero.
+        """
+        return sum(
+            s.get("wall") or 0.0 for s in self.spans if s.get("name") == name
+        )
 
 
 def merge_records(records: List[Dict[str, Any]]) -> Trace:
     """Fold raw trace records into a :class:`Trace`.
 
     Span records collect in file order; counter records (deltas) sum;
-    gauge values take the last write.
+    gauge values take the last write.  Records that are not JSON
+    objects (noise in a hand-edited or corrupted file) are skipped.
     """
     trace = Trace()
     for record in records:
+        if not isinstance(record, dict):
+            continue
         kind = record.get("type")
+        trace_id = record.get("trace")
+        if trace_id and trace_id not in trace.trace_ids:
+            trace.trace_ids.append(trace_id)
         if kind == "span":
             trace.spans.append(record)
         elif kind == "counters":

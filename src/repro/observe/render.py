@@ -20,15 +20,31 @@ from repro.observe.export import Trace
 _MIN_SHARE = 0.002
 
 
+def _wall(span: Dict[str, Any]) -> float:
+    """A span's wall time; unclosed spans count as zero."""
+    wall = span.get("wall")
+    return wall if isinstance(wall, (int, float)) else 0.0
+
+
+def _finished(span: Dict[str, Any]) -> bool:
+    """Whether the span record carries its close-time measurements.
+
+    A worker killed mid-run (or a hand-truncated trace) leaves span
+    records without ``wall``/``cpu``; they still render — marked
+    ``[unfinished]`` — instead of failing the whole report.
+    """
+    return isinstance(span.get("wall"), (int, float))
+
+
 def _children_by_parent(
     spans: List[Dict[str, Any]],
 ) -> Dict[Optional[str], List[Dict[str, Any]]]:
-    known = {span["id"] for span in spans}
+    known = {span.get("id") for span in spans}
     children: Dict[Optional[str], List[Dict[str, Any]]] = {}
     for span in spans:
         parent = span.get("parent")
         if parent not in known:
-            parent = None  # roots, and worker spans whose parent is elsewhere
+            parent = None  # roots, and orphans whose parent was never written
         children.setdefault(parent, []).append(span)
     return children
 
@@ -36,8 +52,8 @@ def _children_by_parent(
 def _group_by_name(spans: List[Dict[str, Any]]) -> List[List[Dict[str, Any]]]:
     groups: Dict[str, List[Dict[str, Any]]] = {}
     for span in sorted(spans, key=lambda s: s.get("start", 0.0)):
-        groups.setdefault(span["name"], []).append(span)
-    return sorted(groups.values(), key=lambda g: -sum(s["wall"] for s in g))
+        groups.setdefault(span.get("name", "?"), []).append(span)
+    return sorted(groups.values(), key=lambda g: -sum(_wall(s) for s in g))
 
 
 def _render_group(
@@ -47,24 +63,32 @@ def _render_group(
     children: Dict[Optional[str], List[Dict[str, Any]]],
     lines: List[str],
 ) -> None:
-    total = sum(span["wall"] for span in group)
-    cpu = sum(span.get("cpu", 0.0) for span in group)
+    total = sum(_wall(span) for span in group)
+    cpu = sum(span.get("cpu") or 0.0 for span in group)
     share = 100.0 * total / parent_wall if parent_wall > 0 else 100.0
     count = f"x{len(group)}" if len(group) > 1 else ""
-    name = "  " * depth + group[0]["name"]
+    name = "  " * depth + group[0].get("name", "?")
+    if not all(_finished(span) for span in group):
+        name += " [unfinished]"
     lines.append(
         f"{name:<44s} {count:>6s} {total:9.3f}s {share:6.1f}%  cpu {cpu:8.3f}s"
     )
     grandchildren: List[Dict[str, Any]] = []
     for span in group:
-        grandchildren.extend(children.get(span["id"], ()))
+        grandchildren.extend(children.get(span.get("id"), ()))
     if not grandchildren:
         return
     child_total = 0.0
     for child_group in _group_by_name(grandchildren):
-        group_wall = sum(span["wall"] for span in child_group)
+        group_wall = sum(_wall(span) for span in child_group)
         child_total += group_wall
-        if total > 0 and group_wall / total < _MIN_SHARE:
+        # Tiny groups fold away — unless one holds an unfinished span,
+        # which is exactly what a truncated trace's reader looks for.
+        if (
+            total > 0
+            and group_wall / total < _MIN_SHARE
+            and all(_finished(span) for span in child_group)
+        ):
             continue
         _render_group(child_group, total, depth + 1, children, lines)
     self_time = total - child_total
@@ -77,14 +101,24 @@ def _render_group(
 
 
 def render_tree(spans: List[Dict[str, Any]]) -> str:
-    """The per-stage time tree over a list of span records."""
+    """The per-stage time tree over a list of span records.
+
+    Partial traces render too: spans missing close-time fields show as
+    ``[unfinished]`` with zero wall time, and orphan spans (parent id
+    never written — e.g. a worker outliving a killed parent) are
+    promoted to roots.
+    """
     if not spans:
         return "trace: no spans recorded"
     children = _children_by_parent(spans)
     roots = children.get(None, [])
-    root_wall = sum(span["wall"] for span in roots)
+    root_wall = sum(_wall(span) for span in roots)
+    unfinished = sum(1 for span in spans if not _finished(span))
+    header = f"trace: {len(spans)} spans, {root_wall:.3f}s at the root"
+    if unfinished:
+        header += f" ({unfinished} unfinished)"
     lines = [
-        f"trace: {len(spans)} spans, {root_wall:.3f}s at the root",
+        header,
         f"{'span':<44s} {'calls':>6s} {'wall':>10s} {'share':>7s}",
     ]
     for group in _group_by_name(roots):
@@ -113,6 +147,11 @@ def render_counters(
 def render_trace(trace: Trace) -> str:
     """Tree plus counters: the full console report of one trace."""
     parts = [render_tree(trace.spans)]
+    if len(trace.trace_ids) > 1:
+        parts[0] = (
+            f"warning: file holds {len(trace.trace_ids)} interleaved traces "
+            "(appending exporter on a recycled path?)\n" + parts[0]
+        )
     if trace.counters or trace.gauges:
         parts.append(render_counters(trace.counters, trace.gauges))
     return "\n\n".join(parts)

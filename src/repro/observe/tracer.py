@@ -72,14 +72,28 @@ class Span:
     wall: float = 0.0
     cpu: float = 0.0
     rss_delta_kib: int = 0
+    events: List[Dict[str, Any]] = field(default_factory=list)
 
     def set(self, **attrs: Any) -> None:
         """Attach (or overwrite) attributes after the span opened."""
         self.attrs.update(attrs)
 
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point-in-time anomaly or milestone inside the span.
+
+        Events ride along in the span's trace record — the natural
+        home for things that happen *during* a stage but are not
+        stages themselves: a cache entry found corrupted and healed, a
+        retry, a fallback taken.
+        """
+        record: Dict[str, Any] = {"name": name, "t": time.time()}
+        if attrs:
+            record["attrs"] = attrs
+        self.events.append(record)
+
     def to_record(self) -> Dict[str, Any]:
         """JSON-serializable rendering (one trace-file line)."""
-        return {
+        record = {
             "type": "span",
             "trace": self.trace_id,
             "id": self.span_id,
@@ -92,6 +106,9 @@ class Span:
             "cpu": self.cpu,
             "rss_kib": self.rss_delta_kib,
         }
+        if self.events:
+            record["events"] = self.events
+        return record
 
 
 class _NullSpan(Span):
@@ -99,6 +116,9 @@ class _NullSpan(Span):
 
     def set(self, **attrs: Any) -> None:
         """Discard attributes (tracing is off)."""
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Discard the event (tracing is off)."""
 
 
 _NULL_SPAN = _NullSpan(
@@ -293,6 +313,19 @@ class Tracer:
         with self._lock:
             self._gauges[name] = value
 
+    def event(self, name: str, **attrs: Any) -> None:
+        """Attach an event to this thread's innermost open span.
+
+        The affordance instrumented code wants when something
+        noteworthy happens mid-stage (e.g. the artifact store healing a
+        corrupted entry) without knowing which span is open.  With no
+        span open the event is dropped — events only make sense in the
+        context of the work they interrupted.
+        """
+        stack = self._stack()
+        if stack:
+            stack[-1].event(name, **attrs)
+
     def counters(self) -> Dict[str, float]:
         """Snapshot of all counter totals."""
         with self._lock:
@@ -392,6 +425,9 @@ class NullTracer(Tracer):
 
     def gauge(self, name: str, value: Any) -> None:
         """Discard the value."""
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Discard the event."""
 
     def flush_counters(self) -> None:
         """Nothing to flush."""

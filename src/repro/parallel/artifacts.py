@@ -31,10 +31,11 @@ import hashlib
 import json
 import os
 import tempfile
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Dict, Optional
 
+from repro.observe import get_tracer
 from repro.parallel.cache import default_cache_dir
 
 #: Format/semantics version folded into every artifact key and file.
@@ -67,11 +68,20 @@ class ArtifactStats:
     directory: Path
     entries: int
     total_bytes: int
+    #: Entry count per stage prefix (``synth``, ``paths``, ...) — the
+    #: store-side aggregate mirroring the run manifest's stage ids.
+    by_stage: Dict[str, int] = field(default_factory=dict)
 
     def to_text(self) -> str:
-        """One-line human-readable rendering."""
+        """One-line human-readable rendering (plus stage breakdown)."""
         kib = self.total_bytes / 1024
-        return f"{self.directory}: {self.entries} artifacts, {kib:.1f} KiB"
+        text = f"{self.directory}: {self.entries} artifacts, {kib:.1f} KiB"
+        if self.by_stage:
+            breakdown = ", ".join(
+                f"{count} {stage}" for stage, count in sorted(self.by_stage.items())
+            )
+            text += f" ({breakdown})"
+        return text
 
 
 class ArtifactStore:
@@ -110,8 +120,19 @@ class ArtifactStore:
             ):
                 raise ValueError("artifact envelope mismatch")
             return envelope["payload"]
-        except Exception:
+        except Exception as error:
+            # Self-healing: an unreadable entry becomes a miss.  The
+            # anomaly is worth a trace event — silent healing hides an
+            # unhealthy store (disk trouble, version skew, races).
             self._discard(path)
+            tracer = get_tracer()
+            tracer.add("store.artifact.healed", 1)
+            tracer.event(
+                "store.self_heal",
+                stage=stage,
+                file=path.name,
+                error=type(error).__name__,
+            )
             return None
 
     def store(self, stage: str, key: str, payload: Any) -> Path:
@@ -145,15 +166,21 @@ class ArtifactStore:
     # ------------------------------------------------------------------
 
     def stats(self) -> ArtifactStats:
-        """Entry count and total size of the artifact entries."""
+        """Entry count, total size and per-stage breakdown."""
         entries = 0
         total = 0
+        by_stage: Dict[str, int] = {}
         if self.directory.is_dir():
             for path in self.directory.glob(f"*{ARTIFACT_SUFFIX}"):
                 entries += 1
                 total += path.stat().st_size
+                stage = path.name.rsplit("-", 1)[0]
+                by_stage[stage] = by_stage.get(stage, 0) + 1
         return ArtifactStats(
-            directory=self.directory, entries=entries, total_bytes=total
+            directory=self.directory,
+            entries=entries,
+            total_bytes=total,
+            by_stage=by_stage,
         )
 
     def clear(self) -> int:

@@ -112,6 +112,36 @@ class TestArtifactStore:
         assert store.clear() == 3
         assert store.stats().entries == 0
 
+    def test_self_heal_is_observable(self, tmp_path):
+        """Healing a poisoned entry bumps the healed counter and
+        attaches a ``store.self_heal`` event to the open span."""
+        from repro.observe import MemorySink, Tracer, set_tracer
+
+        store = ArtifactStore(tmp_path)
+        key = fingerprint({"x": 3})
+        store.store("paths", key, [1, 2, 3])
+        store.path_for("paths", key).write_bytes(b"junk")
+        tracer = Tracer(MemorySink())
+        previous = set_tracer(tracer)
+        try:
+            with tracer.span("stage.paths") as span:
+                assert store.load("paths", key) is None
+        finally:
+            set_tracer(previous)
+        assert tracer.counters()["store.artifact.healed"] == 1
+        (event,) = span.events
+        assert event["name"] == "store.self_heal"
+        assert event["attrs"]["stage"] == "paths"
+
+    def test_stats_break_down_by_stage(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for i in range(2):
+            store.store("tuning", fingerprint({"i": i}), {"i": i})
+        store.store("synth", fingerprint({"j": 9}), {"j": 9})
+        stats = store.stats()
+        assert stats.by_stage == {"tuning": 2, "synth": 1}
+        assert "tuning" in stats.to_text()
+
     def test_canonical_json_is_key_order_independent(self):
         assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
         assert fingerprint({"b": 1, "a": 2}) == fingerprint({"a": 2, "b": 1})

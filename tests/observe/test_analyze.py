@@ -1,0 +1,284 @@
+"""Trace analytics and the ledger report/check layer.
+
+Pure-function coverage: span-path aggregation, the trace diff's
+regression thresholds, the markdown trend report, and the baseline
+gate's tolerance arithmetic.  The CLI wiring over these lives in
+``test_cli_analytics.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observe.export import Trace
+from repro.observe.analyze import (
+    aggregate_paths,
+    baseline_from_record,
+    check_record,
+    diff_traces,
+    load_baseline,
+    render_report,
+    summarize_trace,
+)
+from repro.observe.ledger import RunRecord
+
+
+def _span(name, span_id, parent=None, wall=1.0):
+    """A minimal span record; ``wall=None`` models an unfinished span."""
+    record = {"type": "span", "name": name, "id": span_id, "parent": parent}
+    if wall is not None:
+        record["wall"] = wall
+        record["cpu"] = wall
+    return record
+
+
+def _trace(*spans, counters=None, trace_ids=("t1",)):
+    return Trace(
+        spans=list(spans),
+        counters=dict(counters or {}),
+        trace_ids=list(trace_ids),
+    )
+
+
+def _record(run_id="r1", metrics=None, stages=None, **overrides):
+    fields = dict(
+        run_id=run_id,
+        timestamp=1000.0,
+        experiment="fake",
+        scale="tiny",
+        metrics=metrics if metrics is not None else {"sigma[vt]": 2.0},
+        stages=stages or {},
+    )
+    fields.update(overrides)
+    return RunRecord(**fields)
+
+
+class TestAggregatePaths:
+    """Root-to-name paths, sibling merge, orphan promotion."""
+
+    def test_nested_spans_join_with_slashes(self):
+        spans = [
+            _span("run", "r", wall=5.0),
+            _span("step", "s", parent="r", wall=2.0),
+            _span("leaf", "l", parent="s", wall=1.0),
+        ]
+        paths = aggregate_paths(spans)
+        assert set(paths) == {"run", "run/step", "run/step/leaf"}
+        assert paths["run/step/leaf"].wall == 1.0
+
+    def test_same_name_siblings_merge(self):
+        """Two workers' ``characterize`` spans share one path."""
+        spans = [
+            _span("run", "r", wall=5.0),
+            _span("work", "w1", parent="r", wall=2.0),
+            _span("work", "w2", parent="r", wall=3.0),
+        ]
+        stats = aggregate_paths(spans)["run/work"]
+        assert stats.count == 2
+        assert stats.wall == 5.0
+
+    def test_orphans_root_their_own_path(self):
+        """A span whose parent record never made it to the file (killed
+        writer) aggregates from itself, not under ``?``."""
+        paths = aggregate_paths([_span("lonely", "x", parent="gone")])
+        assert set(paths) == {"lonely"}
+
+    def test_unfinished_spans_counted_not_summed(self):
+        spans = [_span("run", "r", wall=2.0), _span("run", "r2", wall=None)]
+        stats = aggregate_paths(spans)["run"]
+        assert stats.count == 2
+        assert stats.wall == 2.0
+        assert stats.unfinished == 1
+
+    def test_parent_cycle_terminates(self):
+        """A malformed file with a parent cycle must not spin."""
+        spans = [
+            _span("a", "1", parent="2", wall=1.0),
+            _span("b", "2", parent="1", wall=1.0),
+        ]
+        assert len(aggregate_paths(spans)) == 2
+
+
+class TestSummarizeTrace:
+    """The flat per-path table."""
+
+    def test_table_holds_paths_and_counters(self):
+        trace = _trace(
+            _span("run", "r", wall=3.0),
+            _span("step", "s", parent="r", wall=1.0),
+            counters={"cache.hits": 7},
+        )
+        text = summarize_trace(trace)
+        assert "run/step" in text
+        assert "2 spans over 2 paths" in text
+        assert "cache.hits" in text
+
+    def test_unfinished_paths_marked(self):
+        text = summarize_trace(_trace(_span("run", "r", wall=None)))
+        assert "[unfinished]" in text
+
+    def test_multiple_trace_ids_flagged(self):
+        """An appending exporter on a recycled path leaves several
+        trace ids in one file — summed silently would be a lie."""
+        text = summarize_trace(
+            _trace(_span("run", "r"), trace_ids=("t1", "t2"))
+        )
+        assert "2 interleaved traces" in text
+
+    def test_top_truncates(self):
+        spans = [_span(f"s{i}", str(i), wall=float(i)) for i in range(6)]
+        text = summarize_trace(_trace(*spans), top=2)
+        assert "4 more paths" in text
+
+
+class TestDiffTraces:
+    """Regression = relative growth beyond rtol AND beyond the floor."""
+
+    def test_identical_traces_have_no_regressions(self):
+        a = _trace(_span("run", "r", wall=2.0))
+        b = _trace(_span("run", "r", wall=2.0))
+        assert diff_traces(a, b).regressions == []
+
+    def test_growth_beyond_both_thresholds_flagged(self):
+        a = _trace(_span("run", "r", wall=1.0))
+        b = _trace(_span("run", "r", wall=2.0))
+        diff = diff_traces(a, b, rtol=0.25, min_seconds=0.05)
+        assert [d.path for d in diff.regressions] == ["run"]
+        assert "<< regression" in diff.to_text()
+
+    def test_small_absolute_growth_is_jitter(self):
+        """3x growth on a 10ms span stays under the absolute floor."""
+        a = _trace(_span("run", "r", wall=0.01))
+        b = _trace(_span("run", "r", wall=0.03))
+        assert diff_traces(a, b, min_seconds=0.05).regressions == []
+
+    def test_large_absolute_growth_within_rtol_tolerated(self):
+        """+0.1s on a 10s span is well inside the relative tolerance."""
+        a = _trace(_span("run", "r", wall=10.0))
+        b = _trace(_span("run", "r", wall=10.1))
+        assert diff_traces(a, b, rtol=0.25).regressions == []
+
+    def test_new_path_over_the_floor_regresses(self):
+        a = _trace(_span("run", "r", wall=1.0))
+        b = _trace(
+            _span("run", "r", wall=1.0), _span("extra", "e", wall=0.5)
+        )
+        diff = diff_traces(a, b)
+        assert [d.path for d in diff.regressions] == ["extra"]
+        assert diff.regressions[0].ratio == float("inf")
+
+    def test_disappeared_path_never_regresses(self):
+        a = _trace(_span("run", "r", wall=1.0), _span("gone", "g", wall=5.0))
+        b = _trace(_span("run", "r", wall=1.0))
+        assert diff_traces(a, b).regressions == []
+
+
+class TestRenderReport:
+    """The markdown dashboard over ledger records."""
+
+    def test_empty_ledger_renders_placeholder(self):
+        assert "empty" in render_report([])
+
+    def test_single_run_renders_table_only(self):
+        text = render_report([_record("r1")])
+        assert "## fake @ tiny — 1 runs" in text
+        assert "| r1 |" in text
+        assert "metric movement" not in text
+
+    def test_two_runs_render_movement(self):
+        first = _record("r1", metrics={"sigma[vt]": 2.0, "area[vt]": 1.0})
+        latest = _record("r2", metrics={"sigma[vt]": 3.0, "area[vt]": 1.0})
+        text = render_report([first, latest])
+        assert "metric movement, run r1 -> r2" in text
+        assert "1 unchanged, 1 moved" in text
+        assert "`sigma[vt]`: 2 -> 3" in text
+
+    def test_groups_by_experiment_and_scale(self):
+        records = [
+            _record("r1"),
+            _record("r2", experiment="other"),
+            _record("r3", scale="quick"),
+        ]
+        text = render_report(records)
+        assert "## fake @ tiny" in text
+        assert "## other @ tiny" in text
+        assert "## fake @ quick" in text
+
+    def test_stage_movement_line(self):
+        first = _record("r1", stages={"synth": {"count": 1, "seconds": 4.0}})
+        latest = _record("r2", stages={"synth": {"count": 1, "seconds": 1.0}})
+        text = render_report([first, latest])
+        assert "stage seconds: synth 4.00s->1.00s" in text
+
+
+class TestBaselineGate:
+    """baseline_from_record / check_record tolerance arithmetic."""
+
+    def test_round_trip_passes(self):
+        """A record always satisfies the baseline derived from it."""
+        record = _record(
+            stages={"synth": {"count": 1, "seconds": 2.0, "hit": 1}}
+        )
+        baseline = baseline_from_record(record, stage_budget_factor=2.0)
+        assert check_record(record, baseline) == []
+
+    def test_drift_beyond_rtol_fails(self):
+        record = _record(metrics={"sigma[vt]": 2.0})
+        baseline = baseline_from_record(record, rtol=0.05)
+        drifted = _record(metrics={"sigma[vt]": 2.2})
+        violations = check_record(drifted, baseline)
+        assert len(violations) == 1
+        assert "metric drift: sigma[vt]" in violations[0]
+
+    def test_drift_within_rtol_passes(self):
+        baseline = baseline_from_record(
+            _record(metrics={"sigma[vt]": 2.0}), rtol=0.05
+        )
+        assert check_record(_record(metrics={"sigma[vt]": 2.05}), baseline) == []
+
+    def test_atol_absorbs_last_digit_flips(self):
+        """Tiny rounded metrics need the absolute tolerance: 0.002 ->
+        0.003 is a 50% relative change but one rounding step."""
+        baseline = baseline_from_record(
+            _record(metrics={"area[vt]": 0.002}), rtol=0.05, atol=0.005
+        )
+        assert check_record(_record(metrics={"area[vt]": 0.003}), baseline) == []
+        assert check_record(_record(metrics={"area[vt]": 0.009}), baseline) != []
+
+    def test_missing_metric_fails(self):
+        baseline = baseline_from_record(_record(metrics={"sigma[vt]": 2.0}))
+        violations = check_record(_record(metrics={}), baseline)
+        assert violations == ["metric missing from run: sigma[vt]"]
+
+    def test_extra_run_metrics_ignored(self):
+        """New columns must not fail old baselines."""
+        baseline = baseline_from_record(_record(metrics={"sigma[vt]": 2.0}))
+        run = _record(metrics={"sigma[vt]": 2.0, "brand_new": 9.0})
+        assert check_record(run, baseline) == []
+
+    def test_stage_budget_violation(self):
+        baseline = baseline_from_record(
+            _record(stages={"synth": {"count": 1, "seconds": 2.0}}),
+            stage_budget_factor=2.0,
+        )
+        slow = _record(stages={"synth": {"count": 1, "seconds": 9.0}})
+        violations = check_record(slow, baseline)
+        assert len(violations) == 1
+        assert "stage over budget: synth" in violations[0]
+
+    def test_cli_override_beats_baseline_tolerance(self):
+        """An explicit rtol argument wins over the file's rtol."""
+        baseline = baseline_from_record(
+            _record(metrics={"sigma[vt]": 2.0}), rtol=0.5
+        )
+        drifted = _record(metrics={"sigma[vt]": 2.4})
+        assert check_record(drifted, baseline) == []
+        assert check_record(drifted, baseline, rtol=0.05) != []
+
+    def test_load_baseline_rejects_non_baselines(self, tmp_path):
+        path = tmp_path / "not-a-baseline.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError, match="no 'metrics'"):
+            load_baseline(path)

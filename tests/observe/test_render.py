@@ -2,7 +2,17 @@
 
 from __future__ import annotations
 
-from repro.observe import MemorySink, Trace, Tracer, render_counters, render_trace, render_tree
+import json
+
+from repro.observe import (
+    MemorySink,
+    Trace,
+    Tracer,
+    load_trace,
+    render_counters,
+    render_trace,
+    render_tree,
+)
 
 
 def _span(name, span_id, parent, wall, start=0.0):
@@ -60,6 +70,61 @@ class TestRenderTree:
         assert len(c_line) - len(c_line.lstrip()) > len(a_line) - len(
             a_line.lstrip()
         )
+
+
+class TestPartialTraces:
+    """Truncated files and unfinished spans render, never raise.
+
+    The shape a killed worker (or a hand-truncated file) leaves
+    behind: span records without close-time fields, torn lines,
+    orphans whose parent never hit the disk.
+    """
+
+    def test_unfinished_span_marked(self):
+        """A span missing ``wall``/``cpu`` renders ``[unfinished]``
+        with zero wall time, and the header counts it."""
+        spans = [
+            _span("root", "r", None, 5.0),
+            {"type": "span", "name": "cut", "id": "c", "parent": "r"},
+        ]
+        text = render_tree(spans)
+        assert "cut [unfinished]" in text
+        assert "(1 unfinished)" in text
+
+    def test_hand_truncated_jsonl_round_trip(self, tmp_path):
+        """A hand-built partial trace — finished span, unfinished
+        span, torn line, orphan — loads and renders end to end."""
+        path = tmp_path / "partial.jsonl"
+        records = [
+            _span("run", "r", None, 3.0),
+            {"type": "span", "name": "killed", "id": "k", "parent": "r"},
+            _span("tail", "t", "never-written", 1.0),
+        ]
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+            handle.write('{"type": "span", "name": "to')  # torn mid-write
+        trace = load_trace(path)
+        assert len(trace.spans) == 3
+        text = render_trace(trace)
+        assert "killed [unfinished]" in text
+        assert "tail" in text  # orphan promoted to a root
+        assert "run" in text
+
+    def test_all_spans_unfinished(self):
+        """Even a trace with no finished span renders a tree."""
+        spans = [{"type": "span", "name": "only", "id": "o", "parent": None}]
+        text = render_tree(spans)
+        assert "only [unfinished]" in text
+        assert "0.000s at the root" in text
+
+    def test_multi_trace_id_warning(self):
+        """Interleaved runs in one file are called out up front."""
+        trace = Trace(
+            spans=[_span("run", "r", None, 1.0)],
+            trace_ids=["t1", "t2"],
+        )
+        assert "interleaved traces" in render_trace(trace)
 
 
 class TestRenderCounters:

@@ -94,6 +94,53 @@ class TestSpans:
         assert all(s.pid == tracer.pid for s in tracer.spans)
 
 
+class TestSpanEvents:
+    """Point-in-time events attached to the innermost open span."""
+
+    def test_event_lands_on_the_open_span(self):
+        """An event records its name, a timestamp and its attributes,
+        and travels with the span's record."""
+        tracer = Tracer()
+        with tracer.span("load") as span:
+            tracer.event("self_heal", stage="synth", file="bad.json")
+        assert len(span.events) == 1
+        event = span.events[0]
+        assert event["name"] == "self_heal"
+        assert event["t"] > 0
+        assert event["attrs"] == {"stage": "synth", "file": "bad.json"}
+        record = span.to_record()
+        assert record["events"] == span.events
+
+    def test_events_nest_with_spans(self):
+        """The event binds to the innermost span, not the outermost."""
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                tracer.event("ping")
+        assert outer.events == []
+        assert inner.events[0]["name"] == "ping"
+
+    def test_eventless_span_record_stays_lean(self):
+        """No ``events`` key unless something happened — the common
+        case pays nothing in the trace file."""
+        tracer = Tracer()
+        with tracer.span("quiet") as span:
+            pass
+        assert "events" not in span.to_record()
+
+    def test_event_without_open_span_is_dropped(self):
+        """Events only make sense inside a span; outside one they are
+        discarded rather than raising."""
+        tracer = Tracer()
+        tracer.event("floating")  # must not raise
+        assert tracer.spans == []
+
+    def test_null_tracer_event_is_noop(self):
+        NULL_TRACER.event("ignored", detail=1)
+        with NULL_TRACER.span("nothing") as span:
+            span.event("also-ignored")
+
+
 class TestCountersAndGauges:
     """Counter accumulation and gauge last-write-wins."""
 
