@@ -20,7 +20,10 @@ The package implements the paper's full flow from scratch:
   (:mod:`repro.flow`, :mod:`repro.experiments`);
 * an observability layer — spans, counters, profiling, an append-only
   run ledger with trend reports and a metrics regression gate — over
-  all of it (:mod:`repro.observe`).
+  all of it (:mod:`repro.observe`);
+* a static-analysis layer enforcing the determinism, process-safety
+  and picklability contracts the execution layer depends on
+  (:mod:`repro.lint`, ``python -m repro lint``).
 
 The names below are the curated public surface, re-exported lazily
 (PEP 562) so ``import repro`` stays fast and dependency-free — nothing
@@ -58,7 +61,9 @@ __version__ = "1.1.0"
 _EXPORTS = {
     "ArtifactPipeline": "repro.flow.pipeline",
     "Characterizer": "repro.characterization.characterize",
+    "Finding": "repro.lint.findings",
     "FlowConfig": "repro.flow.experiment",
+    "LintEngine": "repro.lint.engine",
     "RunLedger": "repro.observe.ledger",
     "RunRecord": "repro.observe.ledger",
     "SynthesisRun": "repro.flow.experiment",

@@ -18,6 +18,9 @@ Usage::
     python -m repro trace diff a.jsonl b.jsonl     # flag wall-time growth
     python -m repro report                # metric/stage trends (ledger)
     python -m repro check --baseline benchmarks/baselines/fig10.json
+    python -m repro lint                  # AST contract checker (DESIGN.md §13)
+    python -m repro lint --format json    # machine-readable findings
+    python -m repro lint --update-baseline    # ratchet committed debt down
     REPRO_SCALE=paper python -m repro run table1   # full-scale flow
 
 Every pipeline stage (characterized library, tuning, synthesis, worst
@@ -178,6 +181,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="absolute growth floor below which nothing is flagged "
         "(default 0.05)",
     )
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run the repo's AST contract checker (determinism, "
+        "process-safety, picklability; see DESIGN.md §13)",
+    )
+    from repro.lint.cli import configure_lint_parser
+
+    configure_lint_parser(lint_parser)
 
     report_parser = sub.add_parser(
         "report", help="metric and stage-time trends across ledger records"
@@ -434,6 +446,10 @@ def main(argv: List[str]) -> int:
                 file=sys.stderr,
             )
         return _run_store_command(args.action)
+    if args.command == "lint":
+        from repro.lint.cli import run_lint_command
+
+        return run_lint_command(args)
     if args.command == "trace":
         return _run_trace_command(args)
     if args.command == "report":

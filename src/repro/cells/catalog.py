@@ -119,7 +119,9 @@ _STR_15X = _strengths(0.5, 1, 1.5, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16, 20, 24)
 _STR_14X = _strengths(0.5, 1, 1.5, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24)
 
 
-def _simple_drive(stack_rise: int, stack_fall: int, intrinsic: float = 0.0) -> Dict[str, OutputDrive]:
+def _simple_drive(
+    stack_rise: int, stack_fall: int, intrinsic: float = 0.0
+) -> Dict[str, OutputDrive]:
     return {"Z": OutputDrive(stack_rise, stack_fall, intrinsic)}
 
 

@@ -24,7 +24,6 @@ provides that other property:
 
 from __future__ import annotations
 
-import math
 from typing import Optional, Tuple, Union
 
 import numpy as np

@@ -13,7 +13,7 @@ the same artifact a commercial flow would consume.
 from __future__ import annotations
 
 import re
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.core.restriction import SlewLoadWindow
 from repro.core.tuner import TuningResult, WindowMap

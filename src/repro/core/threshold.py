@@ -21,7 +21,7 @@ cells of equal drive strength share physical axes as well.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Tuple
 
 import numpy as np
 

@@ -73,3 +73,12 @@ class ConfigError(ReproError):
 
 class ObservabilityError(ReproError):
     """Raised by the tracing/metrics layer (:mod:`repro.observe`)."""
+
+
+class LintError(ReproError):
+    """Raised by the static-analysis layer (:mod:`repro.lint`).
+
+    Covers unusable inputs — an unreadable or malformed baseline file,
+    a scan root that does not exist — not findings: rule violations
+    are reported as data, never as exceptions.
+    """

@@ -11,7 +11,7 @@ surrogate.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.flow.experiment import FlowConfig, TuningFlow

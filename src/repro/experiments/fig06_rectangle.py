@@ -12,6 +12,7 @@ import numpy as np
 from repro.core.binary_lut import binarize_at_most
 from repro.core.rectangle import largest_rectangle, largest_rectangle_paper
 from repro.core.restriction import pin_equivalent_sigma
+from repro.errors import TuningError
 from repro.experiments.base import ExperimentContext, ExperimentResult
 
 
@@ -23,7 +24,11 @@ def run(context: ExperimentContext, cell: str = "INV_1") -> ExperimentResult:
     binary = binarize_at_most(equivalent.values, threshold)
     rect = largest_rectangle(binary)
     literal = largest_rectangle_paper(binary)
-    assert rect is not None and rect == literal
+    if rect is None or rect != literal:
+        raise TuningError(
+            "optimized largest_rectangle diverged from the literal "
+            f"Algorithm 1 on {cell}: optimized={rect}, literal={literal}"
+        )
 
     rows = []
     for i in range(binary.shape[0]):

@@ -17,8 +17,6 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-import numpy as np
-
 from repro.core.methods import SWEEP_VALUES
 from repro.experiments.base import ExperimentContext, ExperimentResult
 

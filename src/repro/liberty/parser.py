@@ -305,11 +305,10 @@ def _node_to_cell(node: GroupNode, templates: Dict[str, LutTemplate]) -> Cell:
     cell = Cell(name=node.args[0], area=float(node.attributes.get("area", 0.0) or 0.0))
     ff_node = node.child("ff")
     latch_node = node.child("latch")
-    if ff_node is not None or latch_node is not None:
+    seq = ff_node if ff_node is not None else latch_node
+    if seq is not None:
         cell.is_sequential = True
         cell.is_latch = latch_node is not None
-        seq = ff_node if ff_node is not None else latch_node
-        assert seq is not None
         cell.clock_pin = str(seq.attributes.get("clocked_on", "") or "").strip()
         cell.setup_time = float(seq.attributes.get("setup_time", 0.0) or 0.0)
     for child in node.children_named("pin"):

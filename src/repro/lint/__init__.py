@@ -1,0 +1,58 @@
+"""repro.lint — AST-based contract checking for the reproduction.
+
+The execution layer rests on invariants the language cannot express:
+bit-identical parallel characterization, content-addressed stage
+fingerprints that assume deterministic inputs, single-write JSONL
+appends, picklable executor payloads.  This package enforces them
+statically — a custom rule engine (:mod:`repro.lint.engine`) walks
+each file's AST once and dispatches to the repo-specific rules
+(:mod:`repro.lint.rules`):
+
+========  ==========================================================
+DET001    wall-clock / global-unseeded RNG in deterministic zones
+DET002    unordered iteration feeding fingerprints or hashes
+PROC001   multi-call writes to shared append-mode (JSONL) files
+PROC002   non-module-level callables submitted to process pools
+API001    bare ``Exception`` / ``assert`` in library code
+========  ==========================================================
+
+Violations with a reason to exist carry ``# repro: noqa[RULE-ID]`` on
+the flagged line; everything else is either fixed or committed to the
+baseline file (:mod:`repro.lint.baseline`), which only ratchets down.
+The CLI front end is ``python -m repro lint`` (:mod:`repro.lint.cli`);
+the rule catalog is documented in DESIGN.md §13.
+
+Programmatic use::
+
+    from repro.lint import DEFAULT_RULES, LintEngine
+
+    engine = LintEngine(DEFAULT_RULES)
+    findings = engine.lint_source(code, path="src/repro/flow/x.py")
+"""
+
+from repro.lint.baseline import Baseline, write_baseline
+from repro.lint.engine import (
+    SYNTAX_RULE_ID,
+    FileContext,
+    LintEngine,
+    Rule,
+    iter_python_files,
+    module_name_for,
+)
+from repro.lint.findings import Finding
+from repro.lint.rules import DEFAULT_RULES, DETERMINISTIC_ZONES, rule_catalog
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_RULES",
+    "DETERMINISTIC_ZONES",
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "Rule",
+    "SYNTAX_RULE_ID",
+    "iter_python_files",
+    "module_name_for",
+    "rule_catalog",
+    "write_baseline",
+]

@@ -1,0 +1,140 @@
+"""The committed lint baseline: existing debt, ratcheted down.
+
+The baseline is a JSON file listing findings the repository has
+accepted *for now*.  A finding matching a baseline entry passes; a
+finding not in the baseline fails the run — so new debt cannot enter,
+while the committed list can only shrink (``--update-baseline``
+rewrites it from what the code actually contains today).
+
+Entries are keyed ``(rule, path, message)`` — deliberately without
+line numbers, so unrelated edits that shift a file do not invalidate
+the committed debt.  Duplicate keys are counted: two identical
+violations in one file need two entries, and fixing one of them drops
+the count on the next update.  The file is written deterministically
+(sorted entries, sorted keys, trailing newline) so updates diff
+cleanly and repeated updates are byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.errors import LintError
+from repro.lint.findings import Finding
+
+#: Schema version stamped into the baseline file.
+BASELINE_VERSION = 1
+
+#: Default baseline file name, looked up beside the linted tree.
+BASELINE_FILENAME = "lint-baseline.json"
+
+_Key = Tuple[str, str, str]
+
+
+class Baseline:
+    """The parsed contents of a baseline file (or an empty one)."""
+
+    def __init__(self, entries: Counter):
+        self.entries: Counter = entries
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        """A baseline accepting nothing."""
+        return cls(Counter())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read a baseline file; a missing file means an empty baseline."""
+        path = Path(path)
+        if not path.is_file():
+            return cls.empty()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise LintError(f"unreadable baseline {path}: {error}") from error
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("findings"), list
+        ):
+            raise LintError(
+                f"not a lint baseline (no 'findings' list): {path}"
+            )
+        entries: Counter = Counter()
+        for entry in payload["findings"]:
+            if not isinstance(entry, dict):
+                raise LintError(f"malformed baseline entry in {path}: {entry!r}")
+            try:
+                key = (
+                    str(entry["rule"]),
+                    str(entry["path"]),
+                    str(entry["message"]),
+                )
+            except KeyError as error:
+                raise LintError(
+                    f"baseline entry in {path} misses key {error}"
+                ) from error
+            entries[key] += 1
+        return cls(entries)
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into ``(new, baselined)``.
+
+        Each baseline entry absorbs at most its counted number of
+        matching findings; anything beyond that is new debt.
+        """
+        remaining = Counter(self.entries)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in sorted(findings):
+            key = finding.baseline_key()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        return new, baselined
+
+    def stale_count(self, findings: Sequence[Finding]) -> int:
+        """Entries no current finding matches — debt already paid off.
+
+        A nonzero count means ``--update-baseline`` would shrink the
+        file (the ratchet clicking down).
+        """
+        current = Counter(f.baseline_key() for f in findings)
+        return sum(
+            max(0, count - current.get(key, 0))
+            for key, count in self.entries.items()
+        )
+
+
+def write_baseline(
+    path: Union[str, Path], findings: Sequence[Finding]
+) -> Dict[str, int]:
+    """Rewrite the baseline file from the current findings.
+
+    The output is deterministic — entries sorted by (path, rule,
+    message), stable JSON — so two updates over identical findings are
+    byte-identical.  Returns a small summary (entry count).
+    """
+    entries = sorted(
+        (
+            {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "message": finding.message,
+            }
+            for finding in findings
+        ),
+        key=lambda entry: (entry["path"], entry["rule"], entry["message"]),
+    )
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    Path(path).write_text(text, encoding="utf-8")
+    return {"entries": len(entries)}

@@ -1,0 +1,186 @@
+"""The ``python -m repro lint`` subcommand.
+
+Thin orchestration over the engine: discover files, run the default
+rules, reconcile against the committed baseline, render console or
+JSON output, and turn the result into an exit code —
+
+* ``0`` — no findings beyond the baseline;
+* ``1`` — new findings (the CI-failing case);
+* ``2`` — the lint run itself could not proceed (bad path, malformed
+  baseline).
+
+``--update-baseline`` rewrites the baseline from the current findings
+instead of failing on them — the ratchet's one sanctioned way down —
+and reports how many entries the update added or retired.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.errors import LintError
+from repro.lint.baseline import BASELINE_FILENAME, Baseline, write_baseline
+from repro.lint.engine import LintEngine
+from repro.lint.findings import Finding
+from repro.lint.rules import DEFAULT_RULES, rule_catalog
+
+
+def default_lint_paths(root: Path) -> List[Path]:
+    """What to lint when no paths are given: the ``src`` tree if the
+    working directory is a checkout, else the installed package."""
+    source_tree = root / "src"
+    if source_tree.is_dir():
+        return [source_tree]
+    import repro
+
+    return [Path(repro.__file__).parent]
+
+
+def render_console(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    n_files: int,
+    baseline_path: Optional[Path],
+) -> str:
+    """The human-facing report: one line per new finding + a summary."""
+    lines = [finding.to_text() for finding in new]
+    summary = (
+        f"lint: {n_files} files, {len(new)} new finding"
+        f"{'s' if len(new) != 1 else ''}"
+    )
+    if baselined:
+        summary += (
+            f", {len(baselined)} baselined ({baseline_path})"
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    n_files: int,
+) -> str:
+    """The machine-facing report (the CI artifact format)."""
+    per_rule: dict = {}
+    for finding in new:
+        per_rule[finding.rule_id] = per_rule.get(finding.rule_id, 0) + 1
+    payload = {
+        "version": 1,
+        "rules": rule_catalog(),
+        "findings": [finding.to_payload() for finding in new],
+        "baselined": [finding.to_payload() for finding in baselined],
+        "summary": {
+            "files": n_files,
+            "new": len(new),
+            "baselined": len(baselined),
+            "per_rule": dict(sorted(per_rule.items())),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _render_rule_list() -> str:
+    lines = []
+    for rule in rule_catalog():
+        lines.append(f"{rule['id']}  {rule['title']} [{rule['severity']}]")
+        lines.append(f"    why: {rule['rationale']}")
+        lines.append(f"    fix: {rule['hint']}")
+    return "\n".join(lines)
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    """Execute the lint subcommand; returns the process exit code."""
+    if getattr(args, "list_rules", False):
+        print(_render_rule_list())
+        return 0
+    root = Path.cwd()
+    paths = [Path(p) for p in (args.paths or [])]
+    if not paths:
+        paths = default_lint_paths(root)
+    missing = [str(path) for path in paths if not path.exists()]
+    if missing:
+        print(f"lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    engine = LintEngine(DEFAULT_RULES)
+    findings, n_files = engine.lint_paths(paths, root=root)
+
+    baseline_path: Optional[Path] = (
+        Path(args.baseline) if args.baseline else None
+    )
+    if baseline_path is None and (root / BASELINE_FILENAME).is_file():
+        baseline_path = root / BASELINE_FILENAME
+
+    if getattr(args, "update_baseline", False):
+        target = baseline_path or root / BASELINE_FILENAME
+        try:
+            before = len(Baseline.load(target))
+        except LintError:
+            before = 0
+        summary = write_baseline(target, findings)
+        print(
+            f"lint: baseline rewritten with {summary['entries']} entries "
+            f"(was {before}) -> {target}"
+        )
+        return 0
+
+    try:
+        baseline = (
+            Baseline.load(baseline_path)
+            if baseline_path is not None
+            else Baseline.empty()
+        )
+    except LintError as error:
+        print(f"lint: {error}", file=sys.stderr)
+        return 2
+    new, baselined = baseline.partition(findings)
+
+    if args.format == "json":
+        print(render_json(new, baselined, n_files))
+    else:
+        print(render_console(new, baselined, n_files, baseline_path))
+        stale = baseline.stale_count(findings)
+        if stale:
+            print(
+                f"lint: {stale} baseline entries no longer match — run "
+                "with --update-baseline to ratchet the debt down"
+            )
+    return 1 if new else 0
+
+
+def configure_lint_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint subcommand's arguments to ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the src tree)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("console", "json"),
+        default="console",
+        help="output format (json is the CI artifact shape)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=f"baseline file (default: {BASELINE_FILENAME} beside the "
+        "working directory when present)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings "
+        "(deterministic: sorted entries, stable paths)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog (id, rationale, fix hint) and exit",
+    )

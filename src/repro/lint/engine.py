@@ -1,0 +1,353 @@
+"""The single-pass rule engine behind ``python -m repro lint``.
+
+One parse, one walk: each file is parsed once with :mod:`ast` and the
+tree is traversed exactly once.  Every rule registers the node types it
+cares about (:attr:`Rule.node_types`) and the engine multiplexes the
+visit — ``O(nodes + matches)`` regardless of how many rules are
+loaded, so adding a rule costs its handler, not another traversal.
+
+The engine owns everything rules would otherwise reimplement:
+
+* the ancestor stack and the enclosing function/class scope stack;
+* import resolution (``import numpy as np`` makes ``np.random.normal``
+  resolve to ``numpy.random.normal``);
+* the module-level vs nested classification of every ``def``;
+* ``# repro: noqa[RULE-ID]`` suppression comments (the comment must
+  sit on the flagged line; several ids separate with commas);
+* per-rule scratch state (:attr:`FileContext.state`) scoped to the
+  file being linted.
+
+Files that fail to parse produce a :data:`SYNTAX_RULE_ID` finding
+instead of crashing the run — a lint sweep must always finish.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+from repro.lint.findings import Finding
+
+#: Pseudo-rule id reported for files the parser rejects.
+SYNTAX_RULE_ID = "LINT000"
+
+#: ``# repro: noqa[DET001]`` / ``# repro: noqa[DET001, PROC002]``.
+NOQA_PATTERN = re.compile(r"#\s*repro:\s*noqa\[([A-Za-z0-9_\s,-]+)\]")
+
+#: AST nodes that open a new lexical scope.
+_SCOPE_NODES = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+    ast.Lambda,
+)
+
+_DEF_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+class Rule:
+    """Base class every lint rule derives from.
+
+    A rule declares its identity (:attr:`rule_id`, :attr:`title`,
+    :attr:`hint`), the AST node types it wants to see
+    (:attr:`node_types`) and a :meth:`visit` handler.  Rules hold no
+    per-file state of their own — anything scoped to the current file
+    goes through :attr:`FileContext.state` — so one rule instance
+    serves a whole run.
+    """
+
+    rule_id: str = "RULE000"
+    title: str = ""
+    severity: str = "error"
+    hint: str = ""
+    rationale: str = ""
+    node_types: Tuple[Type[ast.AST], ...] = ()
+
+    def applies_to(self, context: "FileContext") -> bool:
+        """Whether the rule runs on this file at all (zone scoping)."""
+        return True
+
+    def visit(self, node: ast.AST, context: "FileContext") -> None:
+        """Handle one node of a registered type."""
+        raise NotImplementedError
+
+    def finish(self, context: "FileContext") -> None:
+        """End-of-file hook (after the whole tree was walked)."""
+
+
+class FileContext:
+    """Everything the rules may ask about the file being linted."""
+
+    def __init__(
+        self,
+        path: str,
+        module: str,
+        text: str,
+        tree: ast.Module,
+    ):
+        self.path = path
+        self.module = module
+        self.lines = text.splitlines()
+        self.tree = tree
+        #: Ancestors of the node being visited, outermost first.
+        self.stack: List[ast.AST] = []
+        #: ``import`` aliases: local name -> dotted module path.
+        self.module_aliases: Dict[str, str] = {}
+        #: ``from X import Y [as Z]``: local name -> dotted origin.
+        self.from_imports: Dict[str, str] = {}
+        #: Per-rule scratch space, keyed by rule id.
+        self.state: Dict[str, Dict[str, Any]] = {}
+        self.findings: List[Finding] = []
+        #: ``(line, rule-id)`` suppressions that actually fired.
+        self.suppressed: List[Tuple[int, str]] = []
+        self.noqa = self._collect_noqa()
+        self.module_defs, self.nested_defs = self._collect_defs(tree)
+
+    def _collect_noqa(self) -> Dict[int, Set[str]]:
+        """Map 1-based line number -> suppressed rule ids on that line."""
+        suppressions: Dict[int, Set[str]] = {}
+        for number, line in enumerate(self.lines, start=1):
+            match = NOQA_PATTERN.search(line)
+            if match:
+                ids = {
+                    part.strip().upper()
+                    for part in match.group(1).split(",")
+                    if part.strip()
+                }
+                if ids:
+                    suppressions[number] = ids
+        return suppressions
+
+    @staticmethod
+    def _collect_defs(tree: ast.Module) -> Tuple[Set[str], Set[str]]:
+        """Split every ``def`` name into module-level vs nested."""
+        module_defs = {
+            node.name for node in tree.body if isinstance(node, _DEF_NODES)
+        }
+        all_defs = {
+            node.name
+            for node in ast.walk(tree)
+            if isinstance(node, _DEF_NODES)
+        }
+        return module_defs, all_defs - module_defs
+
+    def scope_functions(self) -> List[str]:
+        """Names of the enclosing functions, outermost first."""
+        return [
+            node.name
+            for node in self.stack
+            if isinstance(node, _DEF_NODES)
+        ]
+
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+    def resolve(self, dotted: str) -> Tuple[str, bool]:
+        """Expand the import alias heading a dotted name.
+
+        Returns ``(resolved, known)`` where ``known`` says the head was
+        found in this file's imports — ``np.random.normal`` becomes
+        ``("numpy.random.normal", True)``, while an unimported
+        ``state.random.draw`` stays ``("state.random.draw", False)``
+        so rules can avoid guessing about attribute chains they cannot
+        ground.
+        """
+        head, _, rest = dotted.partition(".")
+        base = self.module_aliases.get(head) or self.from_imports.get(head)
+        if base is None:
+            return dotted, False
+        return (base + "." + rest if rest else base), True
+
+    def resolved_call_name(self, call: ast.Call) -> Tuple[Optional[str], bool]:
+        """The resolved dotted name of a call's target (or ``None``)."""
+        dotted = self.dotted_name(call.func)
+        if dotted is None:
+            return None, False
+        return self.resolve(dotted)
+
+    def report(
+        self,
+        rule: Rule,
+        node: ast.AST,
+        message: str,
+        hint: Optional[str] = None,
+    ) -> None:
+        """File a finding at ``node`` unless a noqa comment covers it."""
+        line = getattr(node, "lineno", 1)
+        if rule.rule_id in self.noqa.get(line, ()):
+            self.suppressed.append((line, rule.rule_id))
+            return
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=line,
+                column=getattr(node, "col_offset", 0) + 1,
+                rule_id=rule.rule_id,
+                message=message,
+                hint=rule.hint if hint is None else hint,
+                severity=rule.severity,
+            )
+        )
+
+    def _note_import(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    self.module_aliases[alias.asname] = alias.name
+                else:
+                    # ``import a.b`` binds the name ``a``.
+                    head = alias.name.partition(".")[0]
+                    self.module_aliases[head] = head
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                self.from_imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+
+
+def module_name_for(path: Path) -> str:
+    """Infer the dotted module name of a source path.
+
+    The segment chain is cut at the last ``src`` directory (or, failing
+    that, the first ``repro`` segment), so both installed trees and
+    repository checkouts map ``.../src/repro/flow/pipeline.py`` to
+    ``repro.flow.pipeline``.  ``__init__`` collapses onto its package.
+    """
+    parts = list(path.with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    elif "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or path.stem
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths``, sorted for determinism.
+
+    Hidden directories and ``__pycache__`` are skipped.
+    """
+    seen: Set[Path] = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            candidates: Iterable[Path] = [path]
+        elif path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            continue
+        for candidate in candidates:
+            if any(
+                part.startswith(".") or part == "__pycache__"
+                for part in candidate.parts
+            ):
+                continue
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+class LintEngine:
+    """Runs a set of rules over files in a single AST traversal each."""
+
+    def __init__(self, rules: Sequence[Rule]):
+        self.rules = list(rules)
+        self._dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+        for rule in self.rules:
+            for node_type in rule.node_types:
+                self._dispatch.setdefault(node_type, []).append(rule)
+
+    def lint_source(
+        self,
+        text: str,
+        path: str = "<memory>",
+        module: Optional[str] = None,
+    ) -> List[Finding]:
+        """Lint a source string (the unit-test entry point)."""
+        if module is None:
+            module = module_name_for(Path(path))
+        try:
+            tree = ast.parse(text, filename=path)
+        except SyntaxError as error:
+            return [
+                Finding(
+                    path=path,
+                    line=error.lineno or 1,
+                    column=(error.offset or 1),
+                    rule_id=SYNTAX_RULE_ID,
+                    message=f"file does not parse: {error.msg}",
+                    hint="fix the syntax error; nothing else was checked",
+                )
+            ]
+        context = FileContext(path=path, module=module, text=text, tree=tree)
+        active = [rule for rule in self.rules if rule.applies_to(context)]
+        if active:
+            self._walk(tree, context, frozenset(active))
+            for rule in active:
+                rule.finish(context)
+        return context.findings
+
+    def lint_file(self, path: Path, root: Optional[Path] = None) -> List[Finding]:
+        """Lint one file, reporting paths relative to ``root``."""
+        display = path
+        if root is not None:
+            try:
+                display = path.relative_to(root)
+            except ValueError:
+                display = path
+        text = path.read_text(encoding="utf-8")
+        return self.lint_source(
+            text, path=display.as_posix(), module=module_name_for(path)
+        )
+
+    def lint_paths(
+        self, paths: Sequence[Path], root: Optional[Path] = None
+    ) -> Tuple[List[Finding], int]:
+        """Lint every python file under ``paths``.
+
+        Returns the sorted findings and the number of files scanned.
+        """
+        findings: List[Finding] = []
+        n_files = 0
+        for file_path in iter_python_files(paths):
+            n_files += 1
+            findings.extend(self.lint_file(file_path, root=root))
+        return sorted(findings), n_files
+
+    def _walk(
+        self,
+        node: ast.AST,
+        context: FileContext,
+        active: frozenset,
+    ) -> None:
+        context._note_import(node)
+        for rule in self._dispatch.get(type(node), ()):
+            if rule in active:
+                rule.visit(node, context)
+        context.stack.append(node)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, context, active)
+        context.stack.pop()

@@ -1,0 +1,62 @@
+"""The unit of lint output: one :class:`Finding` per contract violation.
+
+A finding ties a rule id to a location (repo-relative path, 1-based
+line and column) plus a human message and a fix hint.  Findings are
+value objects: they sort deterministically (path, line, column, rule),
+render to both the console and JSON formats, and carry a *baseline
+key* — ``(rule, path, message)``, deliberately line-free so committed
+debt does not churn when unrelated edits shift line numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+#: Ranked severities (only used for display; any finding fails the run).
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    column: int
+    rule_id: str
+    message: str
+    hint: str = ""
+    severity: str = "error"
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """The identity used for baseline matching.
+
+        Line numbers are excluded on purpose: committed debt must keep
+        matching after unrelated edits move it around a file.
+        """
+        return (self.rule_id, self.path, self.message)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serializable rendering (the ``--format json`` shape)."""
+        payload: Dict[str, Any] = {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+        if self.hint:
+            payload["hint"] = self.hint
+        return payload
+
+    def to_text(self) -> str:
+        """One console line: ``path:line:col: RULE message (hint)``."""
+        text = (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule_id} {self.message}"
+        )
+        if self.hint:
+            text += f"  [fix: {self.hint}]"
+        return text

@@ -19,7 +19,6 @@ operand — the standard trick, and it keeps the carry chain shared.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from repro.errors import NetlistError
 from repro.netlist.builder import Bus, NetlistBuilder

@@ -7,7 +7,7 @@ unit tests and examples.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Tuple
 
 from repro.errors import NetlistError
 from repro.netlist.builder import Bus, NetlistBuilder

@@ -15,7 +15,7 @@ seeded generators reproduce that texture:
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 

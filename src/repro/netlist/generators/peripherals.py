@@ -8,7 +8,6 @@ dominating, Sec. VII.C).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from repro.errors import NetlistError
 from repro.netlist.builder import Bus, NetlistBuilder

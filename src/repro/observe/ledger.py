@@ -37,7 +37,7 @@ import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 #: Schema version folded into every ledger record.
 LEDGER_VERSION = 1
@@ -64,7 +64,7 @@ def host_info() -> Dict[str, Any]:
     }
 
 
-def metrics_from_result(result) -> Dict[str, float]:
+def metrics_from_result(result: Any) -> Dict[str, float]:
     """Every numeric cell of an experiment result, flattened.
 
     Keys are ``column[label]`` where the label joins the row's string
@@ -153,9 +153,9 @@ class RunRecord:
 
 def capture_run(
     experiment_id: str,
-    result,
-    flow,
-    stage_records=(),
+    result: Any,
+    flow: Any,
+    stage_records: Sequence[Any] = (),
     counters: Optional[Dict[str, float]] = None,
     wall: float = 0.0,
 ) -> RunRecord:

@@ -416,7 +416,9 @@ class NullTracer(Tracer):
         """Return the shared no-op context manager."""
         return _NULL_CONTEXT
 
-    def record_span(self, name, wall, parent_id=None, **attrs):
+    def record_span(
+        self, name: str, wall: float, parent_id: Optional[str] = None, **attrs: Any
+    ) -> "Span":
         """Discard the record; returns the shared dummy span."""
         return _NULL_SPAN
 

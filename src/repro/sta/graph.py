@@ -22,7 +22,7 @@ what the synthesizer's sizing loop iterates on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np

@@ -141,7 +141,11 @@ def _backtrack(result: TimingResult, endpoint: Endpoint) -> TimingPath:
             if value > best_value:
                 best_value = value
                 best_arc = arc_index
-        assert best_arc is not None
+        if best_arc is None:
+            raise TimingError(
+                "no finite incoming arc while backtracking at net "
+                f"{graph.net_names[net_id]}"
+            )
         if best_value < result.arrival[net_id] - _TOLERANCE:
             raise TimingError(
                 f"inconsistent arrivals while backtracking at net "

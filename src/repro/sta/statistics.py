@@ -23,7 +23,7 @@ Design roll-up over the worst paths per unique endpoint (eq. 11)::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -119,7 +119,9 @@ class CellChoices:
         """Strongest usable variant of a family."""
         return self.variants(family)[-1]
 
-    def smallest_for_load(self, family: str, load: float, actual_load: Optional[float] = None) -> Variant:
+    def smallest_for_load(
+        self, family: str, load: float, actual_load: Optional[float] = None
+    ) -> Variant:
         """Weakest variant legally driving ``load``.
 
         ``load`` may include utilization headroom; when nothing covers

@@ -23,10 +23,8 @@ search of Table 1 looks for.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
-
-import numpy as np
 
 from repro.errors import SynthesisError
 from repro.liberty.model import Library
@@ -165,7 +163,9 @@ class Synthesizer:
 
     @property
     def graph(self) -> TimingGraph:
-        assert self._graph is not None
+        """The current timing graph (rebuilt after structural changes)."""
+        if self._graph is None:
+            raise SynthesisError("timing graph requested before first build")
         return self._graph
 
     def _rebuild_graph(self) -> None:
@@ -268,9 +268,12 @@ class Synthesizer:
         """
         choices = self.choices
         changes = 0
+        if critical_only and result is None:
+            raise SynthesisError(
+                "critical-only sizing pass needs a timing result"
+            )
         for instance, outs, _ins in views:
             if critical_only:
-                assert result is not None
                 slack = min(result.required[o] - result.arrival[o] for o in outs)
                 if slack >= -_EPS:
                     continue

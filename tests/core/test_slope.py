@@ -65,4 +65,5 @@ class TestPhysicalVariants:
         assert phys[1, 0] == pytest.approx(index_steps[1, 0] / 0.2)
         assert phys[2, 0] == pytest.approx(index_steps[2, 0] / 0.4)
         phys_load = load_slope_table_physical(lut)
-        assert phys_load[0, 1] == pytest.approx(index_steps[0, 1] * 0 + (VALUES[0, 1] - VALUES[0, 0]) / 0.001)
+        expected = (VALUES[0, 1] - VALUES[0, 0]) / 0.001
+        assert phys_load[0, 1] == pytest.approx(expected)

@@ -1,0 +1,1 @@
+"""Tests for the static-analysis layer (:mod:`repro.lint`)."""

@@ -1,0 +1,118 @@
+"""Baseline semantics: absorb, ratchet, rewrite deterministically."""
+
+import json
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import Baseline, Finding, write_baseline
+
+
+def finding(rule="DET001", path="src/repro/flow/x.py", line=10, message="m"):
+    return Finding(
+        path=path, line=line, column=1, rule_id=rule, message=message
+    )
+
+
+class TestPartition:
+    def test_baselined_finding_passes(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [finding()])
+        new, baselined = Baseline.load(target).partition([finding()])
+        assert new == []
+        assert len(baselined) == 1
+
+    def test_new_finding_fails(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [finding()])
+        intruder = finding(rule="PROC002", message="lambda submitted")
+        new, baselined = Baseline.load(target).partition(
+            [finding(), intruder]
+        )
+        assert [f.rule_id for f in new] == ["PROC002"]
+        assert len(baselined) == 1
+
+    def test_line_drift_still_matches(self, tmp_path):
+        """Baseline keys carry no line numbers, so shifted code keeps
+        matching its committed entry."""
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [finding(line=10)])
+        new, baselined = Baseline.load(target).partition([finding(line=99)])
+        assert new == []
+        assert len(baselined) == 1
+
+    def test_duplicate_entries_absorb_counted(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [finding(line=1), finding(line=2)])
+        three = [finding(line=1), finding(line=2), finding(line=3)]
+        new, baselined = Baseline.load(target).partition(three)
+        assert len(baselined) == 2
+        assert len(new) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        assert len(baseline) == 0
+        new, baselined = baseline.partition([finding()])
+        assert len(new) == 1 and baselined == []
+
+
+class TestRatchet:
+    def test_stale_count_reports_paid_debt(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [finding(), finding(rule="API001")])
+        baseline = Baseline.load(target)
+        assert baseline.stale_count([finding()]) == 1
+        assert baseline.stale_count([]) == 2
+
+    def test_update_shrinks_after_fix(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [finding(), finding(rule="API001")])
+        write_baseline(target, [finding()])  # the API001 debt was fixed
+        assert len(Baseline.load(target)) == 1
+
+
+class TestDeterministicWrite:
+    def test_rewrite_is_byte_identical(self, tmp_path):
+        findings = [
+            finding(rule="PROC001", path="src/b.py", message="z"),
+            finding(rule="DET001", path="src/a.py", message="a"),
+            finding(rule="API001", path="src/b.py", message="a"),
+        ]
+        first = tmp_path / "one.json"
+        second = tmp_path / "two.json"
+        write_baseline(first, findings)
+        write_baseline(second, list(reversed(findings)))
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_entries_sorted_by_path_rule_message(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(
+            target,
+            [
+                finding(rule="PROC001", path="src/b.py"),
+                finding(rule="DET001", path="src/a.py"),
+                finding(rule="API001", path="src/b.py"),
+            ],
+        )
+        payload = json.loads(target.read_text())
+        keys = [(e["path"], e["rule"]) for e in payload["findings"]]
+        assert keys == sorted(keys)
+        assert payload["version"] == 1
+        assert target.read_text().endswith("\n")
+
+
+class TestMalformedBaselines:
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "not json at all",
+            json.dumps({"version": 1}),
+            json.dumps({"findings": [{"rule": "DET001"}]}),
+            json.dumps({"findings": ["just-a-string"]}),
+        ],
+    )
+    def test_malformed_baseline_raises_lint_error(self, tmp_path, content):
+        target = tmp_path / "baseline.json"
+        target.write_text(content)
+        with pytest.raises(LintError):
+            Baseline.load(target)

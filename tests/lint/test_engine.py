@@ -1,0 +1,192 @@
+"""Engine mechanics: suppressions, dispatch, module mapping, parsing.
+
+The rules themselves are covered in ``test_rules``; here the contract
+is the machinery — one traversal feeding every rule, ``# repro:
+noqa[...]`` honored on the flagged line only, unparseable files
+degrading to a finding instead of an exception.
+"""
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.lint import (
+    DEFAULT_RULES,
+    FileContext,
+    LintEngine,
+    Rule,
+    SYNTAX_RULE_ID,
+    iter_python_files,
+    module_name_for,
+)
+
+ENGINE = LintEngine(DEFAULT_RULES)
+
+
+def lint(code, path="src/repro/flow/fake.py"):
+    return ENGINE.lint_source(textwrap.dedent(code), path=path)
+
+
+class TestNoqa:
+    CODE = """
+        import time
+
+        def stage():
+            return time.time()  # repro: noqa[DET001] stage is untimed in tests
+    """
+
+    def test_matching_id_suppresses(self):
+        assert lint(self.CODE) == []
+
+    def test_other_id_does_not_suppress(self):
+        code = """
+            import time
+
+            def stage():
+                return time.time()  # repro: noqa[PROC001]
+        """
+        assert [f.rule_id for f in lint(code)] == ["DET001"]
+
+    def test_multiple_ids_in_one_comment(self):
+        code = """
+            import time
+
+            def stage():
+                assert time.time()  # repro: noqa[DET001, API001]
+        """
+        assert lint(code) == []
+
+    def test_noqa_on_other_line_does_not_suppress(self):
+        code = """
+            import time
+
+            # repro: noqa[DET001]
+            def stage():
+                return time.time()
+        """
+        assert [f.rule_id for f in lint(code)] == ["DET001"]
+
+
+class TestSyntaxErrors:
+    def test_unparseable_file_yields_lint000(self):
+        findings = lint("def broken(:\n    pass\n")
+        assert [f.rule_id for f in findings] == [SYNTAX_RULE_ID]
+        assert findings[0].line >= 1
+
+
+class TestDispatch:
+    def test_single_walk_feeds_every_rule(self):
+        """Two rules on the same node type both see every matching node,
+        and the tree is traversed exactly once."""
+        visits = {"a": 0, "b": 0, "nodes": 0}
+
+        class CountCalls(Rule):
+            """Counts Call nodes (test double)."""
+
+            rule_id = "TST001"
+            node_types = (ast.Call,)
+
+            def __init__(self, key):
+                self.key = key
+
+            def visit(self, node, context):
+                """Count one visited call."""
+                visits[self.key] += 1
+
+        class CountEverything(Rule):
+            """Counts every module node once (test double)."""
+
+            rule_id = "TST002"
+            node_types = (ast.Module,)
+
+            def visit(self, node, context):
+                """Count all nodes below the module root."""
+                visits["nodes"] += sum(1 for _ in ast.walk(node))
+
+        engine = LintEngine(
+            [CountCalls("a"), CountCalls("b"), CountEverything()]
+        )
+        engine.lint_source("f(1)\ng(2)\nh(3)\n", path="x.py")
+        assert visits["a"] == 3
+        assert visits["b"] == 3
+        assert visits["nodes"] > 0  # module visited exactly once
+
+    def test_import_alias_resolution(self):
+        code = textwrap.dedent(
+            """
+            import numpy as np
+            from datetime import datetime as dt
+            import concurrent.futures
+            """
+        )
+        tree = ast.parse(code)
+        context = FileContext("x.py", "x", code, tree)
+        for node in ast.walk(tree):
+            context._note_import(node)
+        assert context.resolve("np.random.normal") == (
+            "numpy.random.normal",
+            True,
+        )
+        assert context.resolve("dt.now") == ("datetime.datetime.now", True)
+        assert context.resolve("concurrent.futures.ProcessPoolExecutor") == (
+            "concurrent.futures.ProcessPoolExecutor",
+            True,
+        )
+        assert context.resolve("unknown.thing") == ("unknown.thing", False)
+
+
+class TestModuleMapping:
+    def test_src_layout(self):
+        assert (
+            module_name_for(Path("src/repro/flow/pipeline.py"))
+            == "repro.flow.pipeline"
+        )
+
+    def test_package_init_collapses(self):
+        assert module_name_for(Path("src/repro/lint/__init__.py")) == "repro.lint"
+
+    def test_bare_repro_tree(self):
+        assert (
+            module_name_for(Path("/x/repro/core/tuner.py")) == "repro.core.tuner"
+        )
+
+    def test_unrelated_path_uses_stem(self):
+        assert module_name_for(Path("tools/helper.py")) == "helper"
+
+
+class TestFileDiscovery:
+    def test_sorted_and_filtered(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "b.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "a.cpython-311.py").write_text("")
+        (tmp_path / "pkg" / ".hidden").mkdir()
+        (tmp_path / "pkg" / ".hidden" / "c.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "data.txt").write_text("not python")
+        found = list(iter_python_files([tmp_path / "pkg"]))
+        assert [p.name for p in found] == ["a.py", "b.py"]
+
+    def test_direct_file_and_no_duplicates(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("x = 1\n")
+        found = list(iter_python_files([target, tmp_path]))
+        assert found == [target]
+
+
+class TestFindingOrder:
+    def test_findings_sort_deterministically(self, tmp_path):
+        (tmp_path / "src" / "repro" / "flow").mkdir(parents=True)
+        bad = tmp_path / "src" / "repro" / "flow" / "bad.py"
+        bad.write_text(
+            "import time\n\n"
+            "def stage():\n"
+            "    assert time.time()\n"
+        )
+        engine = LintEngine(DEFAULT_RULES)
+        first, n_files = engine.lint_paths([tmp_path / "src"], root=tmp_path)
+        second, _ = engine.lint_paths([tmp_path / "src"], root=tmp_path)
+        assert n_files == 1
+        assert first == second
+        assert [f.rule_id for f in first] == ["API001", "DET001"]
+        assert all(f.path == "src/repro/flow/bad.py" for f in first)

@@ -1,0 +1,52 @@
+"""The linter's own dogfood run: the real tree must stay clean.
+
+This is the integration test the acceptance criteria pin: linting the
+repository's ``src/`` against the committed baseline yields no new
+findings.  When it fails, either fix the violation, justify it with
+``# repro: noqa[RULE-ID] <reason>``, or — last resort — ratchet it
+into ``lint-baseline.json`` with ``--update-baseline``.
+"""
+
+from pathlib import Path
+
+from repro.lint import Baseline, DEFAULT_RULES, LintEngine
+from repro.lint.baseline import BASELINE_FILENAME
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def test_src_tree_is_lint_clean_against_committed_baseline():
+    engine = LintEngine(DEFAULT_RULES)
+    findings, n_files = engine.lint_paths([SRC], root=REPO_ROOT)
+    assert n_files > 100  # the whole tree was actually scanned
+    baseline = Baseline.load(REPO_ROOT / BASELINE_FILENAME)
+    new, _baselined = baseline.partition(findings)
+    assert not new, "new lint findings:\n" + "\n".join(
+        finding.to_text() for finding in new
+    )
+
+
+def test_committed_baseline_carries_no_stale_debt():
+    engine = LintEngine(DEFAULT_RULES)
+    findings, _ = engine.lint_paths([SRC], root=REPO_ROOT)
+    baseline = Baseline.load(REPO_ROOT / BASELINE_FILENAME)
+    assert baseline.stale_count(findings) == 0
+
+
+def test_every_noqa_in_src_carries_a_justification():
+    """A suppression without a reason is just hidden debt."""
+    from repro.lint.engine import NOQA_PATTERN
+
+    unjustified = []
+    for path in sorted(SRC.rglob("*.py")):
+        for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            match = NOQA_PATTERN.search(line)
+            if match and not line[match.end():].strip():
+                unjustified.append(f"{path.relative_to(REPO_ROOT)}:{number}")
+    assert not unjustified, (
+        "noqa comments without a one-line justification: "
+        + ", ".join(unjustified)
+    )
