@@ -18,6 +18,9 @@ The package implements the paper's full flow from scratch:
   per-pin slew/load windows (:mod:`repro.synth`);
 * end-to-end flows and every table/figure of the evaluation
   (:mod:`repro.flow`, :mod:`repro.experiments`);
+* a batched NumPy kernel layer behind characterization and STA, with a
+  bit-identical scalar reference implementation selectable at runtime
+  (:mod:`repro.kernels`);
 * an observability layer — spans, counters, profiling, an append-only
   run ledger with trend reports and a metrics regression gate — over
   all of it (:mod:`repro.observe`);
@@ -63,6 +66,7 @@ _EXPORTS = {
     "Characterizer": "repro.characterization.characterize",
     "Finding": "repro.lint.findings",
     "FlowConfig": "repro.flow.experiment",
+    "KERNEL_NAMES": "repro.kernels",
     "LintEngine": "repro.lint.engine",
     "RunLedger": "repro.observe.ledger",
     "RunRecord": "repro.observe.ledger",
@@ -70,6 +74,9 @@ _EXPORTS = {
     "Tracer": "repro.observe.tracer",
     "TuningFlow": "repro.flow.experiment",
     "build_catalog": "repro.cells.catalog",
+    "get_kernel": "repro.kernels",
+    "set_kernel": "repro.kernels",
+    "use_kernel": "repro.kernels",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -92,6 +92,13 @@ def _shared_options() -> argparse.ArgumentParser:
         "artifact store",
     )
     group.add_argument(
+        "--kernel",
+        choices=("scalar", "vectorized"),
+        default=None,
+        help="evaluation kernel: 'vectorized' (default) or the 'scalar' "
+        "reference — bit-identical results (default from REPRO_KERNEL)",
+    )
+    group.add_argument(
         "--manifest",
         action="store_true",
         help="after each experiment, print the run manifest (stage "
@@ -473,7 +480,10 @@ def main(argv: List[str]) -> int:
 
     tracer = _build_run_tracer(args)
     context = build_context(
-        jobs=args.jobs, cache=False if args.no_cache else None, tracer=tracer
+        jobs=args.jobs,
+        cache=False if args.no_cache else None,
+        tracer=tracer,
+        kernel=args.kernel,
     )
     for experiment_id in ids:
         start = time.time()

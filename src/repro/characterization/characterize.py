@@ -35,6 +35,7 @@ from repro.characterization.delaymodel import GateDelayModel
 from repro.characterization.devices import CellElectricalView, network_geometry
 from repro.characterization.grids import GridConfig, load_grid, slew_grid
 from repro.errors import CharacterizationError, ReproError
+from repro.kernels.dispatch import resolve_kernel
 from repro.observe import get_tracer
 from repro.liberty.model import (
     Cell,
@@ -126,6 +127,7 @@ class Characterizer:
         include_power: bool = False,
         cache: Optional["LibraryCache"] = None,
         n_workers: int = 1,
+        kernel: Optional[str] = None,
     ):
         self.base_tech = tech or TechnologyParams()
         self.corner = corner or typical_corner()
@@ -147,6 +149,13 @@ class Characterizer:
         if n_workers < 0:
             raise ReproError(f"n_workers must be >= 0, got {n_workers}")
         self.n_workers = n_workers
+        #: Evaluation kernel (see :mod:`repro.kernels`): ``"vectorized"``
+        #: batches all samples and grid points per arc, ``"scalar"`` is
+        #: the per-point reference.  Bit-identical results either way,
+        #: so the choice never enters the characterization cache key.
+        #: ``None`` adopts the process-wide active kernel; validated
+        #: eagerly so a bad ``--kernel`` fails loudly.
+        self.kernel = resolve_kernel(kernel)
         if include_power:
             from repro.characterization.power import PowerModel
 
@@ -218,34 +227,60 @@ class Characterizer:
         """(rise delay, fall delay, rise transition, fall transition).
 
         With draws of N samples the tensors have shape (N, n_s, n_l);
-        with ``draws=None`` (nominal) they are (n_s, n_l).
+        with ``draws=None`` (nominal) they are (n_s, n_l).  The
+        ``"vectorized"`` kernel evaluates each tensor as one broadcast
+        surrogate call; the ``"scalar"`` reference evaluates per
+        (sample, grid point) — bit-identical by IEEE-754 elementwise
+        semantics (see :mod:`repro.kernels`).
         """
-        slews = slew_grid(self.grid)[:, None]
-        loads = load_grid(self.grid, spec)[None, :]
+        slew_axis = slew_grid(self.grid)
+        load_axis = load_grid(self.grid, spec)
+        dvth_r: np.ndarray | float
+        dbeta_r: np.ndarray | float
+        dvth_f: np.ndarray | float
+        dbeta_f: np.ndarray | float
+        dlen: np.ndarray | float
         if draws is None:
             dvth_r = dbeta_r = dvth_f = dbeta_f = 0.0
-            dlen: np.ndarray | float = 0.0
+            dlen = 0.0
         else:
-            dvth_r = draws[0][:, None, None]
-            dbeta_r = draws[1][:, None, None]
-            dvth_f = draws[2][:, None, None]
-            dbeta_f = draws[3][:, None, None]
+            dvth_r, dbeta_r = draws[0], draws[1]
+            dvth_f, dbeta_f = draws[2], draws[3]
             dlen = 0.0
             if global_draws is not None:
-                g_vth = global_draws.dvth[:, None, None]
-                g_beta = global_draws.dbeta[:, None, None]
-                dlen = global_draws.dlength_rel[:, None, None]
-                dvth_r = dvth_r + g_vth
-                dvth_f = dvth_f + g_vth
-                dbeta_r = dbeta_r + g_beta
-                dbeta_f = dbeta_f + g_beta
+                dvth_r = dvth_r + global_draws.dvth
+                dvth_f = dvth_f + global_draws.dvth
+                dbeta_r = dbeta_r + global_draws.dbeta
+                dbeta_f = dbeta_f + global_draws.dbeta
+                dlen = global_draws.dlength_rel
+        if self.kernel == "scalar":
+            # Deferred: kernels.characterization imports this package's
+            # delay/power models, so a module-level import would cycle.
+            from repro.kernels.characterization import scalar_arc_tables
+
+            rise = scalar_arc_tables(
+                self.model, spec, output_pin, True, slew_axis, load_axis,
+                dvth=dvth_r, dbeta=dbeta_r, dlength_rel=dlen,
+            )
+            fall = scalar_arc_tables(
+                self.model, spec, output_pin, False, slew_axis, load_axis,
+                dvth=dvth_f, dbeta=dbeta_f, dlength_rel=dlen,
+            )
+            return rise.delay, fall.delay, rise.transition, fall.transition
+
+        def lift(value: np.ndarray | float) -> np.ndarray | float:
+            """Scalars pass through; (N,) vectors gain the grid axes."""
+            return value if np.ndim(value) == 0 else np.asarray(value)[:, None, None]
+
         rise = self.model.arc_tables(
-            spec, output_pin, rise=True, slews=slews, loads=loads,
-            dvth=dvth_r, dbeta=dbeta_r, dlength_rel=dlen,
+            spec, output_pin, rise=True,
+            slews=slew_axis[:, None], loads=load_axis[None, :],
+            dvth=lift(dvth_r), dbeta=lift(dbeta_r), dlength_rel=lift(dlen),
         )
         fall = self.model.arc_tables(
-            spec, output_pin, rise=False, slews=slews, loads=loads,
-            dvth=dvth_f, dbeta=dbeta_f, dlength_rel=dlen,
+            spec, output_pin, rise=False,
+            slews=slew_axis[:, None], loads=load_axis[None, :],
+            dvth=lift(dvth_f), dbeta=lift(dbeta_f), dlength_rel=lift(dlen),
         )
         return rise.delay, fall.delay, rise.transition, fall.transition
 
@@ -355,13 +390,17 @@ class Characterizer:
             cell.pin(output_pin).timing.append(arc)
         return cell
 
-    def _attach_power(
-        self, arc, spec, output_pin, arc_draws, statistical, lut
-    ) -> None:
-        """Add switching-energy tables to an arc (see ``include_power``)."""
-        slews = slew_grid(self.grid)[:, None]
-        loads = load_grid(self.grid, spec)[None, :]
-        energies = {}
+    def _energy_tensors(
+        self, spec: CellSpec, output_pin: str, arc_draws: Optional[ArcDraws]
+    ) -> Dict[bool, np.ndarray]:
+        """Switching-energy tensors keyed by rise/fall, kernel-dispatched.
+
+        Shapes follow :meth:`_arc_tensors`: (n_s, n_l) nominal,
+        (N, n_s, n_l) with draws.
+        """
+        slew_axis = slew_grid(self.grid)
+        load_axis = load_grid(self.grid, spec)
+        energies: Dict[bool, np.ndarray] = {}
         for rise, vth_row, beta_row in (
             (True, 0, 1),
             (False, 2, 3),
@@ -370,11 +409,30 @@ class Characterizer:
                 dvth: np.ndarray | float = 0.0
                 dbeta: np.ndarray | float = 0.0
             else:
-                dvth = arc_draws[vth_row][:, None, None]
-                dbeta = arc_draws[beta_row][:, None, None]
-            energies[rise] = self.power_model.arc_energy(
-                spec, output_pin, rise, slews, loads, dvth=dvth, dbeta=dbeta
-            )
+                dvth = arc_draws[vth_row]
+                dbeta = arc_draws[beta_row]
+            if self.kernel == "scalar":
+                # Deferred for the same import-cycle reason as above.
+                from repro.kernels.characterization import scalar_arc_energy
+
+                energies[rise] = scalar_arc_energy(
+                    self.power_model, spec, output_pin, rise,
+                    slew_axis, load_axis, dvth=dvth, dbeta=dbeta,
+                )
+            else:
+                energies[rise] = self.power_model.arc_energy(
+                    spec, output_pin, rise,
+                    slew_axis[:, None], load_axis[None, :],
+                    dvth=dvth if np.ndim(dvth) == 0 else np.asarray(dvth)[:, None, None],
+                    dbeta=dbeta if np.ndim(dbeta) == 0 else np.asarray(dbeta)[:, None, None],
+                )
+        return energies
+
+    def _attach_power(
+        self, arc, spec, output_pin, arc_draws, statistical, lut
+    ) -> None:
+        """Add switching-energy tables to an arc (see ``include_power``)."""
+        energies = self._energy_tensors(spec, output_pin, arc_draws)
         if arc_draws is None:
             arc.power_rise = lut(energies[True])
             arc.power_fall = lut(energies[False])
@@ -445,6 +503,86 @@ class Characterizer:
             cell.pin(output_pin).timing.append(arc)
         return cell
 
+    def _sample_table_stacks(
+        self,
+        spec: CellSpec,
+        draws: CellDraws,
+        global_draws: Optional[GlobalDraws],
+    ) -> Dict[Tuple[str, str], Dict[str, np.ndarray]]:
+        """Per-arc LUT-slot stacks over the full sample axis.
+
+        One tensor evaluation per arc covers every Monte-Carlo sample;
+        slicing ``stack[k]`` reproduces the per-sample tables bit for
+        bit (elementwise arithmetic is shape-independent).
+        """
+        stacks: Dict[Tuple[str, str], Dict[str, np.ndarray]] = {}
+        for input_pin, output_pin in spec.function.arcs():
+            arc_draws = draws[(input_pin, output_pin)]
+            rise_d, fall_d, rise_t, fall_t = self._arc_tensors(
+                spec, output_pin, arc_draws, global_draws
+            )
+            slots = {
+                "cell_rise": rise_d,
+                "cell_fall": fall_d,
+                "rise_transition": rise_t,
+                "fall_transition": fall_t,
+            }
+            if self.include_power:
+                energies = self._energy_tensors(spec, output_pin, arc_draws)
+                slots["power_rise"] = energies[True]
+                slots["power_fall"] = energies[False]
+            stacks[(input_pin, output_pin)] = slots
+        return stacks
+
+    def characterize_cell_samples(
+        self,
+        spec: CellSpec,
+        draws: CellDraws,
+        sample_indices: Sequence[int],
+        global_draws: Optional[GlobalDraws] = None,
+    ) -> List[Cell]:
+        """One spec's cells for many Monte-Carlo samples at once.
+
+        The vectorized kernel evaluates the full (N, slew, load) tensor
+        of every arc once and slices per sample — the batched
+        replacement for the per-``k`` :meth:`characterize_cell` loop,
+        bit-identical to it (``tests/kernels``).  The scalar kernel
+        keeps the honest per-sample loop.  ``sample_indices`` are
+        absolute indices into the draws' sample axis.
+        """
+        if self.kernel != "vectorized":
+            return [
+                self.characterize_cell(
+                    spec,
+                    draws=draws,
+                    sample_index=k,
+                    global_draws=(
+                        None if global_draws is None else global_draws.sample(k)
+                    ),
+                )
+                for k in sample_indices
+            ]
+        global _characterize_calls
+        _characterize_calls += len(sample_indices)
+        tracer = get_tracer()
+        tracer.add("characterize.cells", len(sample_indices))
+        with tracer.span(
+            "characterize.cell_samples",
+            cell=spec.name,
+            n_samples=len(sample_indices),
+        ):
+            stacks = self._sample_table_stacks(spec, draws, global_draws)
+            return [
+                self.cell_from_tables(
+                    spec,
+                    {
+                        arc: {slot: stack[k] for slot, stack in slots.items()}
+                        for arc, slots in stacks.items()
+                    },
+                )
+                for k in sample_indices
+            ]
+
     def sample_libraries(
         self,
         specs: Sequence[CellSpec],
@@ -501,17 +639,14 @@ class Characterizer:
             )
         else:
             draws = self.sample_arc_draws(specs, n_samples, seed)
+            columns = [
+                self.characterize_cell_samples(
+                    spec, draws[spec.name], range(n_samples), global_draws
+                )
+                for spec in specs
+            ]
             cells = [
-                [
-                    self.characterize_cell(
-                        spec,
-                        draws=draws[spec.name],
-                        sample_index=k,
-                        global_draws=None if global_draws is None else global_draws.sample(k),
-                    )
-                    for spec in specs
-                ]
-                for k in range(n_samples)
+                [column[k] for column in columns] for k in range(n_samples)
             ]
         libraries: List[Library] = []
         for k in range(n_samples):

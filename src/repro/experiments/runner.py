@@ -86,15 +86,18 @@ def build_context(
     jobs: Optional[int] = None,
     cache: Optional[bool] = None,
     tracer: Optional["Tracer"] = None,
+    kernel: Optional[str] = None,
 ) -> ExperimentContext:
     """An :class:`ExperimentContext` honoring the execution knobs.
 
     Starts from :meth:`~repro.flow.experiment.FlowConfig.
-    from_environment` (``REPRO_SCALE``, ``REPRO_JOBS``) and overrides
-    the characterization worker count, the on-disk library cache
-    and/or the tracer when the corresponding argument is not ``None``.
+    from_environment` (``REPRO_SCALE``, ``REPRO_JOBS``,
+    ``REPRO_KERNEL``) and overrides the characterization worker count,
+    the on-disk library cache, the tracer and/or the evaluation kernel
+    when the corresponding argument is not ``None``.
     """
     from repro.flow.experiment import FlowConfig, TuningFlow
+    from repro.kernels.dispatch import validate_kernel
 
     config = FlowConfig.from_environment()
     if jobs is not None:
@@ -103,6 +106,8 @@ def build_context(
         config = replace(config, cache=cache)
     if tracer is not None:
         config = replace(config, tracer=tracer)
+    if kernel is not None:
+        config = replace(config, kernel=validate_kernel(kernel))
     return ExperimentContext(TuningFlow(config))
 
 

@@ -40,6 +40,7 @@ from repro.characterization.characterize import Characterizer
 from repro.core.methods import TuningMethod, method_by_name
 from repro.core.tuner import LibraryTuner, TuningResult
 from repro.errors import ConfigError, ReproError
+from repro.kernels.dispatch import DEFAULT_KERNEL, set_kernel, validate_kernel
 from repro.observe import Tracer, get_tracer, set_tracer
 from repro.flow.metrics import TuningComparison, compare_runs
 from repro.flow.minperiod import minimum_clock_period
@@ -86,6 +87,10 @@ class FlowConfig:
     #: (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``); results are
     #: bit-identical either way.
     cache: bool = True
+    #: Evaluation kernel (``"vectorized"`` or ``"scalar"``, see
+    #: :mod:`repro.kernels`); results are bit-identical either way, so
+    #: the choice never enters fingerprints or cache keys.
+    kernel: str = DEFAULT_KERNEL
     #: Optional :class:`~repro.observe.Tracer` the flow installs as the
     #: process-wide active tracer; travels (as a trace handle) into the
     #: sweep worker processes so their spans merge into the same trace.
@@ -162,10 +167,12 @@ class FlowConfig:
 
         ``REPRO_SCALE=paper|quick|tiny`` selects the scale (default
         ``quick``); ``REPRO_JOBS=N`` sets the worker count for
-        characterization and sweep fan-out (0 = one per CPU).  Any
-        other value — a typo'd scale, a non-integer or negative job
-        count — raises :class:`~repro.errors.ConfigError` instead of
-        silently falling back to a default.
+        characterization and sweep fan-out (0 = one per CPU);
+        ``REPRO_KERNEL=vectorized|scalar`` selects the evaluation
+        kernel (see :mod:`repro.kernels`).  Any other value — a typo'd
+        scale or kernel, a non-integer or negative job count — raises
+        :class:`~repro.errors.ConfigError` instead of silently falling
+        back to a default.
         """
         scale = os.environ.get("REPRO_SCALE", "quick").strip().lower()
         if scale not in FlowConfig.SCALES:
@@ -187,6 +194,11 @@ class FlowConfig:
                     f"REPRO_JOBS must be >= 0 (0 = one per CPU), got {n_workers}"
                 )
             config = replace(config, n_workers=n_workers)
+        kernel = os.environ.get("REPRO_KERNEL")
+        if kernel is not None:
+            config = replace(
+                config, kernel=validate_kernel(kernel.strip().lower())
+            )
         return config
 
 
@@ -323,6 +335,7 @@ class TuningFlow:
         self.config = config or FlowConfig.paper()
         if self.config.tracer is not None:
             set_tracer(self.config.tracer)
+        set_kernel(self.config.kernel)
         self.manifest = RunManifest()
         self._store = None
         if self.config.cache:
@@ -376,6 +389,7 @@ class TuningFlow:
             self._characterizer = Characterizer(
                 cache=LibraryCache() if self.config.cache else None,
                 n_workers=self.config.n_workers,
+                kernel=self.config.kernel,
             )
         return self._characterizer
 

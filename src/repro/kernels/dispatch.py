@@ -1,0 +1,79 @@
+"""Kernel selection: the scalar reference vs the vectorized fast path.
+
+Every numerical hot path of the repo — characterization tensors, LUT
+interpolation, STA level evaluation, sigma lookups — exists twice:
+
+* ``"scalar"`` — the reference implementation: one surrogate-model call
+  per (sample, grid point), one :func:`~repro.liberty.lut.
+  bilinear_interpolate` call per query.  Obviously correct, slow.
+* ``"vectorized"`` — the production implementation: whole (samples x
+  slew x load) tensors per arc, whole topological STA levels per
+  gather-based interpolation call.
+
+The two are **bit-identical** (enforced by ``tests/kernels``): the same
+IEEE-754 operations run element by element either way, so the kernel
+choice is an execution knob like ``n_workers`` — it never enters a
+content fingerprint or cache key.
+
+The active kernel is process-global state (like the active tracer):
+:class:`~repro.flow.experiment.TuningFlow` installs its config's kernel
+at construction, worker processes inherit it through the pickled
+:class:`~repro.characterization.characterize.Characterizer` or the
+reconstructed flow config.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: The recognized kernel implementations.
+KERNEL_NAMES: Tuple[str, ...] = ("scalar", "vectorized")
+
+#: The kernel used when nothing selects one explicitly.
+DEFAULT_KERNEL: str = "vectorized"
+
+_active_kernel: str = DEFAULT_KERNEL
+
+
+def validate_kernel(name: str) -> str:
+    """Return ``name`` if it names a kernel, else raise ``ConfigError``.
+
+    A typo'd kernel must fail loudly — silently falling back would run
+    the slow reference path (or skip it) without anyone noticing.
+    """
+    if name not in KERNEL_NAMES:
+        raise ConfigError(
+            f"unknown kernel {name!r} (use one of {', '.join(KERNEL_NAMES)})"
+        )
+    return name
+
+
+def get_kernel() -> str:
+    """The process-wide active kernel name."""
+    return _active_kernel
+
+
+def set_kernel(name: str) -> str:
+    """Install ``name`` as the active kernel; returns the previous one."""
+    global _active_kernel
+    previous = _active_kernel
+    _active_kernel = validate_kernel(name)
+    return previous
+
+
+def resolve_kernel(name: Optional[str] = None) -> str:
+    """An explicit kernel name (validated) or the active kernel."""
+    return _active_kernel if name is None else validate_kernel(name)
+
+
+@contextmanager
+def use_kernel(name: str) -> Iterator[str]:
+    """Temporarily switch the active kernel (restored on exit)."""
+    previous = set_kernel(name)
+    try:
+        yield _active_kernel
+    finally:
+        set_kernel(previous)

@@ -47,6 +47,7 @@ DETERMINISTIC_ZONES: Tuple[str, ...] = (
     "repro.core",
     "repro.experiments",
     "repro.flow",
+    "repro.kernels",
     "repro.liberty",
     "repro.netlist",
     "repro.parallel",

@@ -89,18 +89,16 @@ def _sample_chunk(
         "characterize.chunk", n_cells=len(specs), n_samples=len(sample_indices)
     ):
         draws = characterizer.sample_arc_draws(specs, n_samples, seed)
-        tile: List[List[Cell]] = []
-        for k in sample_indices:
-            sliced = None if global_draws is None else global_draws.sample(k)
-            tile.append([
-                characterizer.characterize_cell(
-                    spec,
-                    draws=draws[spec.name],
-                    sample_index=k,
-                    global_draws=sliced,
-                )
-                for spec in specs
-            ])
+        columns = [
+            characterizer.characterize_cell_samples(
+                spec, draws[spec.name], list(sample_indices), global_draws
+            )
+            for spec in specs
+        ]
+        tile: List[List[Cell]] = [
+            [column[row] for column in columns]
+            for row in range(len(sample_indices))
+        ]
     tracer.flush_counters()
     return tile
 
@@ -149,10 +147,19 @@ def characterize_sample_cells(
 
     Returns ``cells[k][i]``: the cell of ``specs[i]`` under Monte-Carlo
     sample ``k``, bit-identical to the serial double loop.
+
+    The vectorized kernel evaluates each cell's full sample tensor in
+    one shot, so splitting the sample axis would only repeat that work
+    per block — it shards over cells alone.  The scalar kernel keeps
+    the (cell chunk, sample block) tiling for load balance.
     """
     specs = list(specs)
-    cell_chunks = chunk_indices(len(specs), 2 * n_workers)
-    sample_blocks = chunk_indices(n_samples, n_workers)
+    if characterizer.kernel == "vectorized":
+        cell_chunks = chunk_indices(len(specs), 4 * n_workers)
+        sample_blocks = [range(n_samples)]
+    else:
+        cell_chunks = chunk_indices(len(specs), 2 * n_workers)
+        sample_blocks = chunk_indices(n_samples, n_workers)
     trace = get_tracer().handle()
     with ProcessPoolExecutor(max_workers=n_workers) as pool:
         tiles: List[Tuple[range, range, object]] = []

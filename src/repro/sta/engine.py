@@ -15,12 +15,14 @@ tractable in pure Python.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from itertools import groupby
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import TimingError
-from repro.liberty.lut import bilinear_interpolate_many
+from repro.kernels.dispatch import resolve_kernel
+from repro.kernels.sta import evaluate_table_groups
 from repro.liberty.model import TimingArc
 from repro.observe import get_tracer
 from repro.sta.graph import Endpoint, TimingGraph
@@ -31,19 +33,19 @@ _POS_INF = 1e30
 
 
 def _arc_delay_transition(
-    arc: TimingArc, slews: np.ndarray, loads: np.ndarray
+    arc: TimingArc,
+    slews: np.ndarray,
+    loads: np.ndarray,
+    kernel: Optional[str] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Worst (rise/fall-merged) delay and output transition of an arc."""
-    delay = None
-    for table in arc.delay_tables():
-        values = bilinear_interpolate_many(table, slews, loads)
-        delay = values if delay is None else np.maximum(delay, values)
-    transition = None
-    for table in arc.transition_tables():
-        values = bilinear_interpolate_many(table, slews, loads)
-        transition = values if transition is None else np.maximum(transition, values)
-    if delay is None or transition is None:
+    delay_tables = arc.delay_tables()
+    transition_tables = arc.transition_tables()
+    if not delay_tables or not transition_tables:
         raise TimingError("timing arc lacks delay or transition tables")
+    delay, transition = evaluate_table_groups(
+        [delay_tables, transition_tables], [slews, slews], [loads, loads], kernel
+    )
     return delay, transition
 
 
@@ -111,23 +113,34 @@ def analyze(
     graph: TimingGraph,
     clock_period: float,
     guard_band: float = GUARD_BAND_NS,
+    kernel: Optional[str] = None,
 ) -> TimingResult:
-    """Run one full forward + backward STA pass."""
+    """Run one full forward + backward STA pass.
+
+    ``kernel`` selects the evaluation kernel (see :mod:`repro.kernels`):
+    ``"vectorized"`` interpolates whole topological levels at once,
+    ``"scalar"`` is the per-query reference; ``None`` adopts the active
+    kernel.  Results are bit-identical either way.
+    """
     if clock_period <= guard_band:
         raise TimingError(
             f"clock period {clock_period} ns must exceed the guard band "
             f"{guard_band} ns"
         )
+    kernel = resolve_kernel(kernel)
     tracer = get_tracer()
     tracer.add("sta.analyze_calls", 1)
     tracer.add("sta.node_visits", len(graph.net_names))
     tracer.add("sta.arc_evaluations", graph.n_arcs)
     with tracer.span("sta.analyze", nets=len(graph.net_names), arcs=graph.n_arcs):
-        return _analyze(graph, clock_period, guard_band)
+        return _analyze(graph, clock_period, guard_band, kernel)
 
 
 def _analyze(
-    graph: TimingGraph, clock_period: float, guard_band: float
+    graph: TimingGraph,
+    clock_period: float,
+    guard_band: float,
+    kernel: Optional[str] = None,
 ) -> TimingResult:
     config = graph.config
     n_nets = len(graph.net_names)
@@ -154,7 +167,7 @@ def _analyze(
         )
         clock_slews = np.full(q_ids.size, config.clock_slew)
         delays, transitions = _arc_delay_transition(
-            arc, clock_slews, graph.loads[q_ids]
+            arc, clock_slews, graph.loads[q_ids], kernel
         )
         arrival[q_ids] = delays
         slew[q_ids] = transitions
@@ -167,26 +180,43 @@ def _analyze(
                 q_net=int(q_id),
             )
 
-    # forward propagation, level by level
+    # forward propagation, level by level — all arc groups of a level
+    # interpolate in one batched kernel call (arcs within a level never
+    # feed each other, so their input slews are final before the level
+    # evaluates; the per-group scatter below runs in the same order as
+    # the former per-group loop, and max-merges are exact anyway)
     arc_delay = np.zeros(graph.n_arcs)
     arc_transition = np.zeros(graph.n_arcs)
     slew_written = np.zeros(n_nets, dtype=bool)
-    for _level, group in graph.level_groups:
-        indices = np.asarray(group.indices, dtype=np.int64)
-        src = graph.arc_src[indices]
-        dst = graph.arc_dst[indices]
-        delays, transitions = _arc_delay_transition(
-            group.arc, slew[src], graph.loads[dst]
+    for _level, members in groupby(graph.level_groups, key=lambda pair: pair[0]):
+        groups = [group for _, group in members]
+        indices_list = [np.asarray(g.indices, dtype=np.int64) for g in groups]
+        src_list = [graph.arc_src[indices] for indices in indices_list]
+        dst_list = [graph.arc_dst[indices] for indices in indices_list]
+        delay_groups = [g.arc.delay_tables() for g in groups]
+        transition_groups = [g.arc.transition_tables() for g in groups]
+        if any(not d or not t for d, t in zip(delay_groups, transition_groups)):
+            raise TimingError("timing arc lacks delay or transition tables")
+        slews_list = [slew[src] for src in src_list]
+        loads_list = [graph.loads[dst] for dst in dst_list]
+        delays_list = evaluate_table_groups(
+            delay_groups, slews_list, loads_list, kernel
         )
-        arc_delay[indices] = delays
-        arc_transition[indices] = transitions
-        np.maximum.at(arrival, dst, arrival[src] + delays)
-        # the first writer replaces the default slew; later writers of
-        # the same net (other input arcs of its driver) max-merge
-        fresh = dst[~slew_written[dst]]
-        slew[fresh] = _NEG_INF
-        slew_written[dst] = True
-        np.maximum.at(slew, dst, transitions)
+        transitions_list = evaluate_table_groups(
+            transition_groups, slews_list, loads_list, kernel
+        )
+        for indices, src, dst, delays, transitions in zip(
+            indices_list, src_list, dst_list, delays_list, transitions_list
+        ):
+            arc_delay[indices] = delays
+            arc_transition[indices] = transitions
+            np.maximum.at(arrival, dst, arrival[src] + delays)
+            # the first writer replaces the default slew; later writers
+            # of the same net (other input arcs of its driver) max-merge
+            fresh = dst[~slew_written[dst]]
+            slew[fresh] = _NEG_INF
+            slew_written[dst] = True
+            np.maximum.at(slew, dst, transitions)
 
     if np.any(arrival[graph.arc_dst] <= _NEG_INF / 2):
         bad = graph.arc_dst[arrival[graph.arc_dst] <= _NEG_INF / 2][:3]

@@ -23,17 +23,18 @@ Design roll-up over the worst paths per unique endpoint (eq. 11)::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import TimingError
-from repro.liberty.model import Library
+from repro.kernels.sta import evaluate_table_groups
+from repro.liberty.model import Library, Lut
 from repro.sta.paths import PathStep, TimingPath
 
 
-def step_sigma(library: Library, step: PathStep) -> float:
-    """Delay sigma of one path step (worst of rise/fall tables)."""
+def _step_sigma_tables(library: Library, step: PathStep) -> Tuple[Lut, ...]:
+    """Sigma tables of a step's arc, or raise the standard error."""
     cell = library.cell(step.cell_name)
     arc = cell.pin(step.out_pin).arc_from(step.related_pin)
     tables = arc.sigma_tables()
@@ -42,7 +43,37 @@ def step_sigma(library: Library, step: PathStep) -> float:
             f"cell {step.cell_name} has no sigma tables; statistical analysis "
             "needs the statistical library"
         )
-    return max(table.lookup(step.slew, step.load) for table in tables)
+    return tables
+
+
+def step_sigma(
+    library: Library, step: PathStep, kernel: Optional[str] = None
+) -> float:
+    """Delay sigma of one path step (worst of rise/fall tables)."""
+    tables = _step_sigma_tables(library, step)
+    (values,) = evaluate_table_groups(
+        [tables],
+        [np.asarray([step.slew], dtype=float)],
+        [np.asarray([step.load], dtype=float)],
+        kernel,
+    )
+    return float(values[0])
+
+
+def _step_sigmas(
+    library: Library, steps: Sequence[PathStep], kernel: Optional[str] = None
+) -> Tuple[float, ...]:
+    """Sigmas of all steps of one path in one whole-path kernel call."""
+    groups: List[Tuple[Lut, ...]] = [
+        _step_sigma_tables(library, step) for step in steps
+    ]
+    values = evaluate_table_groups(
+        groups,
+        [np.asarray([step.slew], dtype=float) for step in steps],
+        [np.asarray([step.load], dtype=float) for step in steps],
+        kernel,
+    )
+    return tuple(float(value[0]) for value in values)
 
 
 @dataclass(frozen=True)
@@ -95,10 +126,13 @@ def path_sigma_correlated(step_sigmas: Sequence[float], rho: float) -> float:
 
 
 def path_statistics(
-    path: TimingPath, library: Library, rho: float = 0.0
+    path: TimingPath,
+    library: Library,
+    rho: float = 0.0,
+    kernel: Optional[str] = None,
 ) -> PathStatistics:
     """Mean and sigma of a path (eqs. 5, 9/10)."""
-    sigmas = tuple(step_sigma(library, step) for step in path.steps)
+    sigmas = _step_sigmas(library, path.steps, kernel)
     mean = float(sum(step.delay for step in path.steps))
     return PathStatistics(
         mean=mean,
@@ -145,12 +179,17 @@ class DesignStatistics:
 
 
 def design_statistics(
-    paths: Sequence[TimingPath], library: Library, rho: float = 0.0
+    paths: Sequence[TimingPath],
+    library: Library,
+    rho: float = 0.0,
+    kernel: Optional[str] = None,
 ) -> DesignStatistics:
     """Eq. (11) over the given worst paths."""
     if not paths:
         raise TimingError("design statistics need at least one path")
-    stats = tuple(path_statistics(path, library, rho=rho) for path in paths)
+    stats = tuple(
+        path_statistics(path, library, rho=rho, kernel=kernel) for path in paths
+    )
     mean = float(sum(p.mean for p in stats))
     sigma = float(np.sqrt(sum(p.sigma**2 for p in stats)))
     return DesignStatistics(

@@ -86,6 +86,52 @@ class TestLeakage:
         assert mean == pytest.approx(float(PowerModel().cell_leakage(inv)))
 
 
+class TestGoldenValues:
+    """Frozen reference outputs of the closed-form power model.
+
+    Tiny-scale pins against hard-coded values: any change to the energy
+    or leakage arithmetic — intended or not — must show up here first,
+    not as a silent drift in characterized libraries.
+    """
+
+    def test_switching_energy_golden(self, model, specs):
+        inv = spec_by_name(specs, "INV_1")
+        nd2 = spec_by_name(specs, "ND2_2")
+        assert float(
+            model.arc_energy(inv, "Z", True, np.asarray(0.05), np.asarray(0.004))
+        ) == pytest.approx(0.0025464210927398268, rel=1e-12)
+        assert float(
+            model.arc_energy(
+                inv, "Z", False, np.asarray(0.2), np.asarray(0.002),
+                dvth=0.02, dbeta=0.1,
+            )
+        ) == pytest.approx(0.001356134426057872, rel=1e-12)
+        assert float(
+            model.arc_energy(nd2, "Z", True, np.asarray(0.1), np.asarray(0.006))
+        ) == pytest.approx(0.0039580563709593055, rel=1e-12)
+
+    def test_leakage_golden(self, model, specs):
+        inv = spec_by_name(specs, "INV_1")
+        nd2 = spec_by_name(specs, "ND2_2")
+        assert float(model.cell_leakage(inv)) == pytest.approx(
+            0.0001413925639342806, rel=1e-12
+        )
+        assert float(model.cell_leakage(nd2, dvth=0.03)) == pytest.approx(
+            0.0002433953342482416, rel=1e-12
+        )
+
+    def test_leakage_statistics_golden(self, specs):
+        """Seeded Monte-Carlo: the summary statistics are deterministic
+        down to the last bit, so they can be pinned tightly too."""
+        inv = spec_by_name(specs, "INV_1")
+        mean, sigma, skew = leakage_statistics(
+            inv, sigma_vth=0.03, n_samples=200, seed=7
+        )
+        assert mean == pytest.approx(0.00015533932764194875, rel=1e-12)
+        assert sigma == pytest.approx(4.9110969534151004e-05, rel=1e-12)
+        assert skew == pytest.approx(0.8914511183132714, rel=1e-12)
+
+
 class TestPowerCharacterization:
     def test_power_tables_attached(self, specs):
         characterizer = Characterizer(include_power=True)

@@ -83,6 +83,42 @@ class TestRequiredUncertainty:
             required_uncertainty([stats(2.0, 0.05)], 5.0, target_yield=1.5)
 
 
+class TestGoldenValues:
+    """Frozen reference outputs of the yield model at tiny scale.
+
+    Hard-coded values computed from the current closed-form/bisection
+    implementation — the regression tripwire for any arithmetic change.
+    """
+
+    def test_path_failure_probability_golden(self):
+        assert path_failure_probability(stats(2.0, 0.1), 2.25) == pytest.approx(
+            0.006209665325776159, rel=1e-12
+        )
+
+    def test_timing_yield_golden(self):
+        paths = [stats(2.0, 0.1), stats(1.9, 0.08), stats(1.7, 0.05)]
+        assert timing_yield(paths, 2.25) == pytest.approx(
+            0.993784300753065, rel=1e-12
+        )
+
+    def test_required_uncertainty_golden(self):
+        """Bisection is deterministic, so even the solver output pins."""
+        g = required_uncertainty(
+            [stats(2.0, 0.05), stats(1.8, 0.04)],
+            clock_period=5.0,
+            target_yield=0.999,
+        )
+        assert g == pytest.approx(0.154571533203125, rel=1e-9)
+
+    def test_uncertainty_reduction_golden(self):
+        reduction = uncertainty_reduction(
+            [stats(2.0, 0.08), stats(1.8, 0.06)],
+            [stats(2.0, 0.05), stats(1.8, 0.04)],
+            clock_period=5.0,
+        )
+        assert reduction == pytest.approx(0.3750867453157529, rel=1e-9)
+
+
 class TestUncertaintyReduction:
     def test_tuning_reduces_uncertainty(self):
         """The paper's motivation: lower sigma -> smaller guard band."""
