@@ -17,6 +17,8 @@ Usage::
     python -m repro trace summarize a.jsonl        # flat per-path table
     python -m repro trace diff a.jsonl b.jsonl     # flag wall-time growth
     python -m repro report                # metric/stage trends (ledger)
+    python -m repro sweep --designs microcontroller dsp --clocks 3.0
+    python -m repro sweep --expect-warm   # assert the grid is fully warm
     python -m repro check --baseline benchmarks/baselines/fig10.json
     python -m repro lint                  # AST contract checker (DESIGN.md §13)
     python -m repro lint --format json    # machine-readable findings
@@ -97,6 +99,14 @@ def _shared_options() -> argparse.ArgumentParser:
         default=None,
         help="evaluation kernel: 'vectorized' (default) or the 'scalar' "
         "reference — bit-identical results (default from REPRO_KERNEL)",
+    )
+    group.add_argument(
+        "--backend",
+        choices=("serial", "process", "queue"),
+        default=None,
+        help="execution backend for every fan-out: in-process 'serial', "
+        "local 'process' pool (default) or the spooled 'queue' stub — "
+        "bit-identical results (default from REPRO_BACKEND)",
     )
     group.add_argument(
         "--manifest",
@@ -198,6 +208,39 @@ def _build_parser() -> argparse.ArgumentParser:
 
     configure_lint_parser(lint_parser)
 
+    sweep_parser = sub.add_parser(
+        "sweep",
+        parents=[shared],
+        help="incremental design-family sweep: run a (design x method x "
+        "parameter x clock) grid, recomputing only stale points",
+    )
+    sweep_parser.add_argument(
+        "--designs", nargs="+", default=["microcontroller"], metavar="NAME",
+        help="design family members (default: the paper's "
+        "microcontroller; see repro.netlist.generators.family)",
+    )
+    sweep_parser.add_argument(
+        "--methods", nargs="+", default=None, metavar="NAME",
+        help="tuning methods (default: every registered method)",
+    )
+    sweep_parser.add_argument(
+        "--parameters", nargs="+", type=float, default=None, metavar="P",
+        help="tuning parameters (default: each method's Table 2 sweep)",
+    )
+    sweep_parser.add_argument(
+        "--clocks", nargs="+", type=float, default=[3.0], metavar="NS",
+        help="clock periods in ns (default: 3.0)",
+    )
+    sweep_parser.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write the markdown grid report to PATH",
+    )
+    sweep_parser.add_argument(
+        "--expect-warm", action="store_true",
+        help="exit 1 if any point had to be scheduled — the CI "
+        "incremental-recharacterization gate",
+    )
+
     report_parser = sub.add_parser(
         "report", help="metric and stage-time trends across ledger records"
     )
@@ -294,6 +337,54 @@ def _run_trace_command(args: argparse.Namespace) -> int:
         return 2
     print(diff.to_text())
     return 1 if diff.regressions else 0
+
+
+def _run_sweep_command(args: argparse.Namespace) -> int:
+    """Handle ``python -m repro sweep`` — the design-family harness.
+
+    Exit 0 on a completed sweep, 1 when ``--expect-warm`` found stale
+    work, 2 when the sweep cannot run (bad grid axis, cache disabled).
+    """
+    from repro.errors import ConfigError
+    from repro.sweep import SweepGrid, render_sweep_report, run_sweep
+
+    tracer = _build_run_tracer(args)
+    context = build_context(
+        jobs=args.jobs,
+        cache=False if args.no_cache else None,
+        tracer=tracer,
+        kernel=args.kernel,
+        backend=args.backend,
+    )
+    try:
+        grid = SweepGrid(
+            designs=tuple(args.designs),
+            methods=None if args.methods is None else tuple(args.methods),
+            parameters=(
+                None if args.parameters is None else tuple(args.parameters)
+            ),
+            clock_periods=tuple(args.clocks),
+        )
+        result = run_sweep(context.flow.config, grid)
+    except ConfigError as error:
+        print(f"sweep cannot run: {error}", file=sys.stderr)
+        return 2
+    report = render_sweep_report(result)
+    print(report)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"[report written to {args.report}]")
+    if tracer is not None:
+        _report_trace(tracer, args)
+    if args.expect_warm and result.scheduled:
+        print(
+            f"expected a warm grid, but {result.scheduled} tasks were "
+            f"scheduled ({result.counts['run']} stale points)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _run_report_command(args: argparse.Namespace) -> int:
@@ -459,6 +550,8 @@ def main(argv: List[str]) -> int:
         return run_lint_command(args)
     if args.command == "trace":
         return _run_trace_command(args)
+    if args.command == "sweep":
+        return _run_sweep_command(args)
     if args.command == "report":
         return _run_report_command(args)
     if args.command == "check":
@@ -484,6 +577,7 @@ def main(argv: List[str]) -> int:
         cache=False if args.no_cache else None,
         tracer=tracer,
         kernel=args.kernel,
+        backend=args.backend,
     )
     for experiment_id in ids:
         start = time.time()

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,6 +50,10 @@ from repro.liberty.model import (
 from repro.variation.montecarlo import GlobalSigmas
 from repro.variation.pelgrom import PelgromModel
 from repro.variation.process import Corner, TechnologyParams, typical_corner
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.backends import ExecutorBackend
+    from repro.parallel.cache import LibraryCache
 
 #: Per-arc local draws: array of shape (4, N) holding
 #: (dvth_rise, dbeta_rise, dvth_fall, dbeta_fall) for N samples.
@@ -128,6 +132,7 @@ class Characterizer:
         cache: Optional["LibraryCache"] = None,
         n_workers: int = 1,
         kernel: Optional[str] = None,
+        backend: Optional[str] = None,
     ):
         self.base_tech = tech or TechnologyParams()
         self.corner = corner or typical_corner()
@@ -149,6 +154,17 @@ class Characterizer:
         if n_workers < 0:
             raise ReproError(f"n_workers must be >= 0, got {n_workers}")
         self.n_workers = n_workers
+        #: Execution backend of the library-level drivers (``serial``,
+        #: ``process`` or ``queue``; ``None`` = the default backend —
+        #: see :mod:`repro.parallel.backends`).  Results are
+        #: bit-identical on every backend, so the choice never enters
+        #: cache keys.  Validated eagerly so a bad ``--backend`` fails
+        #: even when the cache short-circuits all characterization.
+        if backend is not None:
+            from repro.parallel.backends import validate_backend
+
+            validate_backend(backend)
+        self.backend = backend
         #: Evaluation kernel (see :mod:`repro.kernels`): ``"vectorized"``
         #: batches all samples and grid points per arc, ``"scalar"`` is
         #: the per-point reference.  Bit-identical results either way,
@@ -627,15 +643,15 @@ class Characterizer:
         n_workers: Optional[int],
         use_cache: bool,
     ) -> List[Library]:
-        jobs = self._resolve_jobs(n_workers)
+        backend = self._resolve_backend(n_workers)
         global_draws = (
             self.sample_global_draws(n_samples, seed + 1) if include_global else None
         )
-        if jobs > 1:
+        if not backend.in_process:
             from repro.parallel.executor import characterize_sample_cells
 
             cells = characterize_sample_cells(
-                self, specs, n_samples, seed, global_draws, jobs
+                self, specs, n_samples, seed, global_draws, backend=backend
             )
         else:
             draws = self.sample_arc_draws(specs, n_samples, seed)
@@ -706,15 +722,15 @@ class Characterizer:
         n_workers: Optional[int],
         use_cache: bool,
     ) -> Library:
-        jobs = self._resolve_jobs(n_workers)
+        backend = self._resolve_backend(n_workers)
         global_draws = (
             self.sample_global_draws(n_samples, seed + 1) if include_global else None
         )
-        if jobs > 1:
+        if not backend.in_process:
             from repro.parallel.executor import characterize_statistical_cells
 
             cells = characterize_statistical_cells(
-                self, specs, n_samples, seed, global_draws, jobs
+                self, specs, n_samples, seed, global_draws, backend=backend
             )
         else:
             draws = self.sample_arc_draws(specs, n_samples, seed)
@@ -741,3 +757,15 @@ class Characterizer:
         from repro.parallel import resolve_jobs
 
         return resolve_jobs(self.n_workers if n_workers is None else n_workers)
+
+    def _resolve_backend(self, n_workers: Optional[int]) -> "ExecutorBackend":
+        """The concrete backend of one library-level driver call.
+
+        A single resolved worker on the default (process) backend
+        degrades to the serial backend — no pool is ever spawned for
+        one worker's worth of work (see :func:`repro.parallel.
+        backends.resolve_backend`).
+        """
+        from repro.parallel.backends import resolve_backend
+
+        return resolve_backend(self.backend, self._resolve_jobs(n_workers))

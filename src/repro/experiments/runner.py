@@ -87,17 +87,20 @@ def build_context(
     cache: Optional[bool] = None,
     tracer: Optional["Tracer"] = None,
     kernel: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> ExperimentContext:
     """An :class:`ExperimentContext` honoring the execution knobs.
 
     Starts from :meth:`~repro.flow.experiment.FlowConfig.
     from_environment` (``REPRO_SCALE``, ``REPRO_JOBS``,
-    ``REPRO_KERNEL``) and overrides the characterization worker count,
-    the on-disk library cache, the tracer and/or the evaluation kernel
-    when the corresponding argument is not ``None``.
+    ``REPRO_KERNEL``, ``REPRO_BACKEND``) and overrides the
+    characterization worker count, the on-disk library cache, the
+    tracer, the evaluation kernel and/or the execution backend when
+    the corresponding argument is not ``None``.
     """
     from repro.flow.experiment import FlowConfig, TuningFlow
     from repro.kernels.dispatch import validate_kernel
+    from repro.parallel.backends import validate_backend
 
     config = FlowConfig.from_environment()
     if jobs is not None:
@@ -108,6 +111,8 @@ def build_context(
         config = replace(config, tracer=tracer)
     if kernel is not None:
         config = replace(config, kernel=validate_kernel(kernel))
+    if backend is not None:
+        config = replace(config, backend=validate_backend(backend))
     return ExperimentContext(TuningFlow(config))
 
 

@@ -41,6 +41,7 @@ from repro.core.methods import TuningMethod, method_by_name
 from repro.core.tuner import LibraryTuner, TuningResult
 from repro.errors import ConfigError, ReproError
 from repro.kernels.dispatch import DEFAULT_KERNEL, set_kernel, validate_kernel
+from repro.parallel.backends import DEFAULT_BACKEND, validate_backend
 from repro.observe import Tracer, get_tracer, set_tracer
 from repro.flow.metrics import TuningComparison, compare_runs
 from repro.flow.minperiod import minimum_clock_period
@@ -91,6 +92,12 @@ class FlowConfig:
     #: :mod:`repro.kernels`); results are bit-identical either way, so
     #: the choice never enters fingerprints or cache keys.
     kernel: str = DEFAULT_KERNEL
+    #: Execution backend every fan-out dispatches through
+    #: (``"serial"``, ``"process"`` or ``"queue"``, see
+    #: :mod:`repro.parallel.backends`); like the kernel, results are
+    #: bit-identical on every backend, so the choice never enters
+    #: fingerprints or cache keys.
+    backend: str = DEFAULT_BACKEND
     #: Optional :class:`~repro.observe.Tracer` the flow installs as the
     #: process-wide active tracer; travels (as a trace handle) into the
     #: sweep worker processes so their spans merge into the same trace.
@@ -169,10 +176,12 @@ class FlowConfig:
         ``quick``); ``REPRO_JOBS=N`` sets the worker count for
         characterization and sweep fan-out (0 = one per CPU);
         ``REPRO_KERNEL=vectorized|scalar`` selects the evaluation
-        kernel (see :mod:`repro.kernels`).  Any other value — a typo'd
-        scale or kernel, a non-integer or negative job count — raises
-        :class:`~repro.errors.ConfigError` instead of silently falling
-        back to a default.
+        kernel (see :mod:`repro.kernels`);
+        ``REPRO_BACKEND=serial|process|queue`` selects the execution
+        backend (see :mod:`repro.parallel.backends`).  Any other value
+        — a typo'd scale, kernel or backend, a non-integer or negative
+        job count — raises :class:`~repro.errors.ConfigError` instead
+        of silently falling back to a default.
         """
         scale = os.environ.get("REPRO_SCALE", "quick").strip().lower()
         if scale not in FlowConfig.SCALES:
@@ -198,6 +207,11 @@ class FlowConfig:
         if kernel is not None:
             config = replace(
                 config, kernel=validate_kernel(kernel.strip().lower())
+            )
+        backend = os.environ.get("REPRO_BACKEND")
+        if backend is not None:
+            config = replace(
+                config, backend=validate_backend(backend.strip().lower())
             )
         return config
 
@@ -390,6 +404,7 @@ class TuningFlow:
                 cache=LibraryCache() if self.config.cache else None,
                 n_workers=self.config.n_workers,
                 kernel=self.config.kernel,
+                backend=self.config.backend,
             )
         return self._characterizer
 
@@ -620,31 +635,38 @@ class TuningFlow:
     ) -> List[TuningComparison]:
         """Evaluate many (period, method, parameter) points.
 
-        With ``n_workers > 1`` *and* the on-disk store enabled, the
-        points fan out over worker processes (the store is the shared
-        medium — baselines are synthesized once, artifacts are written
-        atomically, and reassembly follows ``points`` order, so the
-        result list is bit-identical to the serial path).  Otherwise
-        the points run serially through :meth:`compare`.
+        With an out-of-process backend *and* the on-disk store enabled,
+        the points fan out over the configured
+        :class:`~repro.parallel.backends.ExecutorBackend` (the store is
+        the shared medium — baselines are synthesized once, artifacts
+        are written atomically, and reassembly follows ``points``
+        order, so the result list is bit-identical to the serial path).
+        Otherwise the points run serially through :meth:`compare`.
         """
-        from repro.parallel import resolve_jobs
+        from repro.parallel.backends import resolve_backend
 
         points = [(p, self._method(m).name, v) for (p, m, v) in points]
-        jobs = resolve_jobs(self.config.n_workers)
-        if jobs <= 1 or self._store is None or len(points) <= 1:
+        backend = resolve_backend(self.config.backend, self.config.n_workers)
+        if backend.in_process or self._store is None or len(points) <= 1:
             return [self.compare(p, m, v) for (p, m, v) in points]
-        # characterize (and persist) the library before forking so the
-        # workers all load the same cached artifact instead of racing
-        # to recompute it
+        # characterize (and persist) the library before dispatching so
+        # the workers all load the same cached artifact instead of
+        # racing to recompute it
         self.statistical_library
-        n_workers = min(jobs, len(points))
         tracer = self.tracer
-        with tracer.span("flow.sweep", points=len(points), workers=n_workers):
+        with tracer.span(
+            "flow.sweep",
+            points=len(points),
+            workers=backend.n_workers,
+            backend=backend.name,
+        ):
             start = time.perf_counter()
-            comparisons = sweep_comparisons(self.config, points, n_workers)
+            comparisons = sweep_comparisons(
+                self.config, points, backend.n_workers, backend=backend
+            )
             self._pipeline.note(
                 "sweep",
-                f"{len(points)}pts@{n_workers}w",
+                f"{len(points)}pts@{backend.n_workers}w",
                 "computed",
                 time.perf_counter() - start,
             )

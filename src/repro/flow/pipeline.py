@@ -30,21 +30,21 @@ hit/miss, wall time) to the flow's :class:`RunManifest`, surfaced via
 stats``.
 
 The sweep fan-out (:func:`sweep_comparisons`) runs independent
-``(clock period, method, parameter)`` evaluation points on a
-:class:`~concurrent.futures.ProcessPoolExecutor`.  Workers rebuild the
+``(clock period, method, parameter)`` evaluation points on the
+configured :class:`~repro.parallel.backends.ExecutorBackend` (serial,
+process pool, or the spooled work-queue stub).  Workers rebuild the
 flow from the (picklable) config, hit the shared on-disk caches for the
 library and the per-period baselines, and return plain
 :class:`~repro.flow.metrics.TuningComparison` values which the parent
 reassembles in submission order — deterministic and bit-identical to
-the serial path, because every stage is a pure function of its
-fingerprinted inputs.
+the serial path on every backend, because every stage is a pure
+function of its fingerprinted inputs.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -358,7 +358,9 @@ def _sweep_worker(config, point: SweepPoint, trace=None):
         method=method or "baseline",
         parameter=parameter,
     ):
-        flow = TuningFlow(dataclasses.replace(config, n_workers=1))
+        flow = TuningFlow(
+            dataclasses.replace(config, n_workers=1, backend="serial")
+        )
         if method is None:
             flow.baseline(period)
             result = None
@@ -372,8 +374,9 @@ def sweep_comparisons(
     config,
     points: Sequence[SweepPoint],
     n_workers: int,
+    backend=None,
 ) -> List:
-    """Fan independent sweep points out over worker processes.
+    """Fan independent sweep points out over the selected backend.
 
     Two phases keep the work non-redundant: the unique clock periods'
     baselines are synthesized (and stored) first, then every tuned
@@ -382,15 +385,21 @@ def sweep_comparisons(
     bit-identical to the serial path because every stage is a pure
     function of its fingerprinted inputs.
 
-    The worker trace handle is captured *here*, in the submitting
-    thread, while the caller's sweep span is still open — the executor
-    pickles arguments from its queue-feeder thread, where the
-    thread-local span stack is empty and the parent link would be lost.
+    ``backend`` overrides the config's backend selection (a name or an
+    :class:`~repro.parallel.backends.ExecutorBackend`); worker-trace
+    plumbing lives inside the backend, which captures the active
+    tracer's handle in the submitting thread.
     """
-    tracer = getattr(config, "tracer", None) or get_tracer()
-    trace = tracer.handle()
+    from repro.parallel.backends import resolve_backend
+
     if getattr(config, "tracer", None) is not None:
+        # the flow installed it as the active tracer already; workers
+        # join through the backend's trace handle instead of pickling
+        # a whole tracer per task
         config = dataclasses.replace(config, tracer=None)
+    if backend is None:
+        backend = getattr(config, "backend", None)
+    resolved = resolve_backend(backend, n_workers)
     points = list(points)
     baseline_points: List[SweepPoint] = []
     seen_periods = set()
@@ -398,13 +407,9 @@ def sweep_comparisons(
         if period not in seen_periods:
             seen_periods.add(period)
             baseline_points.append((period, None, 0.0))
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        for future in [
-            pool.submit(_sweep_worker, config, point, trace)
-            for point in baseline_points
-        ]:
-            future.result()
-        futures = [
-            pool.submit(_sweep_worker, config, point, trace) for point in points
-        ]
-        return [future.result() for future in futures]
+    resolved.map_tasks(
+        _sweep_worker, [(config, point) for point in baseline_points]
+    )
+    return resolved.map_tasks(
+        _sweep_worker, [(config, point) for point in points]
+    )

@@ -20,6 +20,11 @@ but the language cannot enforce:
   be module-level: lambdas, nested functions and bound methods either
   fail to pickle or drag the enclosing object across the process
   boundary.
+* **PROC003** — ``ProcessPoolExecutor`` is constructed in exactly one
+  place, :mod:`repro.parallel.backends`; every other module dispatches
+  through an :class:`~repro.parallel.backends.ExecutorBackend`.  A raw
+  pool at a fan-out site silently bypasses backend selection, the
+  single-worker serial fallback and the worker-tracer plumbing.
 * **API001** — library code raises :mod:`repro.errors` types; bare
   ``raise Exception`` gives callers nothing to catch and ``assert``
   disappears under ``python -O``.
@@ -499,6 +504,51 @@ class Proc002ModuleLevelExecutorCallables(Rule):
             self._check_callable(node.args[0], context, node.func.attr)
 
 
+class Proc003BackendDispatchOnly(Rule):
+    """PROC003: process pools are built only by the backends module."""
+
+    rule_id = "PROC003"
+    title = "raw ProcessPoolExecutor outside repro.parallel.backends"
+    hint = (
+        "dispatch through repro.parallel.backends.resolve_backend(...)."
+        "map_tasks(fn, tasks) instead of constructing a pool"
+    )
+    rationale = (
+        "every fan-out site must honor the configured ExecutorBackend "
+        "(FlowConfig(backend=...) / REPRO_BACKEND / --backend); a raw "
+        "ProcessPoolExecutor bypasses backend selection, the "
+        "single-worker serial fallback and the worker-tracer capture "
+        "that merges worker spans into the parent trace"
+    )
+    node_types = (ast.Call,)
+
+    #: The one module allowed to construct pools (it *implements* the
+    #: process and queue backends).
+    _BACKENDS_MODULE = "repro.parallel.backends"
+
+    _EXECUTOR_TYPES = (
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.process.ProcessPoolExecutor",
+    )
+
+    def applies_to(self, context: FileContext) -> bool:
+        """Every library module except the backends implementation."""
+        return (
+            context.module == "repro" or context.module.startswith("repro.")
+        ) and context.module != self._BACKENDS_MODULE
+
+    def visit(self, node: ast.Call, context: FileContext) -> None:
+        """Flag any ProcessPoolExecutor construction."""
+        name, known = context.resolved_call_name(node)
+        if known and name in self._EXECUTOR_TYPES:
+            context.report(
+                self, node,
+                f"ProcessPoolExecutor constructed in '{context.module}' — "
+                "fan out through an ExecutorBackend (see "
+                "repro.parallel.backends)",
+            )
+
+
 class Api001ErrorDiscipline(Rule):
     """API001: library errors go through :mod:`repro.errors`."""
 
@@ -547,6 +597,7 @@ DEFAULT_RULES: Tuple[Rule, ...] = (
     Det002UnorderedFingerprintInput(),
     Proc001SingleShotAppend(),
     Proc002ModuleLevelExecutorCallables(),
+    Proc003BackendDispatchOnly(),
     Api001ErrorDiscipline(),
 )
 

@@ -23,6 +23,12 @@ from repro.netlist.generators.microcontroller import (
     MicrocontrollerParams,
     build_microcontroller,
 )
+from repro.netlist.generators.family import (
+    DESIGN_PRESETS,
+    DesignSpec,
+    design_family,
+    design_spec,
+)
 
 __all__ = [
     "build_ripple_adder",
@@ -45,4 +51,8 @@ __all__ = [
     "gpio_block",
     "MicrocontrollerParams",
     "build_microcontroller",
+    "DESIGN_PRESETS",
+    "DesignSpec",
+    "design_family",
+    "design_spec",
 ]

@@ -61,12 +61,18 @@ class MicrocontrollerParams:
     n_uarts: int = 2
     #: GPIO width.
     gpio_width: int = 16
+    #: Extra bus-return register stages before writeback (1 = the
+    #: paper's 3-stage organization; deeper values trade latency for
+    #: shorter memory-return paths, the family's pipeline axis).
+    pipeline_depth: int = 1
     #: Seed for the random control structures.
     seed: int = 2014
 
     def __post_init__(self) -> None:
         if self.width < 8:
             raise NetlistError("width must be >= 8")
+        if self.pipeline_depth < 1:
+            raise NetlistError("pipeline_depth must be >= 1")
         if self.mult_width > self.width:
             raise NetlistError("mult_width cannot exceed the datapath width")
         if 3 + 3 * self.regfile_bits > self.width:
@@ -198,6 +204,8 @@ def build_microcontroller(
 
     # Writeback -----------------------------------------------------------
     with b.scope("writeback"):
+        for _ in range(p.pipeline_depth - 1):
+            bus_rdata = b.register(bus_rdata, reset_n=rst_n)
         exec_result = b.mux_word(alu.result, product_reg, alu_op[2])
         for i in range(width):
             b.mux2(exec_result[i], bus_rdata[i], mem_to_reg, out=writeback_nets[i])

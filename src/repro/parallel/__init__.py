@@ -22,10 +22,20 @@ provides the two halves:
   delay model.  Writes are atomic (temp file + ``os.replace``) so a
   killed run can never poison later runs.
 
-Both layers thread through :class:`~repro.characterization.
-characterize.Characterizer` (``n_workers=...``, ``cache=...``),
-:class:`~repro.flow.experiment.FlowConfig` and the ``python -m repro``
-CLI (``--jobs``, ``--no-cache``, ``cache stats|clear``).
+* :mod:`repro.parallel.backends` — the pluggable execution layer every
+  fan-out site dispatches through: an :class:`~repro.parallel.
+  backends.ExecutorBackend` interface with ``serial`` (in-process,
+  zero-copy — also the automatic single-worker fallback), ``process``
+  (local :class:`~concurrent.futures.ProcessPoolExecutor`) and
+  ``queue`` (a multi-host work-queue stub over a spooled task
+  directory) implementations, selected via ``FlowConfig(backend=...)``
+  / ``REPRO_BACKEND`` / ``--backend``.
+
+All layers thread through :class:`~repro.characterization.
+characterize.Characterizer` (``n_workers=...``, ``cache=...``,
+``backend=...``), :class:`~repro.flow.experiment.FlowConfig` and the
+``python -m repro`` CLI (``--jobs``, ``--backend``, ``--no-cache``,
+``cache stats|clear``).
 """
 
 from __future__ import annotations
@@ -34,14 +44,34 @@ import os
 
 from repro.errors import ReproError
 from repro.parallel.artifacts import ArtifactStats, ArtifactStore
+from repro.parallel.backends import (
+    BACKEND_NAMES,
+    DEFAULT_BACKEND,
+    ExecutorBackend,
+    ProcessBackend,
+    QueueBackend,
+    SerialBackend,
+    chunk_indices,
+    resolve_backend,
+    validate_backend,
+)
 from repro.parallel.cache import CacheStats, LibraryCache
 
 __all__ = [
     "ArtifactStats",
     "ArtifactStore",
+    "BACKEND_NAMES",
     "CacheStats",
+    "DEFAULT_BACKEND",
+    "ExecutorBackend",
     "LibraryCache",
+    "ProcessBackend",
+    "QueueBackend",
+    "SerialBackend",
+    "chunk_indices",
+    "resolve_backend",
     "resolve_jobs",
+    "validate_backend",
 ]
 
 

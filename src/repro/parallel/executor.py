@@ -1,10 +1,14 @@
-"""Process-pool fan-out for Monte-Carlo characterization.
+"""Backend fan-out for Monte-Carlo characterization.
 
 Sharding strategy: cells are split into contiguous chunks (a few per
 worker for load balance — drive strengths, and with them LUT sizes and
 arc counts, vary across the catalog), and for per-sample libraries the
 sample axis is additionally split into blocks, so one task is a
-(cell chunk, sample block) tile.
+(cell chunk, sample block) tile.  The tiles are dispatched through a
+pluggable :class:`~repro.parallel.backends.ExecutorBackend` — the
+in-process serial backend, a local process pool, or the spooled
+work-queue stub — selected via ``FlowConfig(backend=...)`` /
+``REPRO_BACKEND`` / ``--backend``.
 
 Determinism: a worker receives only (characterizer, spec chunk,
 n_samples, seed) and regenerates its cells' draws locally via
@@ -12,38 +16,35 @@ n_samples, seed) and regenerates its cells' draws locally via
 sample_arc_draws`.  Because draws are keyed per cell by
 ``(seed, sha256(cell name))``, the regenerated arrays are bit-identical
 to the ones the serial loop draws, so the resulting LUTs are
-bit-identical too (same IEEE-754 operations on the same inputs).  The
-die-level global draws are a single tiny stream; they are drawn once in
-the parent and shipped to every worker.
+bit-identical too (same IEEE-754 operations on the same inputs) — on
+every backend, for any worker count and any chunking.  The die-level
+global draws are a single tiny stream; they are drawn once in the
+parent and shipped to every worker.
 
-The hot payload crossing process boundaries is therefore small going in
-(specs and configuration) and exactly the characterized cells coming
-back.
+The hot payload crossing the dispatch boundary is therefore small
+going in (specs and configuration) and exactly the characterized cells
+coming back.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Union
 
 from repro.characterization.characterize import Characterizer, GlobalDraws
 from repro.cells.catalog import CellSpec
 from repro.liberty.model import Cell
-from repro.observe import TraceHandle, get_tracer, install_worker_tracer
+from repro.observe import TraceHandle, install_worker_tracer
+from repro.parallel.backends import (
+    ExecutorBackend,
+    chunk_indices,
+    resolve_backend,
+)
 
-
-def chunk_indices(n_items: int, n_chunks: int) -> List[range]:
-    """Split ``range(n_items)`` into at most ``n_chunks`` balanced,
-    contiguous ranges (earlier chunks at most one element larger)."""
-    n_chunks = max(1, min(n_chunks, n_items))
-    base, extra = divmod(n_items, n_chunks)
-    ranges: List[range] = []
-    start = 0
-    for chunk in range(n_chunks):
-        size = base + (1 if chunk < extra else 0)
-        ranges.append(range(start, start + size))
-        start += size
-    return ranges
+__all__ = [
+    "characterize_sample_cells",
+    "characterize_statistical_cells",
+    "chunk_indices",
+]
 
 
 def _statistical_chunk(
@@ -109,29 +110,21 @@ def characterize_statistical_cells(
     n_samples: int,
     seed: int,
     global_draws: Optional[GlobalDraws],
-    n_workers: int,
+    n_workers: int = 1,
+    backend: Union[str, ExecutorBackend, None] = None,
 ) -> List[Cell]:
-    """Fan the statistical characterization of ``specs`` out over
-    ``n_workers`` processes; returns cells in catalog order."""
+    """Fan the statistical characterization of ``specs`` out over the
+    selected backend; returns cells in catalog order."""
     specs = list(specs)
-    chunks = chunk_indices(len(specs), 4 * n_workers)
-    trace = get_tracer().handle()
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        futures = [
-            pool.submit(
-                _statistical_chunk,
-                characterizer,
-                [specs[i] for i in chunk],
-                n_samples,
-                seed,
-                global_draws,
-                trace,
-            )
-            for chunk in chunks
-        ]
-        cells: List[Cell] = []
-        for future in futures:
-            cells.extend(future.result())
+    resolved = resolve_backend(backend, n_workers)
+    chunks = chunk_indices(len(specs), 4 * resolved.n_workers)
+    tasks = [
+        (characterizer, [specs[i] for i in chunk], n_samples, seed, global_draws)
+        for chunk in chunks
+    ]
+    cells: List[Cell] = []
+    for tile in resolved.map_tasks(_statistical_chunk, tasks):
+        cells.extend(tile)
     return cells
 
 
@@ -141,7 +134,8 @@ def characterize_sample_cells(
     n_samples: int,
     seed: int,
     global_draws: Optional[GlobalDraws],
-    n_workers: int,
+    n_workers: int = 1,
+    backend: Union[str, ExecutorBackend, None] = None,
 ) -> List[List[Cell]]:
     """Fan per-sample characterization out over (cell, sample) tiles.
 
@@ -154,37 +148,35 @@ def characterize_sample_cells(
     the (cell chunk, sample block) tiling for load balance.
     """
     specs = list(specs)
+    resolved = resolve_backend(backend, n_workers)
     if characterizer.kernel == "vectorized":
-        cell_chunks = chunk_indices(len(specs), 4 * n_workers)
+        cell_chunks = chunk_indices(len(specs), 4 * resolved.n_workers)
         sample_blocks = [range(n_samples)]
     else:
-        cell_chunks = chunk_indices(len(specs), 2 * n_workers)
-        sample_blocks = chunk_indices(n_samples, n_workers)
-    trace = get_tracer().handle()
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        tiles: List[Tuple[range, range, object]] = []
-        for block in sample_blocks:
-            for chunk in cell_chunks:
-                tiles.append((
-                    block,
-                    chunk,
-                    pool.submit(
-                        _sample_chunk,
-                        characterizer,
-                        [specs[i] for i in chunk],
-                        n_samples,
-                        seed,
-                        global_draws,
-                        list(block),
-                        trace,
-                    ),
-                ))
-        cells: List[List[Optional[Cell]]] = [
-            [None] * len(specs) for _ in range(n_samples)
-        ]
-        for block, chunk, future in tiles:
-            tile = future.result()
-            for row, k in enumerate(block):
-                for column, i in enumerate(chunk):
-                    cells[k][i] = tile[row][column]
+        cell_chunks = chunk_indices(len(specs), 2 * resolved.n_workers)
+        sample_blocks = chunk_indices(n_samples, resolved.n_workers)
+    tiles = [
+        (block, chunk)
+        for block in sample_blocks
+        for chunk in cell_chunks
+    ]
+    tasks = [
+        (
+            characterizer,
+            [specs[i] for i in chunk],
+            n_samples,
+            seed,
+            global_draws,
+            list(block),
+        )
+        for block, chunk in tiles
+    ]
+    results = resolved.map_tasks(_sample_chunk, tasks)
+    cells: List[List[Optional[Cell]]] = [
+        [None] * len(specs) for _ in range(n_samples)
+    ]
+    for (block, chunk), tile in zip(tiles, results):
+        for row, k in enumerate(block):
+            for column, i in enumerate(chunk):
+                cells[k][i] = tile[row][column]
     return cells

@@ -1,0 +1,38 @@
+"""The design-family sweep harness with incremental recharacterization.
+
+The paper evaluates its tuning methods on one design; this package
+sweeps them across the whole design family (:mod:`repro.netlist.
+generators.family`) without redoing work the artifact store already
+holds.  :func:`~repro.sweep.driver.run_sweep` expands a
+``design x method x parameter x clock`` grid, diffs every point's
+chained content fingerprints against the store, schedules **only the
+stale points** onto the configured execution backend
+(:mod:`repro.parallel.backends`), and collects every comparison — warm
+and fresh alike — through the store.  A warm re-run of the same grid
+schedules nothing and performs zero synthesis or characterization
+calls (CI asserts this).
+
+``python -m repro sweep`` is the CLI face: ``--designs/--methods/
+--parameters/--clocks`` shape the grid, ``--report`` writes the
+markdown grid report (:mod:`repro.sweep.report`), and
+``--expect-warm`` turns the zero-recharacterization property into an
+exit code.
+"""
+
+from repro.sweep.driver import (
+    GridPoint,
+    PointResult,
+    SweepGrid,
+    SweepResult,
+    run_sweep,
+)
+from repro.sweep.report import render_sweep_report
+
+__all__ = [
+    "GridPoint",
+    "PointResult",
+    "SweepGrid",
+    "SweepResult",
+    "render_sweep_report",
+    "run_sweep",
+]

@@ -1,0 +1,110 @@
+"""Markdown grid report of one sweep run.
+
+Three sections: a header summarizing the grid shape and how much of it
+was actually recomputed (the incremental story in two numbers), one
+recharacterization grid per design showing each ``method x clock``
+cell's status, and the flat results table with every point's sigma
+reduction and area increase.  The output is plain GitHub-flavored
+markdown — CI uploads it as the sweep artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.sweep.driver import PointResult, SweepResult
+
+__all__ = ["render_sweep_report"]
+
+#: Status -> grid-cell mark (counts annotate partially warm cells).
+_MARKS = {"hit": "hit", "skip": "skip", "run": "run"}
+
+
+def _status_cell(statuses: List[str]) -> str:
+    """Summarize the statuses of one (design, method, clock) cell —
+    one word when uniform, per-status counts when mixed."""
+    unique = sorted(set(statuses))
+    if len(unique) == 1:
+        count = len(statuses)
+        mark = _MARKS[unique[0]]
+        return mark if count == 1 else f"{mark} x{count}"
+    return ", ".join(
+        f"{_MARKS[status]} x{statuses.count(status)}" for status in unique
+    )
+
+
+def _design_grid(design: str, results: List[PointResult]) -> List[str]:
+    """The ``method x clock`` status grid of one design."""
+    methods = list(dict.fromkeys(r.point.method for r in results))
+    clocks = sorted(set(r.point.clock_period for r in results))
+    lines = [
+        f"### {design}",
+        "",
+        "| method | " + " | ".join(f"{c:g} ns" for c in clocks) + " |",
+        "|---" * (len(clocks) + 1) + "|",
+    ]
+    for method in methods:
+        cells = []
+        for clock in clocks:
+            statuses = [
+                r.status
+                for r in results
+                if r.point.method == method and r.point.clock_period == clock
+            ]
+            cells.append(_status_cell(statuses) if statuses else "-")
+        lines.append(f"| {method} | " + " | ".join(cells) + " |")
+    lines.append("")
+    return lines
+
+
+def render_sweep_report(result: SweepResult) -> str:
+    """Render the full markdown report of one sweep run."""
+    counts = result.counts
+    total = len(result.results)
+    lines = [
+        "# Design-family sweep",
+        "",
+        f"- grid: {len(result.grid.designs)} designs x "
+        f"{total // max(1, len(result.grid.designs))} points each "
+        f"= {total} points",
+        f"- backend: {result.backend}",
+        f"- recomputed: {counts['run']} run, {counts['skip']} skip "
+        f"(shared baseline only), {counts['hit']} hit "
+        f"({result.scheduled} tasks dispatched)",
+        f"- statistical library: `{result.statlib_key[:12]}`",
+        f"- wall: {result.wall:.1f}s",
+        "",
+        "## Recharacterization",
+        "",
+    ]
+    by_design: Dict[str, List[PointResult]] = {}
+    for point_result in result.results:
+        by_design.setdefault(point_result.point.design, []).append(
+            point_result
+        )
+    for design, design_results in by_design.items():
+        lines.extend(_design_grid(design, design_results))
+    lines.extend(
+        [
+            "## Results",
+            "",
+            "| design | method | parameter | clock (ns) | status "
+            "| sigma | area |",
+            "|---|---|---|---|---|---|---|",
+        ]
+    )
+    for point_result in result.results:
+        point = point_result.point
+        comparison = point_result.comparison
+        sigma = (
+            f"{comparison.sigma_reduction:+.1%}"
+            if comparison.tuned_met
+            else "infeasible"
+        )
+        lines.append(
+            f"| {point.design} | {point.method} | {point.parameter:g} "
+            f"| {point.clock_period:g} | {point_result.status} "
+            f"| {sigma} | {comparison.area_increase:+.1%} |"
+        )
+    lines.append("")
+    return "\n".join(lines)

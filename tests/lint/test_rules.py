@@ -18,6 +18,9 @@ ENGINE = LintEngine(DEFAULT_RULES)
 ZONE = "src/repro/flow/fake_stage.py"
 #: A module path outside them (observability is exempt).
 OUTSIDE = "src/repro/observe/fake_sink.py"
+#: The one module allowed to construct process pools (PROC003), used
+#: by the PROC002 snippets so they exercise exactly one rule.
+BACKENDS = "src/repro/parallel/backends.py"
 
 
 def lint(code, path=ZONE):
@@ -241,7 +244,7 @@ class TestProc002:
                 with ProcessPoolExecutor() as pool:
                     return [pool.submit(lambda x: x + 1, i) for i in items]
         """
-        findings = lint(code, path=OUTSIDE)
+        findings = lint(code, path=BACKENDS)
         assert [f.rule_id for f in findings] == ["PROC002"]
         assert "lambda" in findings[0].message
 
@@ -255,7 +258,7 @@ class TestProc002:
                 with ProcessPoolExecutor() as pool:
                     return [pool.submit(work, i) for i in items]
         """
-        assert rule_ids(code, path=OUTSIDE) == ["PROC002"]
+        assert rule_ids(code, path=BACKENDS) == ["PROC002"]
 
     def test_bound_method_submit_fires(self):
         code = """
@@ -269,7 +272,7 @@ class TestProc002:
                     with ProcessPoolExecutor() as pool:
                         return [pool.submit(self.work, i) for i in items]
         """
-        assert rule_ids(code, path=OUTSIDE) == ["PROC002"]
+        assert rule_ids(code, path=BACKENDS) == ["PROC002"]
 
     def test_executor_map_with_lambda_fires(self):
         code = """
@@ -279,7 +282,7 @@ class TestProc002:
                 pool = concurrent.futures.ProcessPoolExecutor(max_workers=2)
                 return list(pool.map(lambda x: x * 2, items))
         """
-        assert rule_ids(code, path=OUTSIDE) == ["PROC002"]
+        assert rule_ids(code, path=BACKENDS) == ["PROC002"]
 
     def test_module_level_function_is_clean(self):
         code = """
@@ -292,7 +295,7 @@ class TestProc002:
                 with ProcessPoolExecutor() as pool:
                     return [pool.submit(work, i) for i in items]
         """
-        assert rule_ids(code, path=OUTSIDE) == []
+        assert rule_ids(code, path=BACKENDS) == []
 
     def test_partial_over_module_function_is_clean(self):
         code = """
@@ -323,8 +326,8 @@ class TestProc002:
                         for i in items
                     ]
         """
-        assert rule_ids(code, path=OUTSIDE) == []
-        assert rule_ids(code2, path=OUTSIDE) == []
+        assert rule_ids(code, path=BACKENDS) == []
+        assert rule_ids(code2, path=BACKENDS) == []
 
     def test_thread_pool_is_exempt(self):
         # ThreadPoolExecutor shares memory; closures are fine there.
@@ -335,7 +338,66 @@ class TestProc002:
                 with ThreadPoolExecutor() as pool:
                     return [pool.submit(lambda x: x + 1, i) for i in items]
         """
+        assert rule_ids(code, path=BACKENDS) == []
+
+
+class TestProc003:
+    def test_pool_in_flow_module_fires(self):
+        code = """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fan_out(work, items):
+                with ProcessPoolExecutor(max_workers=4) as pool:
+                    futures = [pool.submit(work, i) for i in items]
+                    return [f.result() for f in futures]
+        """
+        findings = lint(code)
+        assert "PROC003" in [f.rule_id for f in findings]
+        assert "ExecutorBackend" in findings[0].message
+
+    def test_dotted_constructor_fires(self):
+        code = """
+            import concurrent.futures
+
+            def fan_out(work, items):
+                pool = concurrent.futures.ProcessPoolExecutor(2)
+                return list(pool.map(work, items))
+        """
+        assert "PROC003" in rule_ids(code, path=OUTSIDE)
+
+    def test_backends_module_is_exempt(self):
+        code = """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fan_out(work, items):
+                with ProcessPoolExecutor(max_workers=4) as pool:
+                    futures = [pool.submit(work, i) for i in items]
+                    return [f.result() for f in futures]
+        """
+        assert rule_ids(code, path=BACKENDS) == []
+
+    def test_thread_pool_is_exempt(self):
+        code = """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def fan_out(work, items):
+                with ThreadPoolExecutor() as pool:
+                    return list(pool.map(work, items))
+        """
         assert rule_ids(code, path=OUTSIDE) == []
+
+    def test_code_outside_repro_is_exempt(self):
+        code = """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fan_out(work, items):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(work, items))
+        """
+        import textwrap
+        assert ENGINE.lint_source(
+            textwrap.dedent(code), path="tools/helper.py", module="tools.helper"
+        ) == []
 
 
 class TestApi001:
@@ -386,7 +448,8 @@ class TestApi001:
 
 
 @pytest.mark.parametrize(
-    "rule_id", ["DET001", "DET002", "PROC001", "PROC002", "API001"]
+    "rule_id",
+    ["DET001", "DET002", "PROC001", "PROC002", "PROC003", "API001"],
 )
 def test_every_rule_has_metadata(rule_id):
     rule = next(r for r in DEFAULT_RULES if r.rule_id == rule_id)
