@@ -26,7 +26,11 @@ The package implements the paper's full flow from scratch:
   all of it (:mod:`repro.observe`);
 * a static-analysis layer enforcing the determinism, process-safety
   and picklability contracts the execution layer depends on
-  (:mod:`repro.lint`, ``python -m repro lint``).
+  (:mod:`repro.lint`, ``python -m repro lint``);
+* tuning-as-a-service: an asyncio HTTP API with typed request/response
+  schemas, in-flight request coalescing on content fingerprints,
+  bounded backpressure and a first-class client
+  (:mod:`repro.serve`, ``python -m repro serve``).
 
 The names below are the curated public surface, re-exported lazily
 (PEP 562) so ``import repro`` stays fast and dependency-free — nothing
@@ -70,9 +74,15 @@ _EXPORTS = {
     "LintEngine": "repro.lint.engine",
     "RunLedger": "repro.observe.ledger",
     "RunRecord": "repro.observe.ledger",
+    "StatusRequest": "repro.serve.schema",
+    "SweepRequest": "repro.serve.schema",
     "SynthesisRun": "repro.flow.experiment",
     "Tracer": "repro.observe.tracer",
+    "TuneRequest": "repro.serve.schema",
+    "TuningClient": "repro.serve.client",
     "TuningFlow": "repro.flow.experiment",
+    "TuningServer": "repro.serve.server",
+    "TuningService": "repro.serve.handlers",
     "build_catalog": "repro.cells.catalog",
     "get_kernel": "repro.kernels",
     "set_kernel": "repro.kernels",

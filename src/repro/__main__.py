@@ -23,6 +23,7 @@ Usage::
     python -m repro lint                  # AST contract checker (DESIGN.md §13)
     python -m repro lint --format json    # machine-readable findings
     python -m repro lint --update-baseline    # ratchet committed debt down
+    python -m repro serve --port 8731     # tuning-as-a-service HTTP API
     REPRO_SCALE=paper python -m repro run table1   # full-scale flow
 
 Every pipeline stage (characterized library, tuning, synthesis, worst
@@ -286,6 +287,31 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rewrite the baseline from the latest matching run instead "
         "of checking (the refresh path after an intended change)",
     )
+
+    serve_parser = sub.add_parser(
+        "serve",
+        parents=[shared],
+        help="serve tuning requests over HTTP (asyncio, request "
+        "coalescing, bounded backpressure; see repro.serve)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="address to bind (default 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8731, metavar="N",
+        help="port to bind (default 8731; 0 = ephemeral)",
+    )
+    serve_parser.add_argument(
+        "--scale", choices=("tiny", "quick", "paper"), default=None,
+        help="default flow scale for requests that name none "
+        "(default from REPRO_SCALE)",
+    )
+    serve_parser.add_argument(
+        "--max-pending", type=int, default=8, metavar="N",
+        help="concurrent backend submissions before requests are "
+        "rejected with 429 (default 8)",
+    )
     return parser
 
 
@@ -384,6 +410,50 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _run_serve_command(args: argparse.Namespace) -> int:
+    """Handle ``python -m repro serve`` — the tuning service.
+
+    Blocks until interrupted.  Exit 2 when the server cannot start
+    (invalid config — e.g. ``--no-cache``, which the service rejects
+    because warm hits stream from the artifact store).
+    """
+    from repro.errors import ConfigError
+    from repro.flow.experiment import FlowConfig
+    from repro.serve.server import TuningServer
+
+    tracer = _build_run_tracer(args)
+    try:
+        config = FlowConfig.from_env(
+            scale=args.scale,
+            jobs=args.jobs,
+            kernel=args.kernel,
+            backend=args.backend,
+            cache=False if args.no_cache else None,
+            tracer=tracer,
+        )
+        server = TuningServer(
+            config=config,
+            host=args.host,
+            port=args.port,
+            max_pending=args.max_pending,
+        )
+    except ConfigError as error:
+        print(f"serve cannot start: {error}", file=sys.stderr)
+        return 2
+    try:
+        server.run()
+    except OSError as error:
+        print(
+            f"serve cannot bind {args.host}:{args.port}: {error}",
+            file=sys.stderr,
+        )
+        return 2
+    finally:
+        if tracer is not None:
+            _report_trace(tracer, args)
     return 0
 
 
@@ -538,10 +608,14 @@ def main(argv: List[str]) -> int:
         return 0
     if args.command in ("store", "cache"):
         if args.command == "cache":
-            print(
-                "note: 'cache' is deprecated; use 'python -m repro store "
+            import warnings
+
+            warnings.warn(
+                "the 'cache' subcommand is deprecated and will be removed "
+                "in the next major release; use 'python -m repro store "
                 f"{args.action}'",
-                file=sys.stderr,
+                DeprecationWarning,
+                stacklevel=2,
             )
         return _run_store_command(args.action)
     if args.command == "lint":
@@ -556,6 +630,8 @@ def main(argv: List[str]) -> int:
         return _run_report_command(args)
     if args.command == "check":
         return _run_check_command(args)
+    if args.command == "serve":
+        return _run_serve_command(args)
 
     if args.all:
         ids = list(ALL_EXPERIMENTS)

@@ -75,6 +75,35 @@ class ObservabilityError(ReproError):
     """Raised by the tracing/metrics layer (:mod:`repro.observe`)."""
 
 
+class ServeError(ReproError):
+    """Raised by the tuning service (:mod:`repro.serve`).
+
+    Covers transport and protocol failures — a malformed HTTP exchange,
+    an unreachable server, a response the client cannot decode.  Request
+    *validation* problems raise :class:`RequestError` instead.
+    """
+
+
+class RequestError(ServeError):
+    """Raised for an invalid service request payload.
+
+    The serve schema (:mod:`repro.serve.schema`) validates strictly —
+    wrong schema version, unknown kind, missing or mistyped fields,
+    unrecognized extra fields — and every violation raises this type so
+    the server can map it to a structured 400 response (never a
+    traceback).
+    """
+
+
+class ServerBusyError(ServeError):
+    """Raised when the service's dispatch queue is full.
+
+    The bounded backpressure signal: the server maps it to a 429
+    response, and the client surfaces it so callers can retry later
+    instead of piling more work onto a saturated worker pool.
+    """
+
+
 class LintError(ReproError):
     """Raised by the static-analysis layer (:mod:`repro.lint`).
 

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import sys
 import time
-from dataclasses import replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
@@ -91,28 +90,21 @@ def build_context(
 ) -> ExperimentContext:
     """An :class:`ExperimentContext` honoring the execution knobs.
 
-    Starts from :meth:`~repro.flow.experiment.FlowConfig.
-    from_environment` (``REPRO_SCALE``, ``REPRO_JOBS``,
-    ``REPRO_KERNEL``, ``REPRO_BACKEND``) and overrides the
-    characterization worker count, the on-disk library cache, the
-    tracer, the evaluation kernel and/or the execution backend when
-    the corresponding argument is not ``None``.
+    A thin veneer over :meth:`~repro.flow.experiment.FlowConfig.
+    from_env`, which resolves every knob with the same precedence —
+    explicit argument > environment (``REPRO_SCALE``, ``REPRO_JOBS``,
+    ``REPRO_KERNEL``, ``REPRO_BACKEND``) > default — so the CLI flags
+    and the environment can never disagree about who wins.
     """
     from repro.flow.experiment import FlowConfig, TuningFlow
-    from repro.kernels.dispatch import validate_kernel
-    from repro.parallel.backends import validate_backend
 
-    config = FlowConfig.from_environment()
-    if jobs is not None:
-        config = replace(config, n_workers=jobs)
-    if cache is not None:
-        config = replace(config, cache=cache)
-    if tracer is not None:
-        config = replace(config, tracer=tracer)
-    if kernel is not None:
-        config = replace(config, kernel=validate_kernel(kernel))
-    if backend is not None:
-        config = replace(config, backend=validate_backend(backend))
+    config = FlowConfig.from_env(
+        jobs=jobs,
+        kernel=kernel,
+        backend=backend,
+        cache=cache,
+        tracer=tracer,
+    )
     return ExperimentContext(TuningFlow(config))
 
 

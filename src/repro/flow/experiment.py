@@ -169,51 +169,92 @@ class FlowConfig:
         return "custom"
 
     @staticmethod
-    def from_environment() -> "FlowConfig":
-        """Build a config from environment knobs, validating them.
+    def from_env(
+        scale: Optional[str] = None,
+        jobs: Optional[int] = None,
+        kernel: Optional[str] = None,
+        backend: Optional[str] = None,
+        cache: Optional[bool] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> "FlowConfig":
+        """The single resolver for every execution knob.
 
-        ``REPRO_SCALE=paper|quick|tiny`` selects the scale (default
-        ``quick``); ``REPRO_JOBS=N`` sets the worker count for
-        characterization and sweep fan-out (0 = one per CPU);
-        ``REPRO_KERNEL=vectorized|scalar`` selects the evaluation
-        kernel (see :mod:`repro.kernels`);
-        ``REPRO_BACKEND=serial|process|queue`` selects the execution
-        backend (see :mod:`repro.parallel.backends`).  Any other value
-        — a typo'd scale, kernel or backend, a non-integer or negative
+        Each knob resolves with the same precedence: **explicit
+        argument > environment variable > default**.  The knob table:
+
+        =========  =================  ====================================
+        argument   environment        meaning (default)
+        =========  =================  ====================================
+        scale      ``REPRO_SCALE``    named scale, ``quick``/``paper``/
+                                      ``tiny`` (``quick``)
+        jobs       ``REPRO_JOBS``     worker count, 0 = one per CPU (1)
+        kernel     ``REPRO_KERNEL``   evaluation kernel (``vectorized``)
+        backend    ``REPRO_BACKEND``  execution backend (``process``)
+        cache      —                  artifact store on/off (on)
+        tracer     —                  tracer the flow installs (none)
+        =========  =================  ====================================
+
+        ``REPRO_LEDGER`` (run-ledger path, or ``off``) is deliberately
+        *not* a flow knob; it is resolved the same way by
+        :func:`repro.observe.ledger.resolve_ledger`, and
+        ``REPRO_CACHE_DIR`` by the artifact store.  Any invalid value —
+        a typo'd scale, kernel or backend, a non-integer or negative
         job count — raises :class:`~repro.errors.ConfigError` instead
-        of silently falling back to a default.
+        of silently falling back to a default.  The CLI, the experiment
+        runner and the tuning service all build their configs here, so
+        a knob means the same thing on every entry point.
         """
-        scale = os.environ.get("REPRO_SCALE", "quick").strip().lower()
+        if scale is None:
+            scale = os.environ.get("REPRO_SCALE", "quick")
+        scale = scale.strip().lower()
         if scale not in FlowConfig.SCALES:
             raise ConfigError(
                 f"unknown REPRO_SCALE {scale!r} "
                 f"(use one of {', '.join(FlowConfig.SCALES)})"
             )
         config = getattr(FlowConfig, scale)()
-        jobs = os.environ.get("REPRO_JOBS")
+        if jobs is None:
+            env_jobs = os.environ.get("REPRO_JOBS")
+            if env_jobs is not None:
+                try:
+                    jobs = int(env_jobs.strip())
+                except ValueError:
+                    raise ConfigError(
+                        f"REPRO_JOBS must be an integer, got {env_jobs!r}"
+                    ) from None
         if jobs is not None:
-            try:
-                n_workers = int(jobs.strip())
-            except ValueError:
+            if jobs < 0:
                 raise ConfigError(
-                    f"REPRO_JOBS must be an integer, got {jobs!r}"
-                ) from None
-            if n_workers < 0:
-                raise ConfigError(
-                    f"REPRO_JOBS must be >= 0 (0 = one per CPU), got {n_workers}"
+                    f"REPRO_JOBS must be >= 0 (0 = one per CPU), got {jobs}"
                 )
-            config = replace(config, n_workers=n_workers)
-        kernel = os.environ.get("REPRO_KERNEL")
+            config = replace(config, n_workers=jobs)
+        if kernel is None:
+            kernel = os.environ.get("REPRO_KERNEL")
         if kernel is not None:
             config = replace(
                 config, kernel=validate_kernel(kernel.strip().lower())
             )
-        backend = os.environ.get("REPRO_BACKEND")
+        if backend is None:
+            backend = os.environ.get("REPRO_BACKEND")
         if backend is not None:
             config = replace(
                 config, backend=validate_backend(backend.strip().lower())
             )
+        if cache is not None:
+            config = replace(config, cache=cache)
+        if tracer is not None:
+            config = replace(config, tracer=tracer)
         return config
+
+    @staticmethod
+    def from_environment() -> "FlowConfig":
+        """Build a config from environment knobs alone.
+
+        Thin alias of :meth:`from_env` with no explicit overrides,
+        kept for the original call sites; new code should call
+        :meth:`from_env` directly.
+        """
+        return FlowConfig.from_env()
 
 
 @dataclass(frozen=True)

@@ -190,6 +190,41 @@ def capture_run(
     )
 
 
+def capture_request(
+    kind: str,
+    trace_id: str,
+    outcome: str,
+    status: int,
+    wall: float,
+    scale: str = "custom",
+    metrics: Optional[Dict[str, float]] = None,
+) -> RunRecord:
+    """Build the ledger record of one served request.
+
+    The record's ``run_id`` *is* the request's trace id, so the HTTP
+    response header, the span tree and the ledger line all share one
+    identity — grep the ledger for a client-reported trace id and the
+    request's outcome, status and latency fall out.  The experiment
+    column is ``serve.<kind>`` (``serve.tune`` / ``serve.sweep`` /
+    ``serve.status``), keeping service traffic distinct from batch
+    experiment runs in the same longitudinal file.
+    """
+    counters: Dict[str, float] = {
+        "serve.status": float(status),
+        f"serve.outcome.{outcome}": 1.0,
+    }
+    return RunRecord(
+        run_id=trace_id,
+        timestamp=time.time(),
+        experiment=f"serve.{kind}",
+        scale=scale,
+        host=host_info(),
+        metrics=dict(metrics or {}),
+        counters=counters,
+        wall=wall,
+    )
+
+
 class RunLedger:
     """Append-only JSONL ledger of :class:`RunRecord` lines.
 

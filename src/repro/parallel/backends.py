@@ -47,6 +47,7 @@ The contract every backend honors:
 
 from __future__ import annotations
 
+import asyncio
 import pickle
 import shutil
 import tempfile
@@ -54,7 +55,7 @@ from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ServerBusyError
 from repro.observe import TraceHandle, get_tracer, install_worker_tracer
 
 #: The recognized backend names, in documentation order.
@@ -275,6 +276,67 @@ class QueueBackend(ExecutorBackend):
             return results
         finally:
             shutil.rmtree(spool, ignore_errors=True)
+
+
+class AsyncDispatcher:
+    """Bounded async adapter over an :class:`ExecutorBackend`.
+
+    The serve-side bridge between the event loop and the worker pool:
+    coroutines submit blocking work, each submission runs in a worker
+    thread (so the loop stays responsive) and the backend underneath
+    decides the process topology exactly as it does for batch fan-outs.
+
+    The bound is the backpressure contract: at most ``max_pending``
+    submissions may be in flight, and one more raises
+    :class:`~repro.errors.ServerBusyError` *immediately* — the server
+    maps it to a 429 so clients shed load instead of queueing
+    unboundedly.  All accounting happens on the event-loop thread, so
+    no locks are needed.
+    """
+
+    def __init__(self, backend: ExecutorBackend, max_pending: int = 8):
+        if max_pending < 1:
+            raise ConfigError(
+                f"async dispatcher needs max_pending >= 1, got {max_pending}"
+            )
+        self.backend = backend
+        self.max_pending = max_pending
+        self._pending = 0
+
+    @property
+    def pending(self) -> int:
+        """Submissions currently in flight."""
+        return self._pending
+
+    async def call(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Run blocking ``fn(*args)`` in a thread, under the bound.
+
+        The escape hatch for work that orchestrates its *own* backend
+        fan-out (e.g. :func:`repro.sweep.run_sweep`): it counts against
+        the same pending budget as :meth:`dispatch`, so a saturated
+        server rejects every expensive request kind alike.
+        """
+        if self._pending >= self.max_pending:
+            raise ServerBusyError(
+                f"dispatch queue full ({self._pending} of "
+                f"{self.max_pending} submissions in flight); retry later"
+            )
+        self._pending += 1
+        try:
+            return await asyncio.to_thread(fn, *args)
+        finally:
+            self._pending -= 1
+
+    async def dispatch(self, fn: Callable[..., Any], task: Task) -> Any:
+        """Run one task through the backend, under the bound.
+
+        ``fn`` must be a module-level callable (PROC002: out-of-process
+        backends pickle it by qualified name); the single task travels
+        through :meth:`ExecutorBackend.map_tasks` so worker-trace
+        plumbing and result ordering behave exactly as in batch mode.
+        """
+        results = await self.call(self.backend.map_tasks, fn, [task])
+        return results[0]
 
 
 def resolve_backend(

@@ -1,0 +1,63 @@
+"""Tuning-as-a-service: the asyncio HTTP front of the pipeline.
+
+The package turns the batch flow into a long-lived service without
+adding a single dependency: a hand-rolled asyncio HTTP/1.1 server
+(:mod:`~repro.serve.server`), a versioned typed request/response
+schema (:mod:`~repro.serve.schema`), in-flight request coalescing
+keyed on the pipeline's chained content fingerprints
+(:mod:`~repro.serve.coalesce`), bounded dispatch onto the existing
+execution backends (:class:`~repro.parallel.backends.AsyncDispatcher`)
+and warm-hit streaming straight from the artifact store
+(:mod:`~repro.serve.handlers`).  A blocking typed client and an async
+load generator (:mod:`~repro.serve.client`,
+:mod:`~repro.serve.loadgen`) complete the loop.
+
+Start one from the CLI::
+
+    python -m repro serve --port 8731
+
+and talk to it with :class:`TuningClient` or plain ``curl``.
+"""
+
+from repro.serve.client import TuningClient, request_async
+from repro.serve.coalesce import RequestCoalescer
+from repro.serve.handlers import TuningService
+from repro.serve.loadgen import LoadReport, run_burst, run_burst_sync
+from repro.serve.schema import (
+    SCHEMA_VERSION,
+    ErrorResponse,
+    StatusRequest,
+    StatusResponse,
+    SweepRequest,
+    SweepResponse,
+    TuneRequest,
+    TuneResponse,
+    error_from_payload,
+    error_response,
+    parse_request,
+    parse_response,
+)
+from repro.serve.server import TuningServer
+
+__all__ = [
+    "ErrorResponse",
+    "LoadReport",
+    "RequestCoalescer",
+    "SCHEMA_VERSION",
+    "StatusRequest",
+    "StatusResponse",
+    "SweepRequest",
+    "SweepResponse",
+    "TuneRequest",
+    "TuneResponse",
+    "TuningClient",
+    "TuningServer",
+    "TuningService",
+    "error_from_payload",
+    "error_response",
+    "parse_request",
+    "parse_response",
+    "request_async",
+    "run_burst",
+    "run_burst_sync",
+]

@@ -1,0 +1,214 @@
+"""The first-class client of the tuning service.
+
+:class:`TuningClient` is the blocking, typed surface — build a typed
+request, POST its versioned envelope, parse the typed response, and
+re-raise structured errors as the same
+:class:`~repro.errors.ReproError` subclasses the server raised (a
+:class:`~repro.errors.ServerBusyError` on the server is a
+``ServerBusyError`` in the caller, with the trace id attached).  It
+speaks plain stdlib ``http.client``; one connection per call keeps the
+failure modes trivial.
+
+:func:`request_async` is the non-blocking sibling the load generator
+(:mod:`repro.serve.loadgen`) fans out with: one request per dedicated
+connection on the caller's event loop, returning the raw HTTP status
+alongside the parsed response instead of raising — load tests want to
+*count* 429s, not die on the first one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ServeError
+from repro.serve.schema import (
+    ErrorResponse,
+    Request,
+    Response,
+    StatusRequest,
+    StatusResponse,
+    SweepRequest,
+    SweepResponse,
+    TuneRequest,
+    TuneResponse,
+    error_from_payload,
+    parse_response,
+)
+
+
+class TuningClient:
+    """Blocking client for a running :class:`TuningServer`.
+
+    Every call opens a fresh connection, sends one request, and closes
+    — stateless on the wire, so a restarted server never strands the
+    client.  Typed methods (:meth:`tune`, :meth:`sweep`,
+    :meth:`status`) build the request objects; :meth:`send` takes any
+    prebuilt typed request.
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8731, timeout: float = 120.0
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def send(
+        self, request: Request, trace_id: Optional[str] = None
+    ) -> Response:
+        """POST one typed request; return the typed response.
+
+        A structured error response is re-raised as its
+        :mod:`repro.errors` type (with ``.trace_id`` attached);
+        transport failures raise :class:`~repro.errors.ServeError`.
+        """
+        body = json.dumps(request.to_payload()).encode("utf-8")
+        headers = {"content-type": "application/json"}
+        if trace_id is not None:
+            headers["x-repro-trace"] = trace_id
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("POST", "/v1/request", body=body, headers=headers)
+            raw = connection.getresponse().read()
+        except (OSError, http.client.HTTPException) as error:
+            raise ServeError(
+                f"tuning service at {self.host}:{self.port} unreachable: "
+                f"{type(error).__name__}: {error}"
+            ) from None
+        finally:
+            connection.close()
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServeError(
+                f"tuning service sent undecodable response: {error}"
+            ) from None
+        response = parse_response(payload)
+        if isinstance(response, ErrorResponse):
+            raise error_from_payload(response)
+        return response
+
+    def _expect(self, response: Response, kind: type) -> Any:
+        """Narrow a response to the kind this request must produce."""
+        if not isinstance(response, kind):
+            raise ServeError(
+                f"tuning service answered with {type(response).__name__}, "
+                f"expected {kind.__name__}"
+            )
+        return response
+
+    def tune(
+        self,
+        method: str,
+        parameter: float,
+        clock_period: float,
+        design: str = "microcontroller",
+        scale: Optional[str] = None,
+        trace_id: Optional[str] = None,
+    ) -> TuneResponse:
+        """Request one baseline-vs-tuned comparison point."""
+        request = TuneRequest(
+            method=method,
+            parameter=parameter,
+            clock_period=clock_period,
+            design=design,
+            scale=scale,
+        )
+        response = self.send(request, trace_id=trace_id)
+        return self._expect(response, TuneResponse)
+
+    def sweep(
+        self,
+        designs: Tuple[str, ...] = ("microcontroller",),
+        methods: Optional[Tuple[str, ...]] = None,
+        parameters: Optional[Tuple[float, ...]] = None,
+        clock_periods: Tuple[float, ...] = (3.0,),
+        scale: Optional[str] = None,
+        trace_id: Optional[str] = None,
+    ) -> SweepResponse:
+        """Request one incremental grid sweep."""
+        request = SweepRequest(
+            designs=designs,
+            methods=methods,
+            parameters=parameters,
+            clock_periods=clock_periods,
+            scale=scale,
+        )
+        response = self.send(request, trace_id=trace_id)
+        return self._expect(response, SweepResponse)
+
+    def status(self) -> Dict[str, Any]:
+        """The server's health/load snapshot."""
+        response = self.send(StatusRequest())
+        return dict(self._expect(response, StatusResponse).status)
+
+
+async def request_async(
+    request: Request,
+    host: str = "127.0.0.1",
+    port: int = 8731,
+    trace_id: Optional[str] = None,
+    timeout: float = 120.0,
+) -> Tuple[int, Response]:
+    """Send one request on a dedicated connection, without blocking.
+
+    Returns ``(http_status, typed_response)`` — error responses come
+    back as :class:`~repro.serve.schema.ErrorResponse` values rather
+    than raising, so a load generator can tally 429s and 400s as
+    outcomes.  Transport-level failures still raise
+    :class:`~repro.errors.ServeError`.
+    """
+    body = json.dumps(request.to_payload()).encode("utf-8")
+    trace_header = (
+        f"x-repro-trace: {trace_id}\r\n" if trace_id is not None else ""
+    )
+    head = (
+        f"POST /v1/request HTTP/1.1\r\n"
+        f"host: {host}:{port}\r\n"
+        f"content-type: application/json\r\n"
+        f"content-length: {len(body)}\r\n"
+        f"{trace_header}"
+        f"connection: close\r\n"
+        f"\r\n"
+    )
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except OSError as error:
+        raise ServeError(
+            f"tuning service at {host}:{port} unreachable: {error}"
+        ) from None
+    try:
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(-1), timeout)
+    except (OSError, asyncio.TimeoutError) as error:
+        raise ServeError(
+            f"tuning service exchange with {host}:{port} failed: "
+            f"{type(error).__name__}: {error}"
+        ) from None
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+    status_line, _, _ = raw.partition(b"\r\n")
+    parts = status_line.split()
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ServeError(
+            f"tuning service sent a malformed status line: {status_line!r}"
+        )
+    status = int(parts[1])
+    _, _, payload_bytes = raw.partition(b"\r\n\r\n")
+    try:
+        payload = json.loads(payload_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ServeError(
+            f"tuning service sent undecodable response: {error}"
+        ) from None
+    return status, parse_response(payload)

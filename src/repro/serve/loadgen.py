@@ -1,0 +1,191 @@
+"""Load generation against a running tuning server.
+
+:func:`run_burst` fans a list of typed requests out over concurrent
+connections (bounded by a semaphore), measures per-request latency,
+and folds everything into a :class:`LoadReport` — status counts,
+outcome counts (``warm`` / ``computed`` / ``coalesced`` / errors) and
+latency percentiles.  The serve benchmark
+(``benchmarks/test_serve.py``) and the CI ``serve-smoke`` job both
+drive the service through this module, so "does a cold burst coalesce
+to one synthesis pass" and "does a warm burst stay store-only" are
+asserted against the same traffic shape a real client fleet produces.
+
+Percentiles use the nearest-rank method on the sorted latency list —
+deterministic, dependency-free, and exact for the burst sizes used
+here (no interpolation surprises at p99 with 1 000 samples).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.serve.client import request_async
+from repro.serve.schema import ErrorResponse, Request
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """What one burst did: counts, outcomes and latency percentiles."""
+
+    #: Requests sent.
+    requests: int
+    #: Whole-burst wall time, seconds.
+    wall_s: float
+    #: Responses per HTTP status code.
+    statuses: Dict[int, int]
+    #: Responses per outcome (``warm``/``computed``/``coalesced``/
+    #: error type names for failures).
+    outcomes: Dict[str, int]
+    #: Per-request latencies, milliseconds, in completion order.
+    latencies_ms: Tuple[float, ...]
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of the latencies, in milliseconds."""
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    @property
+    def p50(self) -> float:
+        """Median latency, milliseconds."""
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile latency, milliseconds."""
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile latency, milliseconds."""
+        return self.percentile(99)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second over the burst."""
+        if self.wall_s <= 0:
+            return 0.0
+        return self.requests / self.wall_s
+
+    def ok(self) -> int:
+        """Number of 200 responses."""
+        return self.statuses.get(200, 0)
+
+    def to_row(self, phase: str) -> Dict[str, object]:
+        """One benchmark-table row summarizing the burst."""
+        return {
+            "phase": phase,
+            "requests": self.requests,
+            "ok": self.ok(),
+            "p50_ms": round(self.p50, 3),
+            "p95_ms": round(self.p95, 3),
+            "p99_ms": round(self.p99, 3),
+            "throughput_rps": round(self.throughput_rps, 1),
+        }
+
+    def summary(self) -> str:
+        """One human-readable line for logs."""
+        outcomes = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.outcomes.items())
+        )
+        return (
+            f"{self.requests} requests in {self.wall_s:.2f}s "
+            f"({self.throughput_rps:.0f} rps): "
+            f"p50={self.p50:.1f}ms p95={self.p95:.1f}ms "
+            f"p99={self.p99:.1f}ms [{outcomes}]"
+        )
+
+
+async def run_burst(
+    requests: Sequence[Request],
+    host: str = "127.0.0.1",
+    port: int = 8731,
+    concurrency: int = 64,
+    timeout: float = 120.0,
+) -> LoadReport:
+    """Fire every request concurrently (bounded) and report.
+
+    Each request rides its own connection; ``concurrency`` bounds how
+    many are in flight at once.  Error responses (including 429
+    backpressure rejections) are tallied as outcomes, not raised.
+    """
+    semaphore = asyncio.Semaphore(concurrency)
+
+    async def one(request: Request) -> Tuple[int, str, float]:
+        async with semaphore:
+            begin = time.perf_counter()
+            status, response = await request_async(
+                request, host=host, port=port, timeout=timeout
+            )
+            elapsed_ms = (time.perf_counter() - begin) * 1e3
+        if isinstance(response, ErrorResponse):
+            outcome = response.error_type
+        else:
+            outcome = getattr(response, "outcome", response.kind)
+        return status, outcome, elapsed_ms
+
+    begin = time.perf_counter()
+    results = await asyncio.gather(*(one(request) for request in requests))
+    wall = time.perf_counter() - begin
+    statuses: Dict[int, int] = {}
+    outcomes: Dict[str, int] = {}
+    latencies = []
+    for status, outcome, elapsed_ms in results:
+        statuses[status] = statuses.get(status, 0) + 1
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+        latencies.append(elapsed_ms)
+    return LoadReport(
+        requests=len(results),
+        wall_s=wall,
+        statuses=statuses,
+        outcomes=outcomes,
+        latencies_ms=tuple(latencies),
+    )
+
+
+def run_burst_sync(
+    requests: Sequence[Request],
+    host: str = "127.0.0.1",
+    port: int = 8731,
+    concurrency: int = 64,
+    timeout: float = 120.0,
+) -> LoadReport:
+    """Blocking wrapper of :func:`run_burst` for non-async callers."""
+    return asyncio.run(
+        run_burst(
+            requests,
+            host=host,
+            port=port,
+            concurrency=concurrency,
+            timeout=timeout,
+        )
+    )
+
+
+def tune_burst(
+    n: int,
+    method: str,
+    parameter: float,
+    clock_period: float,
+    design: str = "microcontroller",
+    scale: Optional[str] = None,
+) -> Tuple[Request, ...]:
+    """``n`` identical tune requests — the coalescing workload."""
+    from repro.serve.schema import TuneRequest
+
+    return tuple(
+        TuneRequest(
+            method=method,
+            parameter=parameter,
+            clock_period=clock_period,
+            design=design,
+            scale=scale,
+        )
+        for _ in range(n)
+    )

@@ -1,0 +1,583 @@
+"""Typed, versioned request/response schema of the tuning service.
+
+The wire format is deliberately boring: every message is one JSON
+object carrying ``{"schema": 1, "kind": "<kind>", ...}``.  Requests come
+in three kinds — :class:`TuneRequest` (one baseline-vs-tuned comparison
+point), :class:`SweepRequest` (a design x method x parameter x clock
+grid) and :class:`StatusRequest` (server introspection) — and responses
+mirror them (:class:`TuneResponse`, :class:`SweepResponse`,
+:class:`StatusResponse`, :class:`ErrorResponse`).
+
+Validation is **strict** and maps onto :mod:`repro.errors`:
+
+* a payload that is not an object, names an unknown ``schema`` version
+  or ``kind``, misses a field, mistypes one, or carries an
+  unrecognized extra field raises
+  :class:`~repro.errors.RequestError`;
+* *name* resolution (an unknown tuning method or design-family member)
+  is left to the handlers, where :class:`~repro.errors.TuningError` /
+  :class:`~repro.errors.ConfigError` carry the available choices.
+
+The server never serializes a traceback: any failure is rendered
+through :func:`error_response` as a structured payload whose ``type``
+is the :class:`~repro.errors.ReproError` subclass name, and
+:func:`error_from_payload` rebuilds the matching exception client-side,
+so a caller catches ``TuningError`` from a remote server exactly as it
+would from the in-process library.
+
+Bump :data:`SCHEMA_VERSION` whenever a message's meaning or layout
+changes; both ends reject versions they do not speak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, ClassVar, Dict, List, Optional, Tuple, Type, Union
+
+from repro.errors import ReproError, RequestError
+
+#: Wire-format version folded into every request and response.
+SCHEMA_VERSION = 1
+
+#: The request kinds the service speaks, in documentation order.
+REQUEST_KINDS: Tuple[str, ...] = ("tune", "sweep", "status")
+
+
+# ----------------------------------------------------------------------
+# Strict payload access
+# ----------------------------------------------------------------------
+
+
+def _type_name(types: Union[type, Tuple[type, ...]]) -> str:
+    """Human-readable name of an expected type (or alternatives)."""
+    if isinstance(types, tuple):
+        return " or ".join(t.__name__ for t in types)
+    return types.__name__
+
+
+def _require(payload: Dict[str, Any], name: str, types, kind: str) -> Any:
+    """A required field of ``payload``, strictly typed.
+
+    ``bool`` is rejected where a number is expected — JSON ``true`` is
+    not a parameter value, however Python's bool/int subtyping feels
+    about it.
+    """
+    if name not in payload:
+        raise RequestError(f"{kind} request misses required field {name!r}")
+    value = payload[name]
+    if isinstance(value, bool) and bool not in (
+        types if isinstance(types, tuple) else (types,)
+    ):
+        raise RequestError(
+            f"{kind} request field {name!r} must be {_type_name(types)}, "
+            f"got a boolean"
+        )
+    if not isinstance(value, types):
+        raise RequestError(
+            f"{kind} request field {name!r} must be {_type_name(types)}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def _reject_unknown(
+    payload: Dict[str, Any], allowed: Tuple[str, ...], kind: str
+) -> None:
+    """Strictness: an extra field is an error, not a silent no-op."""
+    unknown = sorted(set(payload) - set(allowed) - {"schema", "kind"})
+    if unknown:
+        raise RequestError(
+            f"{kind} request carries unknown fields {unknown} "
+            f"(allowed: {', '.join(sorted(allowed))})"
+        )
+
+
+def _number_list(value: Any, name: str, kind: str) -> Tuple[float, ...]:
+    """A JSON array of numbers as a float tuple (strictly typed)."""
+    if not isinstance(value, list) or not value:
+        raise RequestError(
+            f"{kind} request field {name!r} must be a non-empty array "
+            f"of numbers"
+        )
+    out: List[float] = []
+    for item in value:
+        if isinstance(item, bool) or not isinstance(item, (int, float)):
+            raise RequestError(
+                f"{kind} request field {name!r} must contain only "
+                f"numbers, got {type(item).__name__}"
+            )
+        out.append(float(item))
+    return tuple(out)
+
+
+def _string_list(value: Any, name: str, kind: str) -> Tuple[str, ...]:
+    """A JSON array of strings as a str tuple (strictly typed)."""
+    if not isinstance(value, list) or not value:
+        raise RequestError(
+            f"{kind} request field {name!r} must be a non-empty array "
+            f"of strings"
+        )
+    for item in value:
+        if not isinstance(item, str):
+            raise RequestError(
+                f"{kind} request field {name!r} must contain only "
+                f"strings, got {type(item).__name__}"
+            )
+    return tuple(value)
+
+
+def _check_envelope(payload: Any) -> Dict[str, Any]:
+    """The shared envelope checks: an object, at this schema version."""
+    if not isinstance(payload, dict):
+        raise RequestError(
+            f"request payload must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    version = payload.get("schema")
+    if version != SCHEMA_VERSION:
+        raise RequestError(
+            f"unsupported schema version {version!r} "
+            f"(this server speaks schema {SCHEMA_VERSION})"
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TuneRequest:
+    """One baseline-vs-tuned evaluation point.
+
+    ``scale`` optionally pins the flow scale for this request
+    (``tiny`` / ``quick`` / ``paper``); left ``None``, the server's own
+    configuration — itself resolved through
+    :meth:`repro.flow.experiment.FlowConfig.from_env` — applies.
+    """
+
+    kind: ClassVar[str] = "tune"
+
+    method: str
+    parameter: float
+    clock_period: float
+    design: str = "microcontroller"
+    scale: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.method:
+            raise RequestError("tune request needs a non-empty method name")
+        if not self.design:
+            raise RequestError("tune request needs a non-empty design name")
+        if not self.clock_period > 0:
+            raise RequestError(
+                f"tune request clock_period must be > 0 ns, "
+                f"got {self.clock_period!r}"
+            )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Versioned JSON rendering of the request."""
+        payload: Dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "kind": self.kind,
+            "method": self.method,
+            "parameter": self.parameter,
+            "clock_period": self.clock_period,
+            "design": self.design,
+        }
+        if self.scale is not None:
+            payload["scale"] = self.scale
+        return payload
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "TuneRequest":
+        """Strictly validate and rebuild a request payload."""
+        _reject_unknown(
+            payload,
+            ("method", "parameter", "clock_period", "design", "scale"),
+            "tune",
+        )
+        scale = payload.get("scale")
+        if scale is not None and not isinstance(scale, str):
+            raise RequestError(
+                f"tune request field 'scale' must be str, "
+                f"got {type(scale).__name__}"
+            )
+        return TuneRequest(
+            method=_require(payload, "method", str, "tune"),
+            parameter=float(
+                _require(payload, "parameter", (int, float), "tune")
+            ),
+            clock_period=float(
+                _require(payload, "clock_period", (int, float), "tune")
+            ),
+            design=(
+                _require(payload, "design", str, "tune")
+                if "design" in payload
+                else "microcontroller"
+            ),
+            scale=scale,
+        )
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """A ``design x method x parameter x clock`` grid evaluation.
+
+    ``methods=None`` means every registered tuning method and
+    ``parameters=None`` each method's Table 2 sweep — the same
+    defaulting as :class:`repro.sweep.SweepGrid`, which this request
+    resolves into server-side.
+    """
+
+    kind: ClassVar[str] = "sweep"
+
+    designs: Tuple[str, ...] = ("microcontroller",)
+    methods: Optional[Tuple[str, ...]] = None
+    parameters: Optional[Tuple[float, ...]] = None
+    clock_periods: Tuple[float, ...] = (3.0,)
+    scale: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.designs:
+            raise RequestError("sweep request needs at least one design")
+        if not self.clock_periods:
+            raise RequestError(
+                "sweep request needs at least one clock period"
+            )
+        for period in self.clock_periods:
+            if not period > 0:
+                raise RequestError(
+                    f"sweep request clock periods must be > 0 ns, "
+                    f"got {period!r}"
+                )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Versioned JSON rendering of the request."""
+        payload: Dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "kind": self.kind,
+            "designs": list(self.designs),
+            "clock_periods": list(self.clock_periods),
+        }
+        if self.methods is not None:
+            payload["methods"] = list(self.methods)
+        if self.parameters is not None:
+            payload["parameters"] = list(self.parameters)
+        if self.scale is not None:
+            payload["scale"] = self.scale
+        return payload
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "SweepRequest":
+        """Strictly validate and rebuild a request payload."""
+        _reject_unknown(
+            payload,
+            ("designs", "methods", "parameters", "clock_periods", "scale"),
+            "sweep",
+        )
+        scale = payload.get("scale")
+        if scale is not None and not isinstance(scale, str):
+            raise RequestError(
+                f"sweep request field 'scale' must be str, "
+                f"got {type(scale).__name__}"
+            )
+        methods = payload.get("methods")
+        parameters = payload.get("parameters")
+        return SweepRequest(
+            designs=_string_list(
+                _require(payload, "designs", list, "sweep"),
+                "designs",
+                "sweep",
+            ),
+            methods=(
+                None
+                if methods is None
+                else _string_list(methods, "methods", "sweep")
+            ),
+            parameters=(
+                None
+                if parameters is None
+                else _number_list(parameters, "parameters", "sweep")
+            ),
+            clock_periods=_number_list(
+                _require(payload, "clock_periods", list, "sweep"),
+                "clock_periods",
+                "sweep",
+            ),
+            scale=scale,
+        )
+
+
+@dataclass(frozen=True)
+class StatusRequest:
+    """Server introspection: uptime, queue depth, outcome counters."""
+
+    kind: ClassVar[str] = "status"
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Versioned JSON rendering of the request."""
+        return {"schema": SCHEMA_VERSION, "kind": self.kind}
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "StatusRequest":
+        """Strictly validate and rebuild a request payload."""
+        _reject_unknown(payload, (), "status")
+        return StatusRequest()
+
+
+#: Any of the three request types.
+Request = Union[TuneRequest, SweepRequest, StatusRequest]
+
+_REQUEST_TYPES: Dict[str, Any] = {
+    "tune": TuneRequest,
+    "sweep": SweepRequest,
+    "status": StatusRequest,
+}
+
+
+def parse_request(payload: Any) -> Request:
+    """Decode one request payload into its typed request object.
+
+    The single entry point the server parses every body through;
+    anything malformed raises :class:`~repro.errors.RequestError` with
+    a message precise enough to fix the payload from.
+    """
+    payload = _check_envelope(payload)
+    kind = payload.get("kind")
+    if kind not in _REQUEST_TYPES:
+        raise RequestError(
+            f"unknown request kind {kind!r} "
+            f"(use one of {', '.join(REQUEST_KINDS)})"
+        )
+    request: Request = _REQUEST_TYPES[kind].from_payload(payload)
+    return request
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TuneResponse:
+    """The served comparison plus how the request was satisfied.
+
+    ``outcome`` is ``warm`` (every chained artifact was already in the
+    store), ``computed`` (this request's computation populated it) or
+    ``coalesced`` (an identical in-flight request's computation was
+    shared).
+    """
+
+    kind: ClassVar[str] = "tune.result"
+
+    method: str
+    parameter: float
+    clock_period: float
+    design: str
+    baseline_sigma: float
+    tuned_sigma: float
+    baseline_area: float
+    tuned_area: float
+    tuned_met: bool
+    sigma_reduction: float
+    area_increase: float
+    outcome: str
+    trace_id: str
+    wall_ms: float
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Versioned JSON rendering of the response."""
+        payload = {name.name: getattr(self, name.name) for name in fields(self)}
+        payload["schema"] = SCHEMA_VERSION
+        payload["kind"] = self.kind
+        return payload
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "TuneResponse":
+        """Rebuild a response stored with :meth:`to_payload`."""
+        return TuneResponse(
+            **{name.name: payload[name.name] for name in fields(TuneResponse)}
+        )
+
+
+@dataclass(frozen=True)
+class SweepResponse:
+    """Grid results: one row per point plus the incremental counters."""
+
+    kind: ClassVar[str] = "sweep.result"
+
+    points: Tuple[Dict[str, Any], ...]
+    counts: Dict[str, int]
+    scheduled: int
+    backend: str
+    outcome: str
+    trace_id: str
+    wall_ms: float
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Versioned JSON rendering of the response."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": self.kind,
+            "points": [dict(point) for point in self.points],
+            "counts": dict(self.counts),
+            "scheduled": self.scheduled,
+            "backend": self.backend,
+            "outcome": self.outcome,
+            "trace_id": self.trace_id,
+            "wall_ms": self.wall_ms,
+        }
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "SweepResponse":
+        """Rebuild a response stored with :meth:`to_payload`."""
+        return SweepResponse(
+            points=tuple(dict(point) for point in payload["points"]),
+            counts={k: int(v) for k, v in payload["counts"].items()},
+            scheduled=int(payload["scheduled"]),
+            backend=str(payload["backend"]),
+            outcome=str(payload["outcome"]),
+            trace_id=str(payload["trace_id"]),
+            wall_ms=float(payload["wall_ms"]),
+        )
+
+
+@dataclass(frozen=True)
+class StatusResponse:
+    """Server status snapshot (see :meth:`TuningService.status`)."""
+
+    kind: ClassVar[str] = "status.result"
+
+    status: Dict[str, Any] = field(default_factory=dict)
+    trace_id: str = ""
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Versioned JSON rendering of the response."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": self.kind,
+            "status": dict(self.status),
+            "trace_id": self.trace_id,
+        }
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "StatusResponse":
+        """Rebuild a response stored with :meth:`to_payload`."""
+        return StatusResponse(
+            status=dict(payload["status"]),
+            trace_id=str(payload.get("trace_id", "")),
+        )
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """A failure, structured: error type name, message, trace id."""
+
+    kind: ClassVar[str] = "error"
+
+    error_type: str
+    message: str
+    trace_id: str = ""
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Versioned JSON rendering of the response."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": self.kind,
+            "error": {"type": self.error_type, "message": self.message},
+            "trace_id": self.trace_id,
+        }
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "ErrorResponse":
+        """Rebuild a response stored with :meth:`to_payload`."""
+        error = payload.get("error")
+        if not isinstance(error, dict):
+            raise RequestError("error response carries no 'error' object")
+        return ErrorResponse(
+            error_type=str(error.get("type", "ReproError")),
+            message=str(error.get("message", "")),
+            trace_id=str(payload.get("trace_id", "")),
+        )
+
+
+#: Any of the four response types.
+Response = Union[TuneResponse, SweepResponse, StatusResponse, ErrorResponse]
+
+_RESPONSE_TYPES: Dict[str, Any] = {
+    "tune.result": TuneResponse,
+    "sweep.result": SweepResponse,
+    "status.result": StatusResponse,
+    "error": ErrorResponse,
+}
+
+
+def parse_response(payload: Any) -> Response:
+    """Decode one response payload into its typed response object."""
+    payload = _check_envelope(payload)
+    kind = payload.get("kind")
+    if kind not in _RESPONSE_TYPES:
+        raise RequestError(
+            f"unknown response kind {kind!r} "
+            f"(use one of {', '.join(sorted(_RESPONSE_TYPES))})"
+        )
+    try:
+        response: Response = _RESPONSE_TYPES[kind].from_payload(payload)
+    except (KeyError, TypeError, ValueError) as error:
+        raise RequestError(
+            f"malformed {kind} response payload: {error}"
+        ) from None
+    return response
+
+
+# ----------------------------------------------------------------------
+# Error mapping
+# ----------------------------------------------------------------------
+
+
+def error_response(error: BaseException, trace_id: str = "") -> ErrorResponse:
+    """Render any exception as a structured error response.
+
+    :class:`~repro.errors.ReproError` subclasses keep their class name
+    (the client rebuilds the matching type); anything else is folded
+    into an opaque ``InternalError`` — the message survives, the
+    traceback never crosses the wire.
+    """
+    if isinstance(error, ReproError):
+        return ErrorResponse(
+            error_type=type(error).__name__,
+            message=str(error),
+            trace_id=trace_id,
+        )
+    return ErrorResponse(
+        error_type="InternalError",
+        message=f"{type(error).__name__}: {error}",
+        trace_id=trace_id,
+    )
+
+
+def error_from_payload(response: ErrorResponse) -> ReproError:
+    """Rebuild the typed exception an error response describes.
+
+    The type name is resolved against :mod:`repro.errors` only —
+    anything unknown (including ``InternalError``) degrades to the
+    :class:`~repro.errors.ServeError` base so a hostile payload can
+    never name an arbitrary class.  The originating trace id rides
+    along as ``error.trace_id``.
+    """
+    import repro.errors as errors_module
+
+    candidate: Optional[Type[ReproError]] = getattr(
+        errors_module, response.error_type, None
+    )
+    if not (
+        isinstance(candidate, type) and issubclass(candidate, ReproError)
+    ):
+        from repro.errors import ServeError
+
+        candidate = ServeError
+    error = candidate(response.message)
+    error.trace_id = response.trace_id  # type: ignore[attr-defined]
+    return error

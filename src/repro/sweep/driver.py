@@ -46,6 +46,7 @@ __all__ = [
     "PointResult",
     "SweepGrid",
     "SweepResult",
+    "point_keys",
     "run_sweep",
 ]
 
@@ -149,10 +150,17 @@ class SweepResult:
         return [result.comparison for result in self.results]
 
 
-def _point_keys(statlib_key, design_key, method, point, guard_band):
+def point_keys(statlib_key, design_key, method, point, guard_band):
     """The point's chained fingerprints: (tuning, tuned triple keys,
     baseline triple keys) — the exact keys the flow's stages store
-    under, recomputed here without touching any stage."""
+    under, recomputed here without touching any stage.
+
+    Shared by the incremental sweep diff (phase 2) and the tuning
+    service's warm-hit check and coalescing keys
+    (:mod:`repro.serve.handlers`): both must agree byte-for-byte with
+    the flow's own fingerprints or the store stops being the dedup
+    medium.
+    """
     from repro.flow.pipeline import (
         BASELINE_WINDOWS,
         paths_fingerprint,
@@ -242,7 +250,7 @@ def run_sweep(
     stale_baselines: List[Tuple[str, float]] = []
     stale_points: List[GridPoint] = []
     for point in points:
-        tuning_key, tuned, baseline = _point_keys(
+        tuning_key, tuned, baseline = point_keys(
             statlib_key,
             design_keys[point.design],
             method_by_name(point.method),

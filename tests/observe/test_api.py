@@ -133,6 +133,83 @@ class TestConfigValidation:
         assert config.n_workers == 3
 
 
+class TestFromEnvPrecedence:
+    """from_env: explicit argument > environment > default, per knob."""
+
+    def test_defaults_without_env(self, monkeypatch):
+        from repro.flow.experiment import FlowConfig
+
+        for name in ("REPRO_SCALE", "REPRO_JOBS", "REPRO_KERNEL",
+                     "REPRO_BACKEND"):
+            monkeypatch.delenv(name, raising=False)
+        config = FlowConfig.from_env()
+        assert config.scale_name() == "quick"
+        assert config.n_workers == 1
+        assert config.cache is True
+        assert config.tracer is None
+
+    def test_environment_beats_default(self, monkeypatch):
+        from repro.flow.experiment import FlowConfig
+
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        monkeypatch.setenv("REPRO_KERNEL", "scalar")
+        monkeypatch.setenv("REPRO_BACKEND", "serial")
+        config = FlowConfig.from_env()
+        assert config.scale_name() == "tiny"
+        assert config.n_workers == 4
+        assert config.kernel == "scalar"
+        assert config.backend == "serial"
+
+    def test_explicit_argument_beats_environment(self, monkeypatch):
+        from repro.flow.experiment import FlowConfig
+
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        monkeypatch.setenv("REPRO_KERNEL", "scalar")
+        monkeypatch.setenv("REPRO_BACKEND", "serial")
+        config = FlowConfig.from_env(
+            scale="quick", jobs=2, kernel="vectorized", backend="process",
+            cache=False,
+        )
+        assert config.scale_name() == "quick"
+        assert config.n_workers == 2
+        assert config.kernel == "vectorized"
+        assert config.backend == "process"
+        assert config.cache is False
+
+    def test_explicit_bad_values_fail_loudly(self):
+        from repro.flow.experiment import FlowConfig
+
+        with pytest.raises(ConfigError, match="bogus"):
+            FlowConfig.from_env(scale="bogus")
+        with pytest.raises(ConfigError, match=">= 0"):
+            FlowConfig.from_env(jobs=-1)
+        with pytest.raises(ConfigError, match="unknown kernel"):
+            FlowConfig.from_env(kernel="turbo")
+        with pytest.raises(ConfigError, match="unknown backend"):
+            FlowConfig.from_env(backend="cloud")
+
+    def test_from_environment_is_a_thin_alias(self, monkeypatch):
+        """The original entry point and from_env agree."""
+        from repro.flow.experiment import FlowConfig
+
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert FlowConfig.from_environment() == FlowConfig.from_env()
+
+    def test_build_context_goes_through_from_env(self, monkeypatch):
+        """CLI knobs override the environment via the one resolver."""
+        from repro.experiments.runner import build_context
+
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        context = build_context(jobs=2, backend="serial")
+        assert context.flow.config.n_workers == 2
+        assert context.flow.config.backend == "serial"
+        assert context.flow.config.scale_name() == "tiny"
+
+
 class TestCliSurface:
     """Subcommand layout: shared flags, store/cache, id shorthand."""
 
@@ -170,13 +247,38 @@ class TestCliSurface:
         assert "entries" in out and "artifacts" in out
 
     def test_cache_alias_deprecated_but_working(self, capsys):
-        """``cache`` still works, with a deprecation note on stderr."""
+        """``cache`` routes through the ``store`` handler but emits a
+        DeprecationWarning naming the replacement and the removal."""
         from repro.__main__ import main
 
-        assert main(["cache", "stats"]) == 0
+        with pytest.warns(DeprecationWarning, match="store stats"):
+            assert main(["cache", "stats"]) == 0
         captured = capsys.readouterr()
-        assert "deprecated" in captured.err
         assert "entries" in captured.out
+
+    def test_serve_subcommand_parses(self):
+        """``serve`` accepts its own flags plus the shared execution
+        flags (one parent parser — the consolidated knob surface)."""
+        from repro.__main__ import _build_parser
+
+        args = _build_parser().parse_args(
+            ["serve", "--port", "0", "--scale", "tiny",
+             "--backend", "serial", "--max-pending", "3", "-j", "2"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.scale == "tiny"
+        assert args.backend == "serial"
+        assert args.max_pending == 3
+        assert args.jobs == 2
+
+    def test_serve_rejects_no_cache(self, capsys):
+        """``serve --no-cache`` fails loudly: warm hits stream from the
+        artifact store, so the service cannot run without it."""
+        from repro.__main__ import main
+
+        assert main(["serve", "--no-cache", "--port", "0"]) == 2
+        assert "cache" in capsys.readouterr().err
 
     def test_traced_run_writes_jsonl_and_profile(
         self, tmp_path, monkeypatch, capsys

@@ -1,0 +1,1 @@
+"""Tests of the tuning service (:mod:`repro.serve`)."""

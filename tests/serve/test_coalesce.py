@@ -1,0 +1,137 @@
+"""Coalescer semantics: one computation, N waiters."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import TuningError
+from repro.serve.coalesce import RequestCoalescer
+
+
+def run(coro):
+    """Drive one coroutine to completion on a fresh loop."""
+    return asyncio.run(coro)
+
+
+class TestRequestCoalescer:
+    def test_identical_keys_share_one_computation(self):
+        async def scenario():
+            coalescer = RequestCoalescer()
+            calls = 0
+            gate = asyncio.Event()
+
+            async def compute():
+                nonlocal calls
+                calls += 1
+                await gate.wait()
+                return "result"
+
+            async def request():
+                return await coalescer.run("k", compute)
+
+            tasks = [asyncio.ensure_future(request()) for _ in range(8)]
+            await asyncio.sleep(0)  # let every request reach the coalescer
+            assert coalescer.inflight == 1
+            gate.set()
+            results = await asyncio.gather(*tasks)
+            assert calls == 1
+            values = [value for value, _ in results]
+            joined = [joined for _, joined in results]
+            assert values == ["result"] * 8
+            assert joined.count(False) == 1  # exactly one leader
+            assert joined.count(True) == 7
+            assert coalescer.started == 1
+            assert coalescer.coalesced == 7
+            assert coalescer.inflight == 0
+
+        run(scenario())
+
+    def test_distinct_keys_do_not_share(self):
+        async def scenario():
+            coalescer = RequestCoalescer()
+            calls = []
+
+            async def compute_for(key):
+                calls.append(key)
+                return key.upper()
+
+            results = await asyncio.gather(
+                coalescer.run("a", lambda: compute_for("a")),
+                coalescer.run("b", lambda: compute_for("b")),
+            )
+            assert sorted(calls) == ["a", "b"]
+            assert {value for value, _ in results} == {"A", "B"}
+            assert coalescer.coalesced == 0
+
+        run(scenario())
+
+    def test_settled_key_restarts_fresh(self):
+        """After the task settles, the same key computes again."""
+
+        async def scenario():
+            coalescer = RequestCoalescer()
+            calls = 0
+
+            async def compute():
+                nonlocal calls
+                calls += 1
+                return calls
+
+            first, _ = await coalescer.run("k", compute)
+            second, _ = await coalescer.run("k", compute)
+            assert (first, second) == (1, 2)
+            assert coalescer.started == 2
+
+        run(scenario())
+
+    def test_exception_reaches_every_waiter(self):
+        async def scenario():
+            coalescer = RequestCoalescer()
+            gate = asyncio.Event()
+
+            async def compute():
+                await gate.wait()
+                raise TuningError("shared failure")
+
+            async def request():
+                try:
+                    await coalescer.run("k", compute)
+                except TuningError as error:
+                    return str(error)
+                return None
+
+            tasks = [asyncio.ensure_future(request()) for _ in range(4)]
+            await asyncio.sleep(0)
+            gate.set()
+            outcomes = await asyncio.gather(*tasks)
+            assert outcomes == ["shared failure"] * 4
+            assert coalescer.inflight == 0
+
+        run(scenario())
+
+    def test_follower_survives_leader_cancellation(self):
+        """Cancelling the leader's await must not kill the shared task."""
+
+        async def scenario():
+            coalescer = RequestCoalescer()
+            gate = asyncio.Event()
+
+            async def compute():
+                await gate.wait()
+                return "survived"
+
+            leader = asyncio.ensure_future(coalescer.run("k", compute))
+            await asyncio.sleep(0)
+            follower = asyncio.ensure_future(coalescer.run("k", compute))
+            await asyncio.sleep(0)
+            leader.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await leader
+            gate.set()
+            value, joined = await follower
+            assert value == "survived"
+            assert joined is True
+
+        run(scenario())

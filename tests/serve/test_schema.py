@@ -1,0 +1,269 @@
+"""Schema contract: round-trips, strict validation, error mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    ReproError,
+    RequestError,
+    ServeError,
+    ServerBusyError,
+    TuningError,
+)
+from repro.serve.schema import (
+    SCHEMA_VERSION,
+    ErrorResponse,
+    StatusRequest,
+    StatusResponse,
+    SweepRequest,
+    SweepResponse,
+    TuneRequest,
+    TuneResponse,
+    error_from_payload,
+    error_response,
+    parse_request,
+    parse_response,
+)
+
+
+class TestRequestRoundTrips:
+    """Every request type survives to_payload -> parse_request."""
+
+    def test_tune_round_trip(self):
+        request = TuneRequest(
+            method="cell_load_slope",
+            parameter=0.2,
+            clock_period=3.0,
+            design="dsp",
+            scale="tiny",
+        )
+        assert parse_request(request.to_payload()) == request
+
+    def test_tune_defaults_round_trip(self):
+        request = TuneRequest(
+            method="sigma_ceiling", parameter=0.1, clock_period=2.5
+        )
+        rebuilt = parse_request(request.to_payload())
+        assert rebuilt == request
+        assert rebuilt.design == "microcontroller"
+        assert rebuilt.scale is None
+
+    def test_sweep_round_trip(self):
+        request = SweepRequest(
+            designs=("microcontroller", "dsp"),
+            methods=("cell_load_slope",),
+            parameters=(0.1, 0.2),
+            clock_periods=(3.0, 4.0),
+            scale="tiny",
+        )
+        assert parse_request(request.to_payload()) == request
+
+    def test_sweep_none_axes_round_trip(self):
+        """None axes (all methods / Table 2 params) survive the wire."""
+        request = SweepRequest()
+        rebuilt = parse_request(request.to_payload())
+        assert rebuilt.methods is None
+        assert rebuilt.parameters is None
+
+    def test_status_round_trip(self):
+        request = StatusRequest()
+        assert parse_request(request.to_payload()) == request
+
+    def test_integers_coerce_to_float(self):
+        """JSON integers are valid numbers for float fields."""
+        payload = TuneRequest(
+            method="m", parameter=1, clock_period=3
+        ).to_payload()
+        rebuilt = parse_request(payload)
+        assert rebuilt.parameter == 1.0
+        assert isinstance(rebuilt.clock_period, float)
+
+
+class TestStrictValidation:
+    """Malformed payloads raise RequestError, naming the problem."""
+
+    def _tune_payload(self, **overrides):
+        payload = TuneRequest(
+            method="cell_load_slope", parameter=0.2, clock_period=3.0
+        ).to_payload()
+        payload.update(overrides)
+        return payload
+
+    def test_non_object_payload(self):
+        with pytest.raises(RequestError, match="JSON object"):
+            parse_request([1, 2, 3])
+
+    def test_wrong_schema_version(self):
+        with pytest.raises(RequestError, match="schema version"):
+            parse_request(self._tune_payload(schema=SCHEMA_VERSION + 1))
+
+    def test_missing_schema_version(self):
+        payload = self._tune_payload()
+        del payload["schema"]
+        with pytest.raises(RequestError, match="schema version"):
+            parse_request(payload)
+
+    def test_unknown_kind(self):
+        with pytest.raises(RequestError, match="unknown request kind"):
+            parse_request(self._tune_payload(kind="tunee"))
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(RequestError, match="unknown fields"):
+            parse_request(self._tune_payload(surprise=1))
+
+    def test_missing_required_field(self):
+        payload = self._tune_payload()
+        del payload["method"]
+        with pytest.raises(RequestError, match="misses required field"):
+            parse_request(payload)
+
+    def test_wrong_type_method(self):
+        with pytest.raises(RequestError, match="'method' must be str"):
+            parse_request(self._tune_payload(method=7))
+
+    def test_boolean_is_not_a_number(self):
+        """JSON true must not pass as a parameter via bool/int subtyping."""
+        with pytest.raises(RequestError, match="boolean"):
+            parse_request(self._tune_payload(parameter=True))
+
+    def test_nonpositive_clock_rejected(self):
+        with pytest.raises(RequestError, match="clock_period"):
+            parse_request(self._tune_payload(clock_period=0))
+
+    def test_sweep_empty_designs(self):
+        payload = SweepRequest().to_payload()
+        payload["designs"] = []
+        with pytest.raises(RequestError, match="designs"):
+            parse_request(payload)
+
+    def test_sweep_mixed_type_parameters(self):
+        payload = SweepRequest().to_payload()
+        payload["parameters"] = [0.1, "x"]
+        with pytest.raises(RequestError, match="parameters"):
+            parse_request(payload)
+
+    def test_sweep_nonpositive_clock(self):
+        payload = SweepRequest().to_payload()
+        payload["clock_periods"] = [3.0, -1.0]
+        with pytest.raises(RequestError, match="clock periods"):
+            parse_request(payload)
+
+    def test_status_rejects_extra_fields(self):
+        payload = StatusRequest().to_payload()
+        payload["verbose"] = True
+        with pytest.raises(RequestError, match="unknown fields"):
+            parse_request(payload)
+
+    def test_request_error_is_a_serve_error(self):
+        assert issubclass(RequestError, ServeError)
+        assert issubclass(ServerBusyError, ServeError)
+        assert issubclass(ServeError, ReproError)
+
+
+class TestResponseRoundTrips:
+    """Every response type survives to_payload -> parse_response."""
+
+    def test_tune_response_round_trip(self):
+        response = TuneResponse(
+            method="cell_load_slope",
+            parameter=0.2,
+            clock_period=3.0,
+            design="microcontroller",
+            baseline_sigma=0.1,
+            tuned_sigma=0.05,
+            baseline_area=100.0,
+            tuned_area=104.0,
+            tuned_met=True,
+            sigma_reduction=50.0,
+            area_increase=4.0,
+            outcome="computed",
+            trace_id="abc123",
+            wall_ms=12.5,
+        )
+        assert parse_response(response.to_payload()) == response
+
+    def test_sweep_response_round_trip(self):
+        response = SweepResponse(
+            points=(
+                {
+                    "label": "microcontroller/cell_load_slope/0.2@3",
+                    "status": "hit",
+                    "sigma_reduction": 10.0,
+                    "area_increase": 1.0,
+                    "tuned_met": True,
+                },
+            ),
+            counts={"hit": 1, "skip": 0, "run": 0},
+            scheduled=0,
+            backend="serial",
+            outcome="warm",
+            trace_id="t",
+            wall_ms=1.0,
+        )
+        assert parse_response(response.to_payload()) == response
+
+    def test_status_response_round_trip(self):
+        response = StatusResponse(status={"uptime_s": 1.5}, trace_id="t")
+        assert parse_response(response.to_payload()) == response
+
+    def test_error_response_round_trip(self):
+        response = ErrorResponse(
+            error_type="TuningError", message="nope", trace_id="t"
+        )
+        assert parse_response(response.to_payload()) == response
+
+    def test_unknown_response_kind(self):
+        with pytest.raises(RequestError, match="unknown response kind"):
+            parse_response({"schema": SCHEMA_VERSION, "kind": "mystery"})
+
+    def test_truncated_response_payload(self):
+        payload = StatusResponse(status={}).to_payload()
+        del payload["status"]
+        with pytest.raises(RequestError, match="malformed"):
+            parse_response(payload)
+
+
+class TestErrorMapping:
+    """Exceptions render structurally and rebuild as typed errors."""
+
+    @pytest.mark.parametrize(
+        "error",
+        [
+            RequestError("bad field"),
+            ConfigError("bad scale"),
+            TuningError("unknown method"),
+            ServerBusyError("queue full"),
+        ],
+    )
+    def test_repro_errors_keep_their_type(self, error):
+        response = error_response(error, trace_id="tid")
+        assert response.error_type == type(error).__name__
+        rebuilt = error_from_payload(response)
+        assert type(rebuilt) is type(error)
+        assert str(rebuilt) == str(error)
+        assert rebuilt.trace_id == "tid"
+
+    def test_foreign_exception_becomes_internal_error(self):
+        """Non-repro exceptions cross the wire opaquely, no traceback."""
+        response = error_response(ValueError("secret internals"), "tid")
+        assert response.error_type == "InternalError"
+        assert "ValueError" in response.message
+        rebuilt = error_from_payload(response)
+        assert type(rebuilt) is ServeError
+
+    def test_hostile_type_name_degrades_to_serve_error(self):
+        """A payload cannot name arbitrary classes to instantiate."""
+        response = ErrorResponse(
+            error_type="SystemExit", message="boom", trace_id=""
+        )
+        rebuilt = error_from_payload(response)
+        assert type(rebuilt) is ServeError
+
+    def test_error_payload_shape(self):
+        """The wire shape is {error: {type, message}, trace_id}."""
+        payload = error_response(RequestError("x"), "tid").to_payload()
+        assert payload["error"] == {"type": "RequestError", "message": "x"}
+        assert payload["trace_id"] == "tid"
+        assert payload["schema"] == SCHEMA_VERSION

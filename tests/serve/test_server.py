@@ -1,0 +1,361 @@
+"""End-to-end HTTP contract: routing, errors, trace ids, backpressure."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.errors import ServerBusyError, TuningError
+from repro.flow.experiment import FlowConfig
+from repro.flow.metrics import TuningComparison
+from repro.observe import MemorySink, Tracer
+from repro.serve.client import TuningClient, request_async
+from repro.serve.handlers import TuningService
+from repro.serve.loadgen import run_burst, tune_burst
+from repro.serve.schema import ErrorResponse, TuneRequest
+from repro.serve.server import TuningServer
+
+
+def stub_evaluate(config, point):
+    """A synthesis-free evaluation with the flow's result shape."""
+    clock, method, parameter = point
+    return TuningComparison(
+        method=method or "baseline",
+        parameter=parameter,
+        clock_period=clock,
+        baseline_sigma=0.10,
+        tuned_sigma=0.05,
+        baseline_area=100.0,
+        tuned_area=104.0,
+    )
+
+
+def make_service(evaluate=stub_evaluate, max_pending=8, tracer=None):
+    """A tiny serial-backend service around ``evaluate``."""
+    config = FlowConfig.from_env(
+        scale="tiny", backend="serial", jobs=1, tracer=tracer
+    )
+    return TuningService(
+        config=config, max_pending=max_pending, evaluate=evaluate
+    )
+
+
+async def raw_http(port, payload_bytes, method=b"POST", target=b"/v1/request"):
+    """One raw HTTP exchange; returns (status, parsed JSON body)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    head = (
+        method + b" " + target + b" HTTP/1.1\r\n"
+        b"host: test\r\n"
+        b"content-length: " + str(len(payload_bytes)).encode() + b"\r\n"
+        b"connection: close\r\n\r\n"
+    )
+    writer.write(head + payload_bytes)
+    await writer.drain()
+    raw = await reader.read(-1)
+    writer.close()
+    await writer.wait_closed()
+    status = int(raw.split(b" ", 2)[1])
+    body = raw.partition(b"\r\n\r\n")[2]
+    return status, json.loads(body)
+
+
+class TestRouting:
+    def test_healthz_and_status(self):
+        async def scenario():
+            async with TuningServer(
+                service=make_service(), ledger=False
+            ) as server:
+                status, body = await raw_http(
+                    server.port, b"", method=b"GET", target=b"/healthz"
+                )
+                assert (status, body["ok"]) == (200, True)
+                status, body = await raw_http(
+                    server.port, b"", method=b"GET", target=b"/v1/status"
+                )
+                assert status == 200
+                assert body["kind"] == "status.result"
+                assert body["status"]["backend"] == "serial"
+
+        asyncio.run(scenario())
+
+    def test_unknown_path_is_404(self):
+        async def scenario():
+            async with TuningServer(
+                service=make_service(), ledger=False
+            ) as server:
+                status, body = await raw_http(
+                    server.port, b"", method=b"GET", target=b"/v2/zap"
+                )
+                assert status == 404
+                assert body["error"]["type"] == "RequestError"
+
+        asyncio.run(scenario())
+
+    def test_wrong_method_is_405_style_error(self):
+        async def scenario():
+            async with TuningServer(
+                service=make_service(), ledger=False
+            ) as server:
+                status, body = await raw_http(
+                    server.port, b"", method=b"DELETE", target=b"/v1/status"
+                )
+                assert status == 400
+                assert "GET" in body["error"]["message"]
+
+        asyncio.run(scenario())
+
+    def test_tune_over_client_echoes_trace_id(self):
+        async def scenario():
+            async with TuningServer(
+                service=make_service(), ledger=False
+            ) as server:
+                client = TuningClient(port=server.port)
+                response = await asyncio.to_thread(
+                    client.tune,
+                    "cell_load_slope",
+                    0.2,
+                    3.0,
+                    "microcontroller",
+                    None,
+                    "my-trace-42",
+                )
+                assert response.trace_id == "my-trace-42"
+                assert response.outcome == "computed"
+                assert response.sigma_reduction == pytest.approx(0.5)
+                assert response.wall_ms > 0
+
+        asyncio.run(scenario())
+
+
+class TestErrorContract:
+    """Invalid payloads return structured errors — never tracebacks."""
+
+    def test_invalid_json_is_structured_400(self):
+        async def scenario():
+            async with TuningServer(
+                service=make_service(), ledger=False
+            ) as server:
+                status, body = await raw_http(server.port, b"{not json")
+                assert status == 400
+                assert body["error"]["type"] == "RequestError"
+                assert "JSON" in body["error"]["message"]
+                assert "Traceback" not in json.dumps(body)
+
+        asyncio.run(scenario())
+
+    def test_unknown_kind_is_structured_400(self):
+        async def scenario():
+            async with TuningServer(
+                service=make_service(), ledger=False
+            ) as server:
+                payload = json.dumps({"schema": 1, "kind": "zap"}).encode()
+                status, body = await raw_http(server.port, payload)
+                assert status == 400
+                assert body["error"]["type"] == "RequestError"
+
+        asyncio.run(scenario())
+
+    def test_unknown_tuning_method_maps_to_tuning_error(self):
+        async def scenario():
+            async with TuningServer(
+                service=make_service(), ledger=False
+            ) as server:
+                client = TuningClient(port=server.port)
+                with pytest.raises(TuningError, match="nope"):
+                    await asyncio.to_thread(
+                        client.tune, "nope", 0.2, 3.0
+                    )
+
+        asyncio.run(scenario())
+
+    def test_oversized_body_is_413(self):
+        async def scenario():
+            async with TuningServer(
+                service=make_service(), ledger=False
+            ) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(
+                    b"POST /v1/request HTTP/1.1\r\n"
+                    b"content-length: 99999999\r\n\r\n"
+                )
+                await writer.drain()
+                raw = await reader.read(-1)
+                writer.close()
+                await writer.wait_closed()
+                assert b" 413 " in raw.split(b"\r\n", 1)[0]
+
+        asyncio.run(scenario())
+
+    def test_internal_error_is_opaque_500(self):
+        def exploding(config, point):
+            raise ValueError("database password is hunter2")
+
+        async def scenario():
+            async with TuningServer(
+                service=make_service(evaluate=exploding), ledger=False
+            ) as server:
+                request = TuneRequest(
+                    method="cell_load_slope", parameter=0.2, clock_period=3.0
+                )
+                status, response = await request_async(
+                    request, port=server.port
+                )
+                assert status == 500
+                assert isinstance(response, ErrorResponse)
+                assert response.error_type == "InternalError"
+                assert "Traceback" not in response.message
+
+        asyncio.run(scenario())
+
+
+class TestCoalescingOverHttp:
+    def test_identical_burst_computes_once(self):
+        gate = threading.Event()
+        calls = []
+
+        def gated(config, point):
+            calls.append(point)
+            assert gate.wait(timeout=30)
+            return stub_evaluate(config, point)
+
+        service = make_service(evaluate=gated)
+
+        async def scenario():
+            async with TuningServer(service=service, ledger=False) as server:
+                requests = tune_burst(10, "cell_load_slope", 0.2, 3.0)
+                burst = asyncio.ensure_future(
+                    run_burst(requests, port=server.port, concurrency=10)
+                )
+                for _ in range(2000):
+                    if service.coalescer.coalesced == 9:
+                        break
+                    await asyncio.sleep(0.005)
+                gate.set()
+                report = await burst
+                assert report.statuses == {200: 10}
+                assert report.outcomes["computed"] == 1
+                assert report.outcomes["coalesced"] == 9
+                assert len(calls) == 1
+                assert len(report.latencies_ms) == 10
+                assert report.p50 <= report.p95 <= report.p99
+
+        asyncio.run(scenario())
+
+
+class TestBackpressure:
+    def test_full_queue_returns_429(self):
+        gate = threading.Event()
+
+        def gated(config, point):
+            assert gate.wait(timeout=30)
+            return stub_evaluate(config, point)
+
+        service = make_service(evaluate=gated, max_pending=1)
+
+        async def scenario():
+            async with TuningServer(service=service, ledger=False) as server:
+                first = TuneRequest(
+                    method="cell_load_slope", parameter=0.1, clock_period=3.0
+                )
+                second = TuneRequest(
+                    method="cell_load_slope", parameter=0.2, clock_period=3.0
+                )
+                leader = asyncio.ensure_future(
+                    request_async(first, port=server.port)
+                )
+                for _ in range(2000):
+                    if service.dispatcher.pending == 1:
+                        break
+                    await asyncio.sleep(0.005)
+                status, response = await request_async(
+                    second, port=server.port
+                )
+                assert status == 429
+                assert isinstance(response, ErrorResponse)
+                assert response.error_type == "ServerBusyError"
+                gate.set()
+                status, _ = await leader
+                assert status == 200
+                assert service.counters["rejected"] == 1
+
+        asyncio.run(scenario())
+
+    def test_client_raises_server_busy_error(self):
+        gate = threading.Event()
+
+        def gated(config, point):
+            assert gate.wait(timeout=30)
+            return stub_evaluate(config, point)
+
+        service = make_service(evaluate=gated, max_pending=1)
+
+        async def scenario():
+            async with TuningServer(service=service, ledger=False) as server:
+                leader = asyncio.ensure_future(
+                    request_async(
+                        TuneRequest(
+                            method="cell_load_slope",
+                            parameter=0.1,
+                            clock_period=3.0,
+                        ),
+                        port=server.port,
+                    )
+                )
+                for _ in range(2000):
+                    if service.dispatcher.pending == 1:
+                        break
+                    await asyncio.sleep(0.005)
+                client = TuningClient(port=server.port)
+                with pytest.raises(ServerBusyError):
+                    await asyncio.to_thread(
+                        client.tune, "cell_load_slope", 0.9, 3.0
+                    )
+                gate.set()
+                await leader
+
+        asyncio.run(scenario())
+
+
+class TestObservability:
+    def test_requests_land_in_span_tree_and_ledger(self, tmp_path):
+        from repro.observe.ledger import RunLedger
+
+        tracer = Tracer(MemorySink())
+        service = make_service(tracer=tracer)
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+
+        async def scenario():
+            async with TuningServer(service=service, ledger=ledger) as server:
+                client = TuningClient(port=server.port)
+                await asyncio.to_thread(
+                    client.tune,
+                    "cell_load_slope",
+                    0.2,
+                    3.0,
+                    "microcontroller",
+                    None,
+                    "trace-ledger-1",
+                )
+                await asyncio.to_thread(client.status)
+
+        asyncio.run(scenario())
+        spans = [s for s in tracer.spans if s.name == "serve.request"]
+        assert len(spans) == 2
+        tune_span = next(s for s in spans if s.attrs["kind"] == "tune")
+        assert tune_span.attrs["outcome"] == "computed"
+        assert tune_span.attrs["status"] == 200
+        assert tune_span.attrs["request_trace"] == "trace-ledger-1"
+        records = ledger.read()
+        by_experiment = {r.experiment: r for r in records}
+        assert set(by_experiment) == {"serve.tune", "serve.status"}
+        tune_record = by_experiment["serve.tune"]
+        assert tune_record.run_id == "trace-ledger-1"
+        assert tune_record.counters["serve.status"] == 200.0
+        assert tune_record.counters["serve.outcome.computed"] == 1.0
+        assert tune_record.metrics["latency_ms"] > 0
+        assert tune_record.scale == "tiny"

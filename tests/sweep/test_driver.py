@@ -149,12 +149,12 @@ class TestIncremental:
         from repro.core.methods import method_by_name
         from repro.flow.experiment import TuningFlow
         from repro.parallel import ArtifactStore
-        from repro.sweep.driver import _point_keys
+        from repro.sweep.driver import point_keys
 
         run_sweep(_config(), POINT_GRID, ledger=False)
         flow = TuningFlow(_config())
         (point,) = POINT_GRID.points()
-        _tuning, _tuned, baseline = _point_keys(
+        _tuning, _tuned, baseline = point_keys(
             flow.statlib_key,
             flow.design_key,
             method_by_name(point.method),

@@ -1,0 +1,83 @@
+"""The curated package surface: lazy exports, audited and complete."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+
+class TestCuratedExports:
+    """``repro.__all__`` and the lazy-import table stay in lock-step."""
+
+    def test_all_matches_lazy_import_table(self):
+        """``__all__`` is exactly the sorted lazy-export table — a name
+        cannot be advertised without a defining module, nor wired up
+        without being advertised."""
+        import repro
+
+        assert repro.__all__ == sorted(repro._EXPORTS)
+
+    def test_every_export_resolves_to_its_module(self):
+        """Each lazy name resolves, and to the declared module's own
+        attribute (no accidental re-export shadowing)."""
+        import importlib
+
+        import repro
+
+        for name, module_name in repro._EXPORTS.items():
+            value = getattr(repro, name)
+            assert value is getattr(importlib.import_module(module_name), name)
+
+    def test_serve_names_are_curated(self):
+        """The service surface is part of the package's front door."""
+        import repro
+
+        for name in (
+            "TuningServer",
+            "TuningService",
+            "TuningClient",
+            "TuneRequest",
+            "SweepRequest",
+            "StatusRequest",
+        ):
+            assert name in repro.__all__
+        assert repro._EXPORTS["TuningServer"] == "repro.serve.server"
+        assert repro._EXPORTS["TuningClient"] == "repro.serve.client"
+        assert repro._EXPORTS["TuneRequest"] == "repro.serve.schema"
+
+    def test_import_repro_stays_stdlib_only(self):
+        """``import repro`` in a pristine interpreter loads nothing
+        beyond the standard library — no numpy, no package submodules
+        (the lazy-export contract the serve additions must not
+        break)."""
+        import repro
+
+        src_dir = str(Path(repro.__file__).resolve().parent.parent)
+        code = (
+            "import sys; baseline = set(sys.modules); import repro; "
+            "extra = {m for m in sys.modules if m not in baseline}; "
+            "bad = {m for m in extra if m.startswith('repro.') "
+            "or m.split('.')[0] == 'numpy'}; "
+            "assert not bad, f'import repro dragged in: {sorted(bad)}'; "
+            "print('stdlib-only-ok')"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": src_dir, "PATH": "/usr/bin:/bin"},
+        )
+        assert "stdlib-only-ok" in result.stdout
+
+    def test_serve_exports_are_the_real_objects(self):
+        """Lazy serve exports are the same objects as deep imports."""
+        import repro
+        from repro.serve.client import TuningClient
+        from repro.serve.schema import TuneRequest
+        from repro.serve.server import TuningServer
+
+        assert repro.TuningServer is TuningServer
+        assert repro.TuningClient is TuningClient
+        assert repro.TuneRequest is TuneRequest
