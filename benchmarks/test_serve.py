@@ -12,6 +12,10 @@ what each one actually cost:
   cold group coalesces to one evaluation while the warm majority stays
   store-only.
 
+A final leg replays the warm burst with metrics collection toggled
+off and on, asserting live telemetry costs the warm hot path less
+than 5% throughput (``metrics_overhead_pct`` in the bench JSON).
+
 Latency percentiles (p50/p95/p99) and throughput for every phase land
 in ``BENCH_<runid>.json`` via the shared :func:`conftest.show` hook.
 """
@@ -124,10 +128,34 @@ def test_serve_coalescing_and_warm_latency(benchmark, tmp_path, monkeypatch):
     for report in (cold, warm, mixed):
         assert report.p50 <= report.p95 <= report.p99
 
+    # metrics overhead: the same warm burst with collection toggled —
+    # live telemetry must cost the hot path less than 5% throughput.
+    # Best-of-two on the enabled side smooths scheduler noise; the
+    # guard is a regression tripwire, not a microbenchmark.
+    from repro.observe.metrics import set_metrics_enabled
+
+    warm_requests = tune_burst(WARM_N, METHOD, COLD_PARAMETER, PERIOD)
+    previous = set_metrics_enabled(False)
+    try:
+        off = _burst(service, warm_requests, CONCURRENCY)
+    finally:
+        set_metrics_enabled(previous)
+    on_reports = [
+        _burst(service, warm_requests, CONCURRENCY) for _ in range(2)
+    ]
+    rps_on = max(report.throughput_rps for report in on_reports)
+    overhead_pct = 100.0 * (1.0 - rps_on / off.throughput_rps)
+    print(
+        f"metrics overhead: off={off.throughput_rps:.0f} rps "
+        f"on={rps_on:.0f} rps ({overhead_pct:+.1f}%)"
+    )
+    assert rps_on >= 0.95 * off.throughput_rps
+
     benchmark.extra_info["cold_p99_ms"] = round(cold.p99, 1)
     benchmark.extra_info["warm_p99_ms"] = round(warm.p99, 1)
     benchmark.extra_info["coalesced_cold"] = cold.outcomes["coalesced"]
     benchmark.extra_info["warm_rps"] = round(warm.throughput_rps, 1)
+    benchmark.extra_info["metrics_overhead_pct"] = round(overhead_pct, 2)
 
     show(
         ExperimentResult(

@@ -24,6 +24,10 @@ The package implements the paper's full flow from scratch:
 * an observability layer — spans, counters, profiling, an append-only
   run ledger with trend reports and a metrics regression gate — over
   all of it (:mod:`repro.observe`);
+* live operational telemetry — a process-wide metrics registry
+  (counters, gauges, histograms) with Prometheus exposition on the
+  serve API's ``/metrics`` and a live console dashboard
+  (:mod:`repro.observe.metrics`, ``python -m repro metrics``);
 * a static-analysis layer enforcing the determinism, process-safety
   and picklability contracts the execution layer depends on
   (:mod:`repro.lint`, ``python -m repro lint``);
@@ -72,6 +76,8 @@ _EXPORTS = {
     "FlowConfig": "repro.flow.experiment",
     "KERNEL_NAMES": "repro.kernels",
     "LintEngine": "repro.lint.engine",
+    "MetricsRegistry": "repro.observe.metrics",
+    "MetricsSnapshot": "repro.observe.metrics",
     "RunLedger": "repro.observe.ledger",
     "RunRecord": "repro.observe.ledger",
     "StatusRequest": "repro.serve.schema",
@@ -85,6 +91,8 @@ _EXPORTS = {
     "TuningService": "repro.serve.handlers",
     "build_catalog": "repro.cells.catalog",
     "get_kernel": "repro.kernels",
+    "get_metrics": "repro.observe.metrics",
+    "render_prometheus": "repro.observe.metrics",
     "set_kernel": "repro.kernels",
     "use_kernel": "repro.kernels",
 }

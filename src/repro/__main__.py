@@ -24,6 +24,9 @@ Usage::
     python -m repro lint --format json    # machine-readable findings
     python -m repro lint --update-baseline    # ratchet committed debt down
     python -m repro serve --port 8731     # tuning-as-a-service HTTP API
+    python -m repro metrics               # scrape a live server's /metrics
+    python -m repro metrics --watch       # live console dashboard
+    python -m repro metrics snap.json --format prom   # render a snapshot
     REPRO_SCALE=paper python -m repro run table1   # full-scale flow
 
 Every pipeline stage (characterized library, tuning, synthesis, worst
@@ -55,8 +58,7 @@ baseline and exits nonzero on drift — the CI regression gate.
 
 The execution flags (``--jobs``, ``--no-cache``, ``--manifest``,
 ``--trace``, ``--profile``) are defined once on a shared parent parser,
-so every run-like invocation accepts the same set.  ``cache`` remains a
-deprecated alias of ``store``.
+so every run-like invocation accepts the same set.
 """
 
 from __future__ import annotations
@@ -139,7 +141,8 @@ def _shared_options() -> argparse.ArgumentParser:
 
 
 def _build_parser() -> argparse.ArgumentParser:
-    """The full CLI parser: list / run / store (+ the ``cache`` alias)."""
+    """The full CLI parser: list / run / store / trace / lint / sweep /
+    report / check / serve / metrics."""
     shared = _shared_options()
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -160,16 +163,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run only the fast, synthesis-free experiments",
     )
-    for name, help_text in (
-        ("store", "inspect or clear the library cache and artifact store"),
-        ("cache", "deprecated alias of 'store'"),
-    ):
-        store_parser = sub.add_parser(name, help=help_text)
-        store_parser.add_argument(
-            "action",
-            choices=("stats", "clear"),
-            help="what to do with the on-disk state",
-        )
+    store_parser = sub.add_parser(
+        "store", help="inspect or clear the library cache and artifact store"
+    )
+    store_parser.add_argument(
+        "action",
+        choices=("stats", "clear"),
+        help="what to do with the on-disk state",
+    )
 
     trace_parser = sub.add_parser(
         "trace", help="analyze recorded JSONL traces"
@@ -312,6 +313,39 @@ def _build_parser() -> argparse.ArgumentParser:
         help="concurrent backend submissions before requests are "
         "rejected with 429 (default 8)",
     )
+
+    metrics_parser = sub.add_parser(
+        "metrics",
+        help="inspect live operational metrics: scrape a running "
+        "server's /metrics, or render on-disk snapshot files",
+    )
+    metrics_parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="metric snapshot files (JSON or spool JSONL) to merge and "
+        "render; with none, scrape the live server instead",
+    )
+    metrics_parser.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="server address to scrape (default 127.0.0.1)",
+    )
+    metrics_parser.add_argument(
+        "--port", type=int, default=8731, metavar="N",
+        help="server port to scrape (default 8731)",
+    )
+    metrics_parser.add_argument(
+        "--format", choices=("console", "json", "prom"), default="console",
+        help="output format: human-readable 'console' (default), "
+        "canonical 'json' snapshot, or Prometheus 'prom' text",
+    )
+    metrics_parser.add_argument(
+        "--watch", action="store_true",
+        help="live console dashboard, refreshing in place until "
+        "interrupted (scrape mode only)",
+    )
+    metrics_parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="refresh period of --watch in seconds (default 2.0)",
+    )
     return parser
 
 
@@ -420,9 +454,13 @@ def _run_serve_command(args: argparse.Namespace) -> int:
     (invalid config — e.g. ``--no-cache``, which the service rejects
     because warm hits stream from the artifact store).
     """
+    import os
+    import tempfile
+
     from repro.errors import ConfigError
     from repro.flow.experiment import FlowConfig
     from repro.serve.server import TuningServer
+    from repro.observe.metrics import METRICS_SPOOL_ENV
 
     tracer = _build_run_tracer(args)
     try:
@@ -434,6 +472,14 @@ def _run_serve_command(args: argparse.Namespace) -> int:
             cache=False if args.no_cache else None,
             tracer=tracer,
         )
+        if config.metrics and not os.environ.get(METRICS_SPOOL_ENV):
+            # Give worker processes a delta spool so their counters show
+            # up in /metrics; inherited through the pool's environment.
+            fd, spool = tempfile.mkstemp(
+                prefix="repro-metrics-", suffix=".jsonl"
+            )
+            os.close(fd)
+            os.environ[METRICS_SPOOL_ENV] = spool
         server = TuningServer(
             config=config,
             host=args.host,
@@ -454,6 +500,51 @@ def _run_serve_command(args: argparse.Namespace) -> int:
     finally:
         if tracer is not None:
             _report_trace(tracer, args)
+    return 0
+
+
+def _run_metrics_command(args: argparse.Namespace) -> int:
+    """Handle ``python -m repro metrics`` — live-metric inspection.
+
+    With snapshot ``paths``, merge and render them offline.  Without,
+    scrape the live server's ``/metrics`` endpoint — once, or
+    repeatedly in place with ``--watch``.  Exit 2 when the server is
+    unreachable or a snapshot cannot be read.
+    """
+    import json
+
+    from repro.errors import ObservabilityError
+    from repro.observe.dashboard import (
+        fetch_metrics,
+        render_console,
+        watch,
+    )
+    from repro.observe.metrics import load_metrics, render_prometheus
+
+    try:
+        if args.paths:
+            snapshot = load_metrics(args.paths)
+        elif args.watch:
+            try:
+                watch(
+                    lambda: fetch_metrics(args.host, args.port),
+                    sys.stdout,
+                    interval=args.interval,
+                )
+            except KeyboardInterrupt:
+                print()
+            return 0
+        else:
+            snapshot = fetch_metrics(args.host, args.port)
+    except (OSError, ObservabilityError, ValueError) as error:
+        print(f"cannot read metrics: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(snapshot.to_payload(), indent=2, sort_keys=True))
+    elif args.format == "prom":
+        sys.stdout.write(render_prometheus(snapshot))
+    else:
+        sys.stdout.write(render_console(snapshot))
     return 0
 
 
@@ -606,17 +697,7 @@ def main(argv: List[str]) -> int:
             tag = " (library-only)" if experiment_id in LIBRARY_ONLY else ""
             print(f"{experiment_id:8s} {doc}{tag}")
         return 0
-    if args.command in ("store", "cache"):
-        if args.command == "cache":
-            import warnings
-
-            warnings.warn(
-                "the 'cache' subcommand is deprecated and will be removed "
-                "in the next major release; use 'python -m repro store "
-                f"{args.action}'",
-                DeprecationWarning,
-                stacklevel=2,
-            )
+    if args.command == "store":
         return _run_store_command(args.action)
     if args.command == "lint":
         from repro.lint.cli import run_lint_command
@@ -632,6 +713,8 @@ def main(argv: List[str]) -> int:
         return _run_check_command(args)
     if args.command == "serve":
         return _run_serve_command(args)
+    if args.command == "metrics":
+        return _run_metrics_command(args)
 
     if args.all:
         ids = list(ALL_EXPERIMENTS)

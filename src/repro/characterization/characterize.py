@@ -37,6 +37,10 @@ from repro.characterization.grids import GridConfig, load_grid, slew_grid
 from repro.errors import CharacterizationError, ReproError
 from repro.kernels.dispatch import resolve_kernel
 from repro.observe import get_tracer
+from repro.observe.catalog import (
+    CHARACTERIZE_CELLS,
+    CHARACTERIZE_MC_SAMPLES,
+)
 from repro.liberty.model import (
     Cell,
     Library,
@@ -195,6 +199,7 @@ class Characterizer:
         if n_samples < 2:
             raise CharacterizationError("need at least 2 Monte-Carlo samples")
         get_tracer().add("characterize.mc_samples", n_samples * len(specs))
+        CHARACTERIZE_MC_SAMPLES.inc(n_samples * len(specs))
         draws: Dict[str, CellDraws] = {}
         for spec in specs:
             rng = cell_rng(seed, spec.name)
@@ -346,6 +351,7 @@ class Characterizer:
         _characterize_calls += 1
         tracer = get_tracer()
         tracer.add("characterize.cells", 1)
+        CHARACTERIZE_CELLS.inc()
         with tracer.span("characterize.cell", cell=spec.name):
             return self._characterize_cell(
                 spec, draws, sample_index, global_draws, statistical
@@ -582,6 +588,7 @@ class Characterizer:
         _characterize_calls += len(sample_indices)
         tracer = get_tracer()
         tracer.add("characterize.cells", len(sample_indices))
+        CHARACTERIZE_CELLS.inc(len(sample_indices))
         with tracer.span(
             "characterize.cell_samples",
             cell=spec.name,

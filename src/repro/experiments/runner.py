@@ -165,8 +165,14 @@ def run_experiments(
     artifact store), ``ledger=False`` disables recording, and an
     explicit :class:`~repro.observe.ledger.RunLedger` pins the path.
     """
-    from repro.observe import JsonlExporter, Tracer, get_tracer, set_tracer
+    from repro.observe import JsonlExporter, Tracer, get_metrics, get_tracer, set_tracer
     from repro.observe.ledger import resolve_ledger
+
+    def metric_counters() -> Dict[str, float]:
+        """Live metric counter totals, flattened into ledger-counter
+        names (``repro_..._total{label="..."}``) — disjoint from tracer
+        counter names, so the two merge without collisions."""
+        return get_metrics().snapshot().counter_totals()
 
     context = context or build_context()
     chosen = ids if ids is not None else list(ALL_EXPERIMENTS)
@@ -182,6 +188,7 @@ def run_experiments(
         session = get_tracer()
         manifest_start = len(context.flow.manifest.records)
         start = time.perf_counter()
+        metrics_start = metric_counters()
         if directory is not None:
             path = directory / f"{experiment_id}.trace.jsonl"
             artifact_tracer = Tracer(JsonlExporter(path, truncate=True))
@@ -206,8 +213,8 @@ def run_experiments(
                 results[experiment_id],
                 context,
                 manifest_start,
-                counters_start,
-                counters_end,
+                {**counters_start, **metrics_start},
+                {**counters_end, **metric_counters()},
                 wall=time.perf_counter() - start,
             )
     return results

@@ -42,7 +42,7 @@ from repro.core.tuner import LibraryTuner, TuningResult
 from repro.errors import ConfigError, ReproError
 from repro.kernels.dispatch import DEFAULT_KERNEL, set_kernel, validate_kernel
 from repro.parallel.backends import DEFAULT_BACKEND, validate_backend
-from repro.observe import Tracer, get_tracer, set_tracer
+from repro.observe import Tracer, get_tracer, set_metrics_enabled, set_tracer
 from repro.flow.metrics import TuningComparison, compare_runs
 from repro.flow.minperiod import minimum_clock_period
 from repro.flow.pipeline import (
@@ -71,6 +71,23 @@ from repro.sta.statistics import DesignStatistics, design_statistics
 from repro.synth.constraints import SynthesisConstraints
 from repro.synth.synthesizer import SynthesisResult, synthesize
 from repro.units import GUARD_BAND_NS
+
+#: Accepted spellings of the boolean environment knobs.
+_BOOL_KNOB_VALUES = {
+    "1": True, "true": True, "on": True, "yes": True,
+    "0": False, "false": False, "off": False, "no": False,
+}
+
+
+def _parse_bool_knob(name: str, value: str) -> bool:
+    """Parse an on/off environment knob, failing loudly on typos."""
+    parsed = _BOOL_KNOB_VALUES.get(value.strip().lower())
+    if parsed is None:
+        raise ConfigError(
+            f"{name} must be one of "
+            f"{', '.join(sorted(_BOOL_KNOB_VALUES))}; got {value!r}"
+        )
+    return parsed
 
 
 @dataclass(frozen=True)
@@ -103,6 +120,10 @@ class FlowConfig:
     #: sweep worker processes so their spans merge into the same trace.
     #: Excluded from comparison — tracing never changes results.
     tracer: Optional[Tracer] = field(default=None, compare=False, repr=False)
+    #: Live metrics collection (:mod:`repro.observe.metrics`) on/off;
+    #: the flow applies it process-wide on construction.  Excluded from
+    #: comparison — telemetry never changes results.
+    metrics: bool = field(default=True, compare=False)
 
     @staticmethod
     def paper() -> "FlowConfig":
@@ -176,6 +197,7 @@ class FlowConfig:
         backend: Optional[str] = None,
         cache: Optional[bool] = None,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[bool] = None,
     ) -> "FlowConfig":
         """The single resolver for every execution knob.
 
@@ -192,6 +214,7 @@ class FlowConfig:
         backend    ``REPRO_BACKEND``  execution backend (``process``)
         cache      —                  artifact store on/off (on)
         tracer     —                  tracer the flow installs (none)
+        metrics    ``REPRO_METRICS``  live metrics collection on/off (on)
         =========  =================  ====================================
 
         ``REPRO_LEDGER`` (run-ledger path, or ``off``) is deliberately
@@ -244,6 +267,12 @@ class FlowConfig:
             config = replace(config, cache=cache)
         if tracer is not None:
             config = replace(config, tracer=tracer)
+        if metrics is None:
+            env_metrics = os.environ.get("REPRO_METRICS")
+            if env_metrics is not None:
+                metrics = _parse_bool_knob("REPRO_METRICS", env_metrics)
+        if metrics is not None:
+            config = replace(config, metrics=metrics)
         return config
 
     @staticmethod
@@ -391,6 +420,7 @@ class TuningFlow:
         if self.config.tracer is not None:
             set_tracer(self.config.tracer)
         set_kernel(self.config.kernel)
+        set_metrics_enabled(self.config.metrics)
         self.manifest = RunManifest()
         self._store = None
         if self.config.cache:

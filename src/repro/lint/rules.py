@@ -28,6 +28,10 @@ but the language cannot enforce:
 * **API001** — library code raises :mod:`repro.errors` types; bare
   ``raise Exception`` gives callers nothing to catch and ``assert``
   disappears under ``python -O``.
+* **OBS001** — ``repro_*`` metric instruments are declared only in
+  :mod:`repro.observe.catalog`; a counter/gauge/histogram created at a
+  call site can silently fork the namespace (name drift, mismatched
+  label sets) and escape the DESIGN.md §17 inventory.
 
 Rules are intentionally small (the engine carries the traversal,
 import resolution and scope bookkeeping); adding one is ~30 lines —
@@ -591,6 +595,63 @@ class Api001ErrorDiscipline(Rule):
             )
 
 
+class Obs001MetricCatalogOnly(Rule):
+    """OBS001: ``repro_*`` metrics are declared only in the catalog."""
+
+    rule_id = "OBS001"
+    title = "repro_* metric created outside repro.observe.catalog"
+    hint = (
+        "declare the instrument in repro.observe.catalog and import it; "
+        "the catalog is the single source of truth DESIGN.md §17 "
+        "documents"
+    )
+    rationale = (
+        "the metric namespace is closed: every repro_* instrument lives "
+        "in repro.observe.catalog so names, label sets and bucket "
+        "layouts can never drift between call sites, and the DESIGN.md "
+        "§17 catalog stays an exhaustive inventory of what /metrics "
+        "exposes"
+    )
+    node_types = (ast.Call,)
+
+    #: Modules allowed to create repro_* instruments: the catalog (the
+    #: declarations themselves) and the registry implementation.
+    _ALLOWED_MODULES = ("repro.observe.catalog", "repro.observe.metrics")
+
+    _FACTORY_NAMES = ("counter", "gauge", "histogram")
+
+    def applies_to(self, context: FileContext) -> bool:
+        """Library modules, minus the catalog/registry themselves."""
+        return (
+            context.module == "repro" or context.module.startswith("repro.")
+        ) and context.module not in self._ALLOWED_MODULES
+
+    def visit(self, node: ast.Call, context: FileContext) -> None:
+        """Flag ``*.counter("repro_...")`` (and gauge/histogram)."""
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            factory = func.attr
+        elif isinstance(func, ast.Name):
+            factory = func.id
+        else:
+            return
+        if factory not in self._FACTORY_NAMES or not node.args:
+            return
+        first = node.args[0]
+        if not (
+            isinstance(first, ast.Constant)
+            and isinstance(first.value, str)
+            and first.value.startswith("repro_")
+        ):
+            return
+        context.report(
+            self, node,
+            f"metric {first.value!r} created in '{context.module}' — "
+            "declare it in repro.observe.catalog and import the "
+            "instrument",
+        )
+
+
 #: The rule set ``python -m repro lint`` runs by default.
 DEFAULT_RULES: Tuple[Rule, ...] = (
     Det001WallClockAndGlobalRng(),
@@ -599,6 +660,7 @@ DEFAULT_RULES: Tuple[Rule, ...] = (
     Proc002ModuleLevelExecutorCallables(),
     Proc003BackendDispatchOnly(),
     Api001ErrorDiscipline(),
+    Obs001MetricCatalogOnly(),
 )
 
 

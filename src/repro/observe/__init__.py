@@ -20,6 +20,13 @@ pieces:
 * :mod:`repro.observe.analyze` — trace summarize/diff, the ledger
   trend report and the baseline regression gate behind ``python -m
   repro trace|report|check``.
+* :mod:`repro.observe.metrics` — *live* telemetry: a process-wide
+  registry of counters/gauges/histograms with labeled children,
+  Prometheus text exposition (``GET /metrics`` on the tuning server),
+  and worker-delta spooling so totals stay exact across process
+  backends.  Instruments are declared in
+  :mod:`repro.observe.catalog`; :mod:`repro.observe.dashboard` renders
+  snapshots for ``python -m repro metrics [--watch]``.
 
 Entry points: ``FlowConfig(tracer=...)``, ``python -m repro fig10
 --trace out.jsonl`` / ``--profile``, or directly::
@@ -43,6 +50,24 @@ from repro.observe.analyze import (
 )
 from repro.observe.export import JsonlExporter, MemorySink, Trace, load_trace, merge_records
 from repro.observe.ledger import RunLedger, RunRecord, metrics_from_result
+from repro.observe.metrics import (
+    METRICS_SPOOL_ENV,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramValue,
+    MetricsRegistry,
+    MetricsSnapshot,
+    flush_worker_metrics,
+    get_metrics,
+    histogram_quantile,
+    install_worker_metrics,
+    load_metrics,
+    log_buckets,
+    parse_prometheus,
+    render_prometheus,
+    set_metrics_enabled,
+)
 from repro.observe.render import render_counters, render_trace, render_tree
 from repro.observe.tracer import (
     NULL_TRACER,
@@ -56,8 +81,15 @@ from repro.observe.tracer import (
 )
 
 __all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramValue",
     "JsonlExporter",
+    "METRICS_SPOOL_ENV",
     "MemorySink",
+    "MetricsRegistry",
+    "MetricsSnapshot",
     "NULL_TRACER",
     "NullTracer",
     "RunLedger",
@@ -69,15 +101,24 @@ __all__ = [
     "Tracer",
     "check_record",
     "diff_traces",
+    "flush_worker_metrics",
+    "get_metrics",
     "get_tracer",
+    "histogram_quantile",
+    "install_worker_metrics",
     "install_worker_tracer",
+    "load_metrics",
     "load_trace",
+    "log_buckets",
     "merge_records",
     "metrics_from_result",
+    "parse_prometheus",
     "render_counters",
+    "render_prometheus",
     "render_report",
     "render_trace",
     "render_tree",
+    "set_metrics_enabled",
     "set_tracer",
     "summarize_trace",
 ]

@@ -1,0 +1,140 @@
+"""The closed catalog of every live metric the repo emits.
+
+Every instrument is declared *here*, bound to the process-wide
+registry, and imported by the module that drives it — never created
+at the point of use.  The OBS001 lint rule enforces the closure: a
+``repro_``-prefixed metric name handed to ``.counter()`` / ``.gauge()``
+/ ``.histogram()`` anywhere else in ``repro.*`` is flagged, so a typo
+can never silently fork a time series.
+
+The full name / type / labels / owner table is documented in
+DESIGN.md §17; keep the two in sync when adding instruments.
+"""
+
+from __future__ import annotations
+
+from repro.observe.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    get_metrics,
+    log_buckets,
+)
+
+_REGISTRY = get_metrics()
+
+# -- serve: the HTTP front (repro.serve.server / handlers / coalesce) --
+
+#: Requests answered, by request kind and outcome
+#: (``computed`` / ``warm`` / ``coalesced`` / ``ok`` / ``error`` /
+#: ``rejected``).
+SERVE_REQUESTS: Counter = _REGISTRY.counter(
+    "repro_serve_requests_total",
+    "Requests answered by the tuning server",
+    labelnames=("kind", "outcome"),
+)
+
+#: End-to-end request latency (route + handler), seconds.
+SERVE_REQUEST_SECONDS: Histogram = _REGISTRY.histogram(
+    "repro_serve_request_seconds",
+    "End-to-end request latency in seconds",
+    labelnames=("kind", "outcome"),
+    buckets=log_buckets(-4, 2),
+)
+
+#: Responses by HTTP status class (2xx / 4xx / 5xx).
+SERVE_HTTP_RESPONSES: Counter = _REGISTRY.counter(
+    "repro_serve_http_responses_total",
+    "HTTP responses by status class",
+    labelnames=("class",),
+)
+
+#: Requests currently inside the router (accepted, not yet answered).
+SERVE_INFLIGHT: Gauge = _REGISTRY.gauge(
+    "repro_serve_inflight_requests",
+    "Requests currently being routed",
+)
+
+#: Coalescer role counts: one ``leader`` runs the computation, every
+#: ``follower`` piggybacks on the leader's result.
+SERVE_COALESCE: Counter = _REGISTRY.counter(
+    "repro_serve_coalesce_total",
+    "Coalesced request groups by role",
+    labelnames=("role",),
+)
+
+# -- dispatch: the bounded async bridge (repro.parallel.backends) ------
+
+#: Blocking submissions currently in flight on the dispatcher.
+DISPATCH_PENDING: Gauge = _REGISTRY.gauge(
+    "repro_dispatch_pending",
+    "Dispatcher submissions in flight",
+)
+
+#: The dispatcher's backpressure bound (429 above this).
+DISPATCH_CAPACITY: Gauge = _REGISTRY.gauge(
+    "repro_dispatch_capacity",
+    "Dispatcher backpressure bound",
+)
+
+# -- execution backends (repro.parallel.backends) ----------------------
+
+#: Tasks crossing a backend, by backend name and lifecycle event
+#: (``dispatched`` / ``completed``).
+BACKEND_TASKS: Counter = _REGISTRY.counter(
+    "repro_backend_tasks_total",
+    "Tasks dispatched to and completed by execution backends",
+    labelnames=("backend", "event"),
+)
+
+#: Wall time of one backend task, seconds, measured in the worker.
+BACKEND_TASK_SECONDS: Histogram = _REGISTRY.histogram(
+    "repro_backend_task_seconds",
+    "Per-task worker wall time in seconds",
+    labelnames=("backend",),
+    buckets=log_buckets(-4, 2),
+)
+
+# -- stores: artifacts + .npz library cache (repro.parallel) -----------
+
+#: Artifact-store lookups by event (``hit`` / ``miss`` / ``healed``).
+STORE_ARTIFACT_EVENTS: Counter = _REGISTRY.counter(
+    "repro_store_artifact_total",
+    "Artifact store lookups by event",
+    labelnames=("event",),
+)
+
+#: Artifact bytes crossing the disk boundary (``read`` / ``written``).
+STORE_ARTIFACT_BYTES: Counter = _REGISTRY.counter(
+    "repro_store_artifact_bytes_total",
+    "Artifact store bytes by direction",
+    labelnames=("direction",),
+)
+
+#: ``.npz`` library-cache lookups by event (``hit`` / ``miss``).
+STORE_LIBRARY_EVENTS: Counter = _REGISTRY.counter(
+    "repro_store_library_total",
+    "Library (.npz) cache lookups by event",
+    labelnames=("event",),
+)
+
+#: Library-cache bytes crossing the disk boundary.
+STORE_LIBRARY_BYTES: Counter = _REGISTRY.counter(
+    "repro_store_library_bytes_total",
+    "Library (.npz) cache bytes by direction",
+    labelnames=("direction",),
+)
+
+# -- characterization (repro.characterization) -------------------------
+
+#: Cells fully characterized (statistical or per-sample).
+CHARACTERIZE_CELLS: Counter = _REGISTRY.counter(
+    "repro_characterize_cells_total",
+    "Cells characterized",
+)
+
+#: Monte-Carlo samples evaluated across all characterized cells.
+CHARACTERIZE_MC_SAMPLES: Counter = _REGISTRY.counter(
+    "repro_characterize_mc_samples_total",
+    "Monte-Carlo samples evaluated",
+)

@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from repro.observe import get_tracer
+from repro.observe.catalog import STORE_ARTIFACT_BYTES, STORE_ARTIFACT_EVENTS
 from repro.parallel.cache import default_cache_dir
 
 #: Format/semantics version folded into every artifact key and file.
@@ -109,8 +110,10 @@ class ArtifactStore:
         """
         path = self.path_for(stage, key)
         if not path.is_file():
+            STORE_ARTIFACT_EVENTS.labels(event="miss").inc()
             return None
         try:
+            size = path.stat().st_size
             with gzip.open(path, "rt", encoding="utf-8") as handle:
                 envelope = json.load(handle)
             if (
@@ -119,12 +122,15 @@ class ArtifactStore:
                 or envelope.get("key") != key
             ):
                 raise ValueError("artifact envelope mismatch")
+            STORE_ARTIFACT_EVENTS.labels(event="hit").inc()
+            STORE_ARTIFACT_BYTES.labels(direction="read").inc(size)
             return envelope["payload"]
         except Exception as error:
             # Self-healing: an unreadable entry becomes a miss.  The
             # anomaly is worth a trace event — silent healing hides an
             # unhealthy store (disk trouble, version skew, races).
             self._discard(path)
+            STORE_ARTIFACT_EVENTS.labels(event="healed").inc()
             tracer = get_tracer()
             tracer.add("store.artifact.healed", 1)
             tracer.event(
@@ -153,6 +159,9 @@ class ArtifactStore:
                 with gzip.open(raw, "wt", encoding="utf-8") as handle:
                     json.dump(envelope, handle, sort_keys=True, separators=(",", ":"))
             os.replace(tmp_name, path)
+            STORE_ARTIFACT_BYTES.labels(direction="written").inc(
+                path.stat().st_size
+            )
         except BaseException:
             try:
                 os.unlink(tmp_name)

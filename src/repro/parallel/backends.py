@@ -51,12 +51,20 @@ import asyncio
 import pickle
 import shutil
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigError, ServerBusyError
 from repro.observe import TraceHandle, get_tracer, install_worker_tracer
+from repro.observe.catalog import (
+    BACKEND_TASK_SECONDS,
+    BACKEND_TASKS,
+    DISPATCH_CAPACITY,
+    DISPATCH_PENDING,
+)
+from repro.observe.metrics import flush_worker_metrics, install_worker_metrics
 
 #: The recognized backend names, in documentation order.
 BACKEND_NAMES: Tuple[str, ...] = ("serial", "process", "queue")
@@ -139,7 +147,20 @@ class SerialBackend(ExecutorBackend):
         self, fn: Callable[..., Any], tasks: Sequence[Task]
     ) -> List[Any]:
         """Run every task inline; the caller's tracer stays active."""
-        return [fn(*task) for task in tasks]
+        BACKEND_TASKS.labels(backend=self.name, event="dispatched").inc(
+            len(tasks)
+        )
+        results: List[Any] = []
+        for task in tasks:
+            started = time.perf_counter()
+            results.append(fn(*task))
+            BACKEND_TASK_SECONDS.labels(self.name).observe(
+                time.perf_counter() - started
+            )
+        BACKEND_TASKS.labels(backend=self.name, event="completed").inc(
+            len(tasks)
+        )
+        return results
 
 
 class ProcessBackend(ExecutorBackend):
@@ -171,11 +192,47 @@ class ProcessBackend(ExecutorBackend):
         if not tasks:
             return []
         trace = get_tracer().handle()
+        BACKEND_TASKS.labels(backend=self.name, event="dispatched").inc(
+            len(tasks)
+        )
         with ProcessPoolExecutor(
             max_workers=min(self.n_workers, len(tasks))
         ) as pool:
-            futures = [pool.submit(fn, *task, trace) for task in tasks]
-            return [future.result() for future in futures]
+            futures = [
+                pool.submit(_run_worker_task, fn, tuple(task), trace, self.name)
+                for task in tasks
+            ]
+            results = [future.result() for future in futures]
+        BACKEND_TASKS.labels(backend=self.name, event="completed").inc(
+            len(tasks)
+        )
+        return results
+
+
+def _run_worker_task(
+    fn: Callable[..., Any],
+    args: Task,
+    trace: Optional[TraceHandle],
+    backend_name: str,
+) -> Any:
+    """Worker shim: run one task with metrics plumbing around it.
+
+    Module-level (PROC002) so the pool can pickle it by name.  The
+    fork-inherited registry is re-based before the task runs
+    (:func:`~repro.observe.metrics.install_worker_metrics`) and this
+    process's growth — including the task wall-time observation — is
+    flushed to the spool afterwards, win or lose.  The task callable
+    keeps its existing ``fn(*args, trace)`` contract.
+    """
+    install_worker_metrics()
+    started = time.perf_counter()
+    try:
+        return fn(*args, trace)
+    finally:
+        BACKEND_TASK_SECONDS.labels(backend_name).observe(
+            time.perf_counter() - started
+        )
+        flush_worker_metrics()
 
 
 def _atomic_write_bytes(path: Path, payload: bytes) -> None:
@@ -203,15 +260,23 @@ def _drain_spool(
     parent; the results themselves travel through the spool).
     """
     install_worker_tracer(trace)
+    install_worker_metrics()
     directory = Path(spool)
-    for index in indices:
-        with open(directory / f"task-{index:05d}.pkl", "rb") as handle:
-            fn, args = pickle.loads(handle.read())
-        result = fn(*args, trace)
-        _atomic_write_bytes(
-            directory / f"result-{index:05d}.pkl",
-            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL),
-        )
+    try:
+        for index in indices:
+            with open(directory / f"task-{index:05d}.pkl", "rb") as handle:
+                fn, args = pickle.loads(handle.read())
+            started = time.perf_counter()
+            result = fn(*args, trace)
+            BACKEND_TASK_SECONDS.labels("queue").observe(
+                time.perf_counter() - started
+            )
+            _atomic_write_bytes(
+                directory / f"result-{index:05d}.pkl",
+                pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL),
+            )
+    finally:
+        flush_worker_metrics()
     return len(indices)
 
 
@@ -250,6 +315,9 @@ class QueueBackend(ExecutorBackend):
         if not tasks:
             return []
         trace = get_tracer().handle()
+        BACKEND_TASKS.labels(backend=self.name, event="dispatched").inc(
+            len(tasks)
+        )
         spool = Path(
             tempfile.mkdtemp(prefix="repro-spool-", dir=self.spool_dir)
         )
@@ -273,6 +341,9 @@ class QueueBackend(ExecutorBackend):
             for index in range(len(tasks)):
                 with open(spool / f"result-{index:05d}.pkl", "rb") as handle:
                     results.append(pickle.loads(handle.read()))
+            BACKEND_TASKS.labels(backend=self.name, event="completed").inc(
+                len(tasks)
+            )
             return results
         finally:
             shutil.rmtree(spool, ignore_errors=True)
@@ -302,6 +373,7 @@ class AsyncDispatcher:
         self.backend = backend
         self.max_pending = max_pending
         self._pending = 0
+        DISPATCH_CAPACITY.set(max_pending)
 
     @property
     def pending(self) -> int:
@@ -322,10 +394,12 @@ class AsyncDispatcher:
                 f"{self.max_pending} submissions in flight); retry later"
             )
         self._pending += 1
+        DISPATCH_PENDING.set(self._pending)
         try:
             return await asyncio.to_thread(fn, *args)
         finally:
             self._pending -= 1
+            DISPATCH_PENDING.set(self._pending)
 
     async def dispatch(self, fn: Callable[..., Any], task: Task) -> Any:
         """Run one task through the backend, under the bound.

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.cells.catalog import CellSpec
 from repro.liberty.model import Library
+from repro.observe.catalog import STORE_LIBRARY_BYTES, STORE_LIBRARY_EVENTS
 
 #: Format/semantics version folded into every cache key.
 CACHE_VERSION = 1
@@ -364,6 +365,9 @@ class LibraryCache:
             with os.fdopen(fd, "wb") as handle:
                 np.savez_compressed(handle, __meta__=np.array(meta), **arrays)
             os.replace(tmp_name, path)
+            STORE_LIBRARY_BYTES.labels(direction="written").inc(
+                path.stat().st_size
+            )
         except BaseException:
             try:
                 os.unlink(tmp_name)
@@ -376,8 +380,10 @@ class LibraryCache:
     ) -> Optional[Dict[str, np.ndarray]]:
         """Load and validate an entry; any defect is a miss + delete."""
         if not path.is_file():
+            STORE_LIBRARY_EVENTS.labels(event="miss").inc()
             return None
         try:
+            size = path.stat().st_size
             with np.load(path, allow_pickle=False) as data:
                 meta = json.loads(str(data["__meta__"]))
                 if (
@@ -387,9 +393,15 @@ class LibraryCache:
                     or meta.get("n_cells") != n_cells
                 ):
                     raise ValueError("cache metadata mismatch")
-                return {key: data[key] for key in data.files if key != "__meta__"}
+                arrays = {
+                    key: data[key] for key in data.files if key != "__meta__"
+                }
+            STORE_LIBRARY_EVENTS.labels(event="hit").inc()
+            STORE_LIBRARY_BYTES.labels(direction="read").inc(size)
+            return arrays
         except Exception:
             self._discard(path)
+            STORE_LIBRARY_EVENTS.labels(event="miss").inc()
             return None
 
     @staticmethod

@@ -25,6 +25,8 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Awaitable, Callable, Dict, Tuple
 
+from repro.observe.catalog import SERVE_COALESCE
+
 
 class RequestCoalescer:
     """Share one in-flight computation among identical requests.
@@ -64,10 +66,12 @@ class RequestCoalescer:
         existing = self._inflight.get(key)
         if existing is not None:
             self.coalesced += 1
+            SERVE_COALESCE.labels(role="follower").inc()
             return await asyncio.shield(existing), True
         task = asyncio.ensure_future(compute())
         self._inflight[key] = task
         self.started += 1
+        SERVE_COALESCE.labels(role="leader").inc()
         task.add_done_callback(lambda _done: self._inflight.pop(key, None))
         try:
             return await asyncio.shield(task), False

@@ -102,6 +102,9 @@ class TuningService:
                 "the tuning service streams warm results from the artifact "
                 "store; enable the cache (FlowConfig(cache=True))"
             )
+        from repro.observe.metrics import set_metrics_enabled
+
+        set_metrics_enabled(self.config.metrics)
         self.backend = resolve_backend(
             self.config.backend, self.config.n_workers
         )

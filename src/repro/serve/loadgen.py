@@ -20,6 +20,7 @@ from __future__ import annotations
 import asyncio
 import math
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -44,11 +45,25 @@ class LoadReport:
     latencies_ms: Tuple[float, ...]
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile of the latencies, in milliseconds."""
+        """Nearest-rank percentile of the latencies, in milliseconds.
+
+        A degenerate report (no latencies at all — an empty or fully
+        failed burst) yields 0.0 with a :class:`RuntimeWarning` instead
+        of crashing, so report plumbing survives a dead server.  The
+        rank is clamped into the sample range, so any ``q`` in
+        ``(0, 100]`` — and even a slightly out-of-range one — indexes
+        a real sample.
+        """
         if not self.latencies_ms:
+            warnings.warn(
+                "percentile of an empty latency set (no requests "
+                "completed); reporting 0.0",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return 0.0
         ordered = sorted(self.latencies_ms)
-        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        rank = max(1, min(len(ordered), math.ceil(q / 100.0 * len(ordered))))
         return ordered[rank - 1]
 
     @property
@@ -140,6 +155,14 @@ async def run_burst(
         statuses[status] = statuses.get(status, 0) + 1
         outcomes[outcome] = outcomes.get(outcome, 0) + 1
         latencies.append(elapsed_ms)
+    if results and not statuses.get(200):
+        warnings.warn(
+            f"burst of {len(results)} requests produced no 200 responses "
+            f"(statuses: {dict(sorted(statuses.items()))}); latency "
+            "percentiles describe failures only",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return LoadReport(
         requests=len(results),
         wall_s=wall,

@@ -9,6 +9,9 @@ framework).  Three routes:
   :mod:`repro.serve.schema`); the ``kind`` field dispatches.
 * ``GET /v1/status`` — the service's health/load snapshot.
 * ``GET /healthz`` — liveness only; never touches the pipeline.
+* ``GET /metrics`` — the live metrics registry in Prometheus text
+  format (see :mod:`repro.observe.metrics`); scrapes are counted but
+  never written to the run ledger.
 
 Every exchange carries a trace id: the client's ``x-repro-trace``
 header if present, a fresh random id otherwise.  The id is echoed in
@@ -30,7 +33,7 @@ import asyncio
 import json
 import os
 import time
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.errors import (
     ConfigError,
@@ -41,6 +44,13 @@ from repro.errors import (
     TuningError,
 )
 from repro.flow.experiment import FlowConfig
+from repro.observe.catalog import (
+    SERVE_HTTP_RESPONSES,
+    SERVE_INFLIGHT,
+    SERVE_REQUEST_SECONDS,
+    SERVE_REQUESTS,
+)
+from repro.observe.metrics import get_metrics, render_prometheus
 from repro.serve.handlers import TuningService
 from repro.serve.schema import (
     SCHEMA_VERSION,
@@ -71,6 +81,21 @@ def status_for_error(error: BaseException) -> int:
     if isinstance(error, (RequestError, ConfigError, TuningError)):
         return 400
     return 500
+
+
+class RawBody:
+    """A pre-serialized, non-JSON response body.
+
+    The one route that is not JSON — ``GET /metrics`` — hands
+    :meth:`TuningServer._write` one of these instead of a payload
+    dict, carrying its own content type.
+    """
+
+    __slots__ = ("data", "content_type")
+
+    def __init__(self, data: bytes, content_type: str):
+        self.data = data
+        self.content_type = content_type
 
 
 class TuningServer:
@@ -251,15 +276,20 @@ class TuningServer:
     async def _write(
         writer: asyncio.StreamWriter,
         status: int,
-        payload: Dict[str, Any],
+        payload: Union[Dict[str, Any], RawBody],
         trace_id: str,
         close: bool,
     ) -> None:
         """Serialize and send one HTTP response."""
-        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        if isinstance(payload, RawBody):
+            data = payload.data
+            content_type = payload.content_type
+        else:
+            data = json.dumps(payload, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"content-type: application/json\r\n"
+            f"content-type: {content_type}\r\n"
             f"content-length: {len(data)}\r\n"
             f"x-repro-trace: {trace_id}\r\n"
             f"connection: {'close' if close else 'keep-alive'}\r\n"
@@ -272,15 +302,47 @@ class TuningServer:
 
     async def _route(
         self, method: str, target: str, body: bytes, trace_id: str
-    ) -> Tuple[int, Dict[str, Any]]:
+    ) -> Tuple[int, Union[Dict[str, Any], RawBody]]:
         """Resolve one request to ``(status, payload)``; never raises."""
         start = time.perf_counter()
         kind = "http"
+        SERVE_INFLIGHT.inc()
+        try:
+            return await self._dispatch_route(
+                method, target, body, trace_id, start, kind
+            )
+        finally:
+            SERVE_INFLIGHT.dec()
+
+    async def _dispatch_route(
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        trace_id: str,
+        start: float,
+        kind: str,
+    ) -> Tuple[int, Union[Dict[str, Any], RawBody]]:
+        """The actual routing logic behind the in-flight gauge."""
+        payload: Union[Dict[str, Any], RawBody]
         try:
             if target == "/healthz":
                 if method != "GET":
                     raise RequestError("/healthz only answers GET")
                 return 200, {"schema": SCHEMA_VERSION, "ok": True}
+            if target == "/metrics":
+                kind = "metrics"
+                if method != "GET":
+                    raise RequestError("/metrics only answers GET")
+                text = render_prometheus(get_metrics().snapshot())
+                self._observe(
+                    kind, trace_id, "ok", 200,
+                    time.perf_counter() - start, ledger=False,
+                )
+                return 200, RawBody(
+                    text.encode("utf-8"),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
             if target == "/v1/status":
                 if method != "GET":
                     raise RequestError("/v1/status only answers GET")
@@ -330,18 +392,29 @@ class TuningServer:
     # -- observability ------------------------------------------------
 
     def _observe(
-        self, kind: str, trace_id: str, outcome: str, status: int, wall: float
+        self,
+        kind: str,
+        trace_id: str,
+        outcome: str,
+        status: int,
+        wall: float,
+        ledger: bool = True,
     ) -> None:
-        """Record one request as a span and a run-ledger line.
+        """Record one request: metrics, a span, and a run-ledger line.
 
         Spans are recorded post-hoc (:meth:`Tracer.record_span`) —
         the tracer's live span stack is thread-local and the handlers
         hop threads, so entering a span context here would corrupt the
         tree.  Observability must never fail a served request, so
-        ledger I/O errors are swallowed.
+        ledger I/O errors are swallowed.  ``ledger=False`` keeps
+        high-frequency scrape traffic (``/metrics``) out of the run
+        ledger while still counting it.
         """
         from repro.observe import get_tracer
 
+        SERVE_REQUESTS.labels(kind=kind, outcome=outcome).inc()
+        SERVE_REQUEST_SECONDS.labels(kind=kind, outcome=outcome).observe(wall)
+        SERVE_HTTP_RESPONSES.labels(f"{status // 100}xx").inc()
         tracer = self.service.config.tracer or get_tracer()
         tracer.record_span(
             "serve.request",
@@ -351,7 +424,7 @@ class TuningServer:
             status=status,
             request_trace=trace_id,
         )
-        if self._ledger is None:
+        if self._ledger is None or not ledger:
             return
         from repro.observe.ledger import capture_request
 

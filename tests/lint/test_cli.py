@@ -132,6 +132,7 @@ class TestJsonFormat:
         assert entry["line"] == 8
         assert {r["id"] for r in payload["rules"]} == {
             "DET001", "DET002", "PROC001", "PROC002", "PROC003", "API001",
+            "OBS001",
         }
 
     def test_json_counts_baselined(self, tree, capsys):

@@ -447,9 +447,60 @@ class TestApi001:
         ) == []
 
 
+class TestObs001:
+    def test_counter_outside_catalog_fires(self):
+        code = """
+            from repro.observe.metrics import get_metrics
+
+            REQUESTS = get_metrics().counter(
+                "repro_rogue_requests_total", "Rogue counter."
+            )
+        """
+        findings = lint(code, path=ZONE)
+        assert [f.rule_id for f in findings] == ["OBS001"]
+        assert "repro_rogue_requests_total" in findings[0].message
+
+    def test_gauge_and_histogram_fire_too(self):
+        code = """
+            from repro.observe.metrics import get_metrics
+
+            G = get_metrics().gauge("repro_rogue_depth", "Rogue gauge.")
+            H = get_metrics().histogram(
+                "repro_rogue_seconds", "Rogue histogram.", buckets=(1.0,)
+            )
+        """
+        assert rule_ids(code, path=OUTSIDE) == ["OBS001", "OBS001"]
+
+    def test_catalog_module_is_exempt(self):
+        code = """
+            from repro.observe.metrics import get_metrics
+
+            REQUESTS = get_metrics().counter(
+                "repro_serve_requests_total", "Requests served."
+            )
+        """
+        assert rule_ids(code, path="src/repro/observe/catalog.py") == []
+
+    def test_non_repro_prefixed_names_are_clean(self):
+        code = """
+            def record(tracer, registry):
+                tracer.gauge("workers", 4)
+                registry.counter("custom_total", "Not ours.")
+        """
+        assert rule_ids(code, path=ZONE) == []
+
+    def test_code_outside_repro_is_exempt(self):
+        code = """
+            REQUESTS = registry.counter("repro_test_total", "Test-only.")
+        """
+        assert ENGINE.lint_source(
+            textwrap.dedent(code), path="tools/helper.py", module="tools.helper"
+        ) == []
+
+
 @pytest.mark.parametrize(
     "rule_id",
-    ["DET001", "DET002", "PROC001", "PROC002", "PROC003", "API001"],
+    ["DET001", "DET002", "PROC001", "PROC002", "PROC003", "API001", "OBS001"],
 )
 def test_every_rule_has_metadata(rule_id):
     rule = next(r for r in DEFAULT_RULES if r.rule_id == rule_id)

@@ -2,8 +2,8 @@
 
 ``import repro`` must stay cheap (the curated names resolve lazily on
 first touch), the CLI must accept the shared execution flags everywhere
-and keep ``cache`` as a working alias of ``store``, and the
-environment knobs must fail loudly on typos.
+(and reject the removed ``cache`` alias), and the environment knobs
+must fail loudly on typos.
 """
 
 from __future__ import annotations
@@ -190,6 +190,27 @@ class TestFromEnvPrecedence:
         with pytest.raises(ConfigError, match="unknown backend"):
             FlowConfig.from_env(backend="cloud")
 
+    def test_metrics_knob_resolves_with_same_precedence(self, monkeypatch):
+        from repro.flow.experiment import FlowConfig
+
+        monkeypatch.delenv("REPRO_METRICS", raising=False)
+        assert FlowConfig.from_env().metrics is True
+        monkeypatch.setenv("REPRO_METRICS", "off")
+        assert FlowConfig.from_env().metrics is False
+        assert FlowConfig.from_env(metrics=True).metrics is True
+        monkeypatch.setenv("REPRO_METRICS", "maybe")
+        with pytest.raises(ConfigError, match="REPRO_METRICS"):
+            FlowConfig.from_env()
+
+    def test_metrics_field_does_not_change_config_identity(self):
+        """Flow memo keys and fingerprints ignore the metrics toggle."""
+        from dataclasses import replace
+
+        from repro.flow.experiment import FlowConfig
+
+        config = FlowConfig.tiny()
+        assert replace(config, metrics=False) == config
+
     def test_from_environment_is_a_thin_alias(self, monkeypatch):
         """The original entry point and from_env agree."""
         from repro.flow.experiment import FlowConfig
@@ -211,7 +232,7 @@ class TestFromEnvPrecedence:
 
 
 class TestCliSurface:
-    """Subcommand layout: shared flags, store/cache, id shorthand."""
+    """Subcommand layout: shared flags, store, id shorthand."""
 
     def test_experiment_id_shorthand(self):
         """``python -m repro fig10 ...`` rewrites to ``run fig10 ...``."""
@@ -246,15 +267,15 @@ class TestCliSurface:
         out = capsys.readouterr().out
         assert "entries" in out and "artifacts" in out
 
-    def test_cache_alias_deprecated_but_working(self, capsys):
-        """``cache`` routes through the ``store`` handler but emits a
-        DeprecationWarning naming the replacement and the removal."""
+    def test_cache_alias_removed(self, capsys):
+        """The deprecated ``cache`` alias is gone: the parser rejects it
+        with a usage error naming the surviving subcommands."""
         from repro.__main__ import main
 
-        with pytest.warns(DeprecationWarning, match="store stats"):
-            assert main(["cache", "stats"]) == 0
-        captured = capsys.readouterr()
-        assert "entries" in captured.out
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cache", "stats"])
+        assert excinfo.value.code == 2
+        assert "invalid choice: 'cache'" in capsys.readouterr().err
 
     def test_serve_subcommand_parses(self):
         """``serve`` accepts its own flags plus the shared execution

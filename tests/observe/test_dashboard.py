@@ -1,0 +1,131 @@
+"""Console rendering of metric snapshots and the live watch loop.
+
+The dashboard is read-only plumbing over snapshots, so the tests
+build snapshots directly (no server needed) and assert on the text:
+the full console listing, the curated serve panel with and without a
+previous frame (rates need two), and the watch loop's in-place ANSI
+refresh.  ``fetch_metrics`` gets one live round-trip against a real
+server to pin the scrape-parse-render path end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observe.dashboard import (
+    CLEAR_SCREEN,
+    fetch_metrics,
+    render_console,
+    render_dashboard,
+    watch,
+)
+from repro.observe.metrics import MetricsRegistry, MetricsSnapshot
+
+
+def serve_registry(requests: int = 4) -> MetricsRegistry:
+    """A registry shaped like a busy serve process."""
+    registry = MetricsRegistry()
+    counter = registry.counter(
+        "repro_serve_requests_total", "Requests.", ("kind", "outcome")
+    )
+    counter.labels(kind="tune", outcome="warm").inc(requests - 1)
+    counter.labels(kind="tune", outcome="computed").inc()
+    histogram = registry.histogram(
+        "repro_serve_request_seconds",
+        "Latency.",
+        ("kind", "outcome"),
+        buckets=(0.01, 0.1, 1.0),
+    )
+    for value in (0.005, 0.05, 0.5, 0.05):
+        histogram.labels(kind="tune", outcome="warm").observe(value)
+    coalesce = registry.counter(
+        "repro_serve_coalesce_total", "Coalescing.", ("role",)
+    )
+    coalesce.labels(role="leader").inc(2)
+    coalesce.labels(role="follower").inc(5)
+    store = registry.counter(
+        "repro_store_artifact_total", "Store events.", ("event",)
+    )
+    store.labels(event="hit").inc(3)
+    store.labels(event="miss").inc(1)
+    registry.gauge("repro_dispatch_pending", "Pending.").set(2)
+    registry.gauge("repro_dispatch_capacity", "Capacity.").set(8)
+    registry.gauge("repro_serve_inflight_requests", "In flight.").set(1)
+    return registry
+
+
+class TestRenderConsole:
+    def test_empty_snapshot(self):
+        assert render_console(MetricsSnapshot()) == "no metrics recorded\n"
+
+    def test_lists_every_family_and_sample(self):
+        text = render_console(serve_registry().snapshot())
+        assert "repro_serve_requests_total (counter)" in text
+        assert 'kind="tune",outcome="warm"' in text
+        assert "repro_serve_request_seconds (histogram)" in text
+        assert "count=4" in text and "p95<=" in text
+        assert "repro_dispatch_pending (gauge)" in text
+
+
+class TestRenderDashboard:
+    def test_first_frame_shows_totals_only(self):
+        text = render_dashboard(serve_registry().snapshot())
+        assert "requests   total=4" in text
+        assert "rate=" not in text
+        assert "warm=3" in text and "computed=1" in text
+        assert "coalesce   leaders=2  followers=5" in text
+        assert "artifact-hit 75.0% of 4" in text
+        assert "queue=2/8" in text and "inflight=1" in text
+
+    def test_second_frame_shows_rate(self):
+        previous = serve_registry(requests=4).snapshot()
+        current = serve_registry(requests=10).snapshot()
+        text = render_dashboard(current, previous, interval=2.0)
+        assert "total=10" in text
+        assert "rate=3.0/s" in text
+
+    def test_missing_families_degrade_to_na(self):
+        text = render_dashboard(MetricsSnapshot())
+        assert "requests   total=0" in text
+        assert "artifact-hit n/a" in text
+
+
+class TestWatch:
+    def test_finite_iterations_refresh_in_place(self):
+        frames = [
+            serve_registry(requests=4).snapshot(),
+            serve_registry(requests=8).snapshot(),
+        ]
+        fetches = iter(frames)
+        out = io.StringIO()
+        watch(lambda: next(fetches), out, interval=0.0, iterations=2)
+        text = out.getvalue()
+        assert text.count(CLEAR_SCREEN) == 2
+        assert "total=4" in text and "total=8" in text
+        assert "rate=" in text.rsplit(CLEAR_SCREEN, 1)[1]
+
+
+class TestFetchMetrics:
+    def test_round_trip_against_live_server(self):
+        from repro.serve.server import TuningServer
+        from tests.serve.test_server import make_service
+
+        async def scenario():
+            async with TuningServer(
+                service=make_service(), ledger=False
+            ) as server:
+                return await asyncio.to_thread(
+                    fetch_metrics, "127.0.0.1", server.port
+                )
+
+        snapshot = asyncio.run(scenario())
+        # The scrape observed itself on the way out of the server.
+        assert "repro_serve_inflight_requests" in snapshot.families
+
+    def test_unreachable_server_raises_observability_error(self):
+        with pytest.raises(ObservabilityError, match="cannot reach"):
+            fetch_metrics("127.0.0.1", 9, timeout=0.5)

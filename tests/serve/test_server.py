@@ -321,6 +321,145 @@ class TestBackpressure:
         asyncio.run(scenario())
 
 
+async def raw_text_http(port, target=b"/metrics", method=b"GET"):
+    """One raw HTTP exchange returning (status, content-type, text)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        method + b" " + target + b" HTTP/1.1\r\n"
+        b"host: test\r\n"
+        b"content-length: 0\r\n"
+        b"connection: close\r\n\r\n"
+    )
+    await writer.drain()
+    raw = await reader.read(-1)
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    content_type = b""
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-type":
+            content_type = value.strip()
+    return status, content_type.decode(), body.decode()
+
+
+class TestMetricsEndpoint:
+    def test_metrics_exposition_reflects_traffic(self):
+        from repro.observe.metrics import get_metrics, parse_prometheus
+
+        get_metrics().reset()
+        service = make_service()
+
+        async def scenario():
+            async with TuningServer(service=service, ledger=False) as server:
+                client = TuningClient(port=server.port)
+                for _ in range(2):
+                    await asyncio.to_thread(
+                        client.tune, "cell_load_slope", 0.2, 3.0
+                    )
+                return await raw_text_http(server.port)
+
+        status, content_type, text = asyncio.run(scenario())
+        assert status == 200
+        assert content_type.startswith("text/plain; version=0.0.4")
+        snapshot = parse_prometheus(text)
+        # The stub evaluator stores nothing, so both sequential tunes
+        # take the cold leader path and count as computed.
+        computed = snapshot.value(
+            "repro_serve_requests_total", kind="tune", outcome="computed"
+        )
+        assert computed == 2
+        latency = snapshot.value(
+            "repro_serve_request_seconds", kind="tune", outcome="computed"
+        )
+        assert latency.count == 2
+        # The scrape itself is the one request in flight when the
+        # snapshot is rendered.
+        assert snapshot.value("repro_serve_inflight_requests") == 1
+        assert (
+            snapshot.value("repro_serve_http_responses_total", **{"class": "2xx"})
+            >= 2
+        )
+        assert (
+            snapshot.value("repro_serve_coalesce_total", role="leader") >= 2
+        )
+
+    def test_metrics_endpoint_is_get_only(self):
+        async def scenario():
+            async with TuningServer(
+                service=make_service(), ledger=False
+            ) as server:
+                return await raw_http(
+                    server.port, b"", method=b"POST", target=b"/metrics"
+                )
+
+        status, body = asyncio.run(scenario())
+        assert status == 400
+        assert "GET" in body["error"]["message"]
+
+    def test_scrapes_stay_out_of_the_ledger(self, tmp_path):
+        from repro.observe.ledger import RunLedger
+
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+
+        async def scenario():
+            async with TuningServer(
+                service=make_service(), ledger=ledger
+            ) as server:
+                for _ in range(3):
+                    status, _, _ = await raw_text_http(server.port)
+                    assert status == 200
+
+        asyncio.run(scenario())
+        assert ledger.read() == []
+
+
+class TestLoadReportDegeneracy:
+    def test_empty_latency_percentile_warns_not_crashes(self):
+        from repro.serve.loadgen import LoadReport
+
+        report = LoadReport(
+            requests=0, wall_s=0.0, statuses={}, outcomes={}, latencies_ms=()
+        )
+        with pytest.warns(RuntimeWarning, match="empty latency"):
+            assert report.percentile(99) == 0.0
+        with pytest.warns(RuntimeWarning):
+            assert report.p50 == 0.0
+        assert report.throughput_rps == 0.0
+
+    def test_out_of_range_quantile_clamps(self):
+        from repro.serve.loadgen import LoadReport
+
+        report = LoadReport(
+            requests=2,
+            wall_s=1.0,
+            statuses={200: 2},
+            outcomes={"warm": 2},
+            latencies_ms=(1.0, 2.0),
+        )
+        assert report.percentile(100) == 2.0
+        assert report.percentile(150) == 2.0  # clamped, not IndexError
+
+    def test_all_failed_burst_warns(self):
+        def exploding(config, point):
+            raise ValueError("boom")
+
+        async def scenario():
+            async with TuningServer(
+                service=make_service(evaluate=exploding), ledger=False
+            ) as server:
+                requests = tune_burst(2, "cell_load_slope", 0.2, 3.0)
+                return await run_burst(
+                    requests, port=server.port, concurrency=1
+                )
+
+        with pytest.warns(RuntimeWarning, match="no 200 responses"):
+            report = asyncio.run(scenario())
+        assert report.ok() == 0
+        assert report.statuses == {500: 2}
+
+
 class TestObservability:
     def test_requests_land_in_span_tree_and_ledger(self, tmp_path):
         from repro.observe.ledger import RunLedger
