@@ -16,6 +16,12 @@ PROC002   non-module-level callables submitted to process pools
 API001    bare ``Exception`` / ``assert`` in library code
 ========  ==========================================================
 
+A second, whole-program tier lives in :mod:`repro.lint.graph`: one
+parse of the full tree builds import and call graphs, and the graph
+rules (ASYNC001 blocking-in-coroutine, LOCK001 lock discipline,
+DET003 cross-module determinism, ARCH001 layering) judge them —
+``python -m repro lint --graph``.  See DESIGN.md §18.
+
 Violations with a reason to exist carry ``# repro: noqa[RULE-ID]`` on
 the flagged line; everything else is either fixed or committed to the
 baseline file (:mod:`repro.lint.baseline`), which only ratchets down.
@@ -40,19 +46,35 @@ from repro.lint.engine import (
     module_name_for,
 )
 from repro.lint.findings import Finding
+from repro.lint.graph import ProgramGraph, build_graph
+from repro.lint.graph.rules import (
+    DEFAULT_GRAPH_RULES,
+    GraphSettings,
+    graph_rule_catalog,
+    run_graph_rules,
+)
 from repro.lint.rules import DEFAULT_RULES, DETERMINISTIC_ZONES, rule_catalog
+from repro.lint.sarif import render_sarif, render_sarif_text
 
 __all__ = [
     "Baseline",
+    "DEFAULT_GRAPH_RULES",
     "DEFAULT_RULES",
     "DETERMINISTIC_ZONES",
     "FileContext",
     "Finding",
+    "GraphSettings",
     "LintEngine",
+    "ProgramGraph",
     "Rule",
     "SYNTAX_RULE_ID",
+    "build_graph",
+    "graph_rule_catalog",
     "iter_python_files",
     "module_name_for",
+    "render_sarif",
+    "render_sarif_text",
     "rule_catalog",
+    "run_graph_rules",
     "write_baseline",
 ]

@@ -101,17 +101,30 @@ class Baseline:
                 new.append(finding)
         return new, baselined
 
+    def stale_entries(
+        self, findings: Sequence[Finding]
+    ) -> List[Tuple[_Key, int]]:
+        """Entries no current finding matches, with surplus counts.
+
+        An entry goes stale when its file was deleted, the violation
+        was fixed, or fewer duplicates remain than the baseline
+        counts.  ``--update-baseline`` reports and prunes these.
+        """
+        current = Counter(f.baseline_key() for f in findings)
+        stale: List[Tuple[_Key, int]] = []
+        for key in sorted(self.entries):
+            surplus = self.entries[key] - current.get(key, 0)
+            if surplus > 0:
+                stale.append((key, surplus))
+        return stale
+
     def stale_count(self, findings: Sequence[Finding]) -> int:
         """Entries no current finding matches — debt already paid off.
 
         A nonzero count means ``--update-baseline`` would shrink the
         file (the ratchet clicking down).
         """
-        current = Counter(f.baseline_key() for f in findings)
-        return sum(
-            max(0, count - current.get(key, 0))
-            for key, count in self.entries.items()
-        )
+        return sum(count for _key, count in self.stale_entries(findings))
 
 
 def write_baseline(

@@ -26,7 +26,11 @@ from repro.errors import LintError
 from repro.lint.baseline import BASELINE_FILENAME, Baseline, write_baseline
 from repro.lint.engine import LintEngine
 from repro.lint.findings import Finding
+from repro.lint.graph.cache import GraphBuildReport, build_graph_cached
+from repro.lint.graph.layers import load_graph_settings
+from repro.lint.graph.rules import graph_rule_catalog, run_graph_rules
 from repro.lint.rules import DEFAULT_RULES, rule_catalog
+from repro.lint.sarif import render_sarif_text
 
 
 def default_lint_paths(root: Path) -> List[Path]:
@@ -60,18 +64,34 @@ def render_console(
     return "\n".join(lines)
 
 
+def _finding_sort_key(finding: Finding) -> tuple:
+    return (finding.path, finding.line, finding.rule_id, finding.column,
+            finding.message)
+
+
 def render_json(
     new: Sequence[Finding],
     baselined: Sequence[Finding],
     n_files: int,
+    with_graph_rules: bool = False,
 ) -> str:
-    """The machine-facing report (the CI artifact format)."""
+    """The machine-facing report (the CI artifact format).
+
+    Byte-deterministic: findings sorted by ``(path, line, rule)``,
+    stable key order, trailing newline — two runs over identical
+    sources produce identical bytes, so CI artifact diffs are real.
+    """
+    new = sorted(new, key=_finding_sort_key)
+    baselined = sorted(baselined, key=_finding_sort_key)
     per_rule: dict = {}
     for finding in new:
         per_rule[finding.rule_id] = per_rule.get(finding.rule_id, 0) + 1
+    rules = rule_catalog()
+    if with_graph_rules:
+        rules = rules + graph_rule_catalog()
     payload = {
         "version": 1,
-        "rules": rule_catalog(),
+        "rules": rules,
         "findings": [finding.to_payload() for finding in new],
         "baselined": [finding.to_payload() for finding in baselined],
         "summary": {
@@ -81,12 +101,12 @@ def render_json(
             "per_rule": dict(sorted(per_rule.items())),
         },
     }
-    return json.dumps(payload, indent=2, sort_keys=True)
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
 def _render_rule_list() -> str:
     lines = []
-    for rule in rule_catalog():
+    for rule in rule_catalog() + graph_rule_catalog():
         lines.append(f"{rule['id']}  {rule['title']} [{rule['severity']}]")
         lines.append(f"    why: {rule['rationale']}")
         lines.append(f"    fix: {rule['hint']}")
@@ -110,6 +130,20 @@ def run_lint_command(args: argparse.Namespace) -> int:
     engine = LintEngine(DEFAULT_RULES)
     findings, n_files = engine.lint_paths(paths, root=root)
 
+    use_graph = bool(getattr(args, "graph", False))
+    graph_report: Optional[GraphBuildReport] = None
+    graph_summary = ""
+    if use_graph:
+        settings = load_graph_settings(root / "pyproject.toml")
+        graph, graph_report = build_graph_cached(paths, root=root)
+        findings = sorted(findings + run_graph_rules(graph, settings))
+        graph_summary = (
+            f"lint: graph {len(graph.modules)} modules, "
+            f"{len(graph.functions)} functions "
+            f"({'cache hit' if graph_report.from_cache else 'built'}, "
+            f"tree {graph_report.digest[:12]})"
+        )
+
     baseline_path: Optional[Path] = (
         Path(args.baseline) if args.baseline else None
     )
@@ -119,13 +153,19 @@ def run_lint_command(args: argparse.Namespace) -> int:
     if getattr(args, "update_baseline", False):
         target = baseline_path or root / BASELINE_FILENAME
         try:
-            before = len(Baseline.load(target))
+            previous = Baseline.load(target)
         except LintError:
-            before = 0
+            previous = Baseline.empty()
+        for key, count in previous.stale_entries(findings):
+            rule_id, path, message = key
+            print(
+                f"lint: retiring stale baseline entry {rule_id} "
+                f"{path} (x{count}): {message}"
+            )
         summary = write_baseline(target, findings)
         print(
             f"lint: baseline rewritten with {summary['entries']} entries "
-            f"(was {before}) -> {target}"
+            f"(was {len(previous)}) -> {target}"
         )
         return 0
 
@@ -141,9 +181,18 @@ def run_lint_command(args: argparse.Namespace) -> int:
     new, baselined = baseline.partition(findings)
 
     if args.format == "json":
-        print(render_json(new, baselined, n_files))
+        sys.stdout.write(
+            render_json(new, baselined, n_files, with_graph_rules=use_graph)
+        )
+    elif args.format == "sarif":
+        catalog = rule_catalog()
+        if use_graph:
+            catalog = catalog + graph_rule_catalog()
+        sys.stdout.write(render_sarif_text(new, baselined, catalog=catalog))
     else:
         print(render_console(new, baselined, n_files, baseline_path))
+        if graph_summary:
+            print(graph_summary)
         stale = baseline.stale_count(findings)
         if stale:
             print(
@@ -162,9 +211,16 @@ def configure_lint_parser(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("console", "json"),
+        choices=("console", "json", "sarif"),
         default="console",
-        help="output format (json is the CI artifact shape)",
+        help="output format (json is the CI artifact shape; sarif is "
+        "what GitHub code scanning ingests)",
+    )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="also run the whole-program rules (ASYNC001/LOCK001/"
+        "DET003/ARCH001) on a single parse of the whole tree",
     )
     parser.add_argument(
         "--baseline",

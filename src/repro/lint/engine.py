@@ -47,6 +47,28 @@ SYNTAX_RULE_ID = "LINT000"
 #: ``# repro: noqa[DET001]`` / ``# repro: noqa[DET001, PROC002]``.
 NOQA_PATTERN = re.compile(r"#\s*repro:\s*noqa\[([A-Za-z0-9_\s,-]+)\]")
 
+#: ``# repro: noqa-file[DET001]`` — suppresses the listed rules for the
+#: whole file.  Must sit in the first :data:`NOQA_FILE_LINES` lines so a
+#: reader opening the file sees the waiver immediately.
+NOQA_FILE_PATTERN = re.compile(r"#\s*repro:\s*noqa-file\[([A-Za-z0-9_\s,-]+)\]")
+
+#: How deep into a file a ``noqa-file`` comment is honoured.
+NOQA_FILE_LINES = 10
+
+
+def collect_noqa_file(lines: Sequence[str]) -> Set[str]:
+    """Rule ids suppressed file-wide by a leading ``noqa-file`` comment."""
+    suppressed: Set[str] = set()
+    for line in lines[:NOQA_FILE_LINES]:
+        match = NOQA_FILE_PATTERN.search(line)
+        if match:
+            suppressed.update(
+                part.strip().upper()
+                for part in match.group(1).split(",")
+                if part.strip()
+            )
+    return suppressed
+
 #: AST nodes that open a new lexical scope.
 _SCOPE_NODES = (
     ast.FunctionDef,
@@ -114,6 +136,7 @@ class FileContext:
         #: ``(line, rule-id)`` suppressions that actually fired.
         self.suppressed: List[Tuple[int, str]] = []
         self.noqa = self._collect_noqa()
+        self.noqa_file = collect_noqa_file(self.lines)
         self.module_defs, self.nested_defs = self._collect_defs(tree)
 
     def _collect_noqa(self) -> Dict[int, Set[str]]:
@@ -195,6 +218,9 @@ class FileContext:
     ) -> None:
         """File a finding at ``node`` unless a noqa comment covers it."""
         line = getattr(node, "lineno", 1)
+        if rule.rule_id in self.noqa_file:
+            self.suppressed.append((line, rule.rule_id))
+            return
         if rule.rule_id in self.noqa.get(line, ()):
             self.suppressed.append((line, rule.rule_id))
             return

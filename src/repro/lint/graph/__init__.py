@@ -1,0 +1,33 @@
+"""Whole-program analysis: import/call graphs and cross-file rules.
+
+``repro.lint`` proper sees one file at a time; this subpackage parses
+the whole tree once into a :class:`~repro.lint.graph.model.ProgramGraph`
+and runs the rules that need cross-file knowledge — ASYNC001 (blocking
+work reachable from serve coroutines), LOCK001 (registry mutations
+outside the lock), DET003 (interprocedural nondeterminism into
+fingerprint sinks) and ARCH001 (declared layering on the import
+graph).  See DESIGN.md §18.
+"""
+
+from repro.lint.graph.builder import build_graph, build_graph_from_sources
+from repro.lint.graph.model import (
+    CallSite,
+    ClassNode,
+    FunctionNode,
+    ImportEdge,
+    ModuleNode,
+    Mutation,
+    ProgramGraph,
+)
+
+__all__ = [
+    "CallSite",
+    "ClassNode",
+    "FunctionNode",
+    "ImportEdge",
+    "ModuleNode",
+    "Mutation",
+    "ProgramGraph",
+    "build_graph",
+    "build_graph_from_sources",
+]

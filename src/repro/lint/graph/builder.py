@@ -1,0 +1,1159 @@
+"""Two-phase construction of the whole-program :class:`ProgramGraph`.
+
+**Phase 1 — per-file collection.**  Every file is parsed once (the
+same single-parse discipline as :class:`repro.lint.engine.LintEngine`)
+and walked by a collector that reuses the engine's
+:class:`~repro.lint.engine.FileContext` for import-alias resolution.
+The collector records, per function, every call expression as a
+*descriptor* — a small tuple naming what the target looked like
+lexically (``("self_method", "status")``, ``("dotted",
+"asyncio.to_thread")``, ``("var", "store", "stats")``) — plus every
+attribute mutation, local variable type hints (parameter annotations,
+constructor assignments) and lock/return lexical context.
+
+**Phase 2 — global linking.**  With every module's classes and
+functions known, descriptors are resolved to graph keys: self-method
+calls bind through the enclosing class, attribute receivers through
+inferred attribute types (``__init__`` assignments, annotations,
+return annotations of called functions), dotted names through a
+longest-module-prefix match with re-export chasing (``from
+repro.observe import get_metrics`` grounds to the defining module).
+Anything that cannot be grounded becomes an explicit ``?:`` key that
+every rule treats as opaque — the graph never guesses.
+
+Only :func:`ast.Call` nodes create call edges.  A function *referenced*
+as an argument (``asyncio.to_thread(probe)``, an executor submit, a
+callback registration) is recorded as data (``arg_names``) but never as
+an edge, which is exactly what makes an executor hop a safe boundary
+for the ASYNC001 reachability walk.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import LintError
+from repro.lint.engine import (
+    FileContext,
+    collect_noqa_file,
+    iter_python_files,
+    module_name_for,
+)
+from repro.lint.graph.model import (
+    CallSite,
+    ClassNode,
+    FunctionNode,
+    ImportEdge,
+    ModuleNode,
+    Mutation,
+    ProgramGraph,
+    external,
+    is_internal,
+    unknown,
+)
+
+#: A call-target descriptor: ``(kind, *data)``.  Kinds:
+#: ``dotted`` (alias-grounded dotted name), ``self_method`` (name),
+#: ``self_attr`` (attr, method), ``var`` (local name, method),
+#: ``modvar`` (module constant, method), ``key`` (already-final graph
+#: key, used for same-file defs), ``chain`` (ctor dotted, method),
+#: ``opaque`` (display name; never resolves).
+Desc = Tuple[str, ...]
+
+#: Builtins a bare-name call may target when the name is not bound in
+#: the file.  Only ``open``/``input`` matter to the rules; the rest are
+#: listed so they resolve to ``ext:`` instead of the opaque ``?:``.
+_KNOWN_BUILTINS = frozenset({
+    "open", "input", "print", "sorted", "len", "range", "enumerate",
+    "zip", "map", "filter", "min", "max", "sum", "abs", "round",
+    "repr", "str", "int", "float", "bool", "list", "dict", "set",
+    "tuple", "frozenset", "isinstance", "issubclass", "getattr",
+    "setattr", "hasattr", "vars", "iter", "next", "id", "hash",
+    "format", "any", "all", "divmod", "pow", "bytes", "bytearray",
+})
+
+#: Method names that mutate their receiver in place.
+_MUTATING_METHODS = frozenset({
+    "append", "appendleft", "add", "extend", "update", "insert",
+    "remove", "discard", "pop", "popitem", "popleft", "clear",
+    "setdefault", "sort", "reverse",
+})
+
+#: ``with`` context expressions whose final segment looks like a lock.
+def _is_lock_name(dotted: str) -> bool:
+    last = dotted.rpartition(".")[2]
+    return last in ("lock", "_lock") or last.endswith("_lock")
+
+
+_DEF_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_COMPOUND_BODIES = ("body", "orelse", "finalbody", "handlers")
+
+
+def _value_call(value: Optional[ast.expr]) -> Optional[ast.Call]:
+    """The call a value derives from, looking through ``a if c else
+    b`` / ``a or b`` / ``await`` wrappers (first call wins)."""
+    if value is None:
+        return None
+    if isinstance(value, ast.Call):
+        return value
+    if isinstance(value, ast.Await):
+        return _value_call(value.value)
+    if isinstance(value, ast.IfExp):
+        return _value_call(value.body) or _value_call(value.orelse)
+    if isinstance(value, ast.BoolOp):
+        for operand in value.values:
+            found = _value_call(operand)
+            if found is not None:
+                return found
+    return None
+
+
+# ---------------------------------------------------------------------------
+# phase-1 records
+
+
+@dataclass
+class _PendingCall:
+    desc: Desc
+    line: int
+    column: int
+    in_return: bool
+    under_lock: bool
+    arg_descs: List[Desc] = field(default_factory=list)
+    arg_names: List[str] = field(default_factory=list)
+
+
+@dataclass
+class _PendingMutation:
+    receiver: str
+    #: ``("key", k)`` / ``("type", dotted)`` / ``("", "")``.
+    receiver_type: Tuple[str, str]
+    attr: str
+    line: int
+    column: int
+    under_lock: bool
+
+
+@dataclass
+class _PendingFunction:
+    key: str
+    module: str
+    qualname: str
+    line: int
+    is_async: bool
+    is_nested: bool
+    class_key: str
+    #: Alias-resolved dotted return annotation (``""`` if none).
+    return_dotted: str = ""
+    calls: List[_PendingCall] = field(default_factory=list)
+    mutations: List[_PendingMutation] = field(default_factory=list)
+    #: Local name -> last single-call assignment descriptor.
+    var_call_descs: Dict[str, Desc] = field(default_factory=dict)
+    #: Local name -> annotated dotted type (params, AnnAssign).
+    var_ann_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class _PendingClass:
+    key: str
+    module: str
+    name: str
+    line: int
+    methods: Dict[str, str] = field(default_factory=dict)
+    #: attr -> annotated/ctor dotted type.
+    attr_dotted: Dict[str, str] = field(default_factory=dict)
+    #: attr -> call descriptor (resolve via return annotation).
+    attr_call_descs: Dict[str, Desc] = field(default_factory=dict)
+    lock_attrs: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class _PendingModule:
+    name: str
+    path: str
+    imports: List[ImportEdge] = field(default_factory=list)
+    noqa: Dict[int, List[str]] = field(default_factory=dict)
+    noqa_file: List[str] = field(default_factory=list)
+    functions: Dict[str, str] = field(default_factory=dict)
+    classes: Dict[str, str] = field(default_factory=dict)
+    #: Re-export map: local name -> dotted origin (``from X import Y``).
+    from_imports: Dict[str, str] = field(default_factory=dict)
+    #: Module constant -> annotated/ctor dotted type.
+    var_dotted: Dict[str, str] = field(default_factory=dict)
+    #: Module constant -> call descriptor.
+    var_call_descs: Dict[str, Desc] = field(default_factory=dict)
+    pending_functions: List[_PendingFunction] = field(default_factory=list)
+    pending_classes: List[_PendingClass] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# phase 1: per-file collection
+
+
+class _FileCollector:
+    """Walks one parsed file and fills a :class:`_PendingModule`."""
+
+    def __init__(self, path: str, module: str, text: str, tree: ast.Module):
+        self.context = FileContext(path=path, module=module, text=text, tree=tree)
+        # The engine notes imports as the walk reaches them; the graph
+        # wants the full alias map up front so order never matters.
+        for node in ast.walk(tree):
+            self.context._note_import(node)
+        self.module = module
+        self.tree = tree
+        self.pending = _PendingModule(
+            name=module,
+            path=path,
+            noqa={
+                line: sorted(ids)
+                for line, ids in sorted(self.context.noqa.items())
+            },
+            noqa_file=sorted(collect_noqa_file(self.context.lines)),
+            from_imports=dict(self.context.from_imports),
+        )
+        # Pre-register module-level def/class names so a call can
+        # resolve to a function defined later in the file.
+        self._prescan(self.tree.body, prefix="")
+
+    def _prescan(self, body: Sequence[ast.stmt], prefix: str) -> None:
+        for stmt in body:
+            if isinstance(stmt, _DEF_NODES):
+                self.pending.functions[f"{prefix}{stmt.name}"] = (
+                    f"{self.module}:{prefix}{stmt.name}"
+                )
+            elif isinstance(stmt, ast.ClassDef):
+                self.pending.classes[stmt.name] = (
+                    f"{self.module}:{stmt.name}"
+                )
+            elif isinstance(
+                stmt, (ast.If, ast.Try, ast.With, ast.For, ast.While)
+            ):
+                for attr in _COMPOUND_BODIES:
+                    for child in getattr(stmt, attr, []):
+                        if isinstance(child, ast.ExceptHandler):
+                            self._prescan(child.body, prefix)
+                        elif isinstance(child, ast.stmt):
+                            self._prescan([child], prefix)
+
+    # -- entry ---------------------------------------------------------
+
+    def collect(self) -> _PendingModule:
+        for stmt in self.tree.body:
+            self._module_stmt(stmt)
+        return self.pending
+
+    # -- module level --------------------------------------------------
+
+    def _module_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            self._record_import(stmt)
+        elif isinstance(stmt, _DEF_NODES):
+            self._collect_function(stmt, prefix="", class_info=None)
+        elif isinstance(stmt, ast.ClassDef):
+            self._collect_class(stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            self._module_ann_assign(stmt)
+        elif isinstance(stmt, ast.Assign):
+            self._module_assign(stmt)
+        elif isinstance(
+            stmt, (ast.If, ast.Try, ast.With, ast.For, ast.While)
+        ):
+            # ``try: import tomllib`` and TYPE_CHECKING blocks still
+            # execute (or are declared) at import time.
+            for attr in _COMPOUND_BODIES:
+                for child in getattr(stmt, attr, []):
+                    if isinstance(child, ast.ExceptHandler):
+                        for sub in child.body:
+                            self._module_stmt(sub)
+                    elif isinstance(child, ast.stmt):
+                        self._module_stmt(child)
+
+    def _record_import(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                self.pending.imports.append(
+                    ImportEdge(target=alias.name, line=stmt.lineno)
+                )
+        elif isinstance(stmt, ast.ImportFrom):
+            base = self._import_base(stmt)
+            if base is None:
+                return
+            self.pending.imports.append(
+                ImportEdge(target=base, line=stmt.lineno)
+            )
+            for alias in stmt.names:
+                # ``from repro.observe import metrics`` imports a
+                # *module*; record the candidate so ARCH001 sees the
+                # real edge (non-module names are filtered later).
+                self.pending.imports.append(
+                    ImportEdge(
+                        target=f"{base}.{alias.name}", line=stmt.lineno
+                    )
+                )
+                if stmt.level:
+                    # Relative imports bypass the engine's alias map;
+                    # ground them here so linking can chase them.
+                    self.pending.from_imports.setdefault(
+                        alias.asname or alias.name, f"{base}.{alias.name}"
+                    )
+
+    def _import_base(self, stmt: ast.ImportFrom) -> Optional[str]:
+        if not stmt.level:
+            return stmt.module
+        parts = self.module.split(".")
+        # ``from . import x`` in pkg.mod -> pkg; one more dot per level.
+        if len(parts) < stmt.level:
+            return None
+        base_parts = parts[: len(parts) - stmt.level]
+        if stmt.module:
+            base_parts.append(stmt.module)
+        return ".".join(base_parts) if base_parts else None
+
+    def _module_ann_assign(self, stmt: ast.AnnAssign) -> None:
+        if not isinstance(stmt.target, ast.Name):
+            return
+        dotted = self._annotation_dotted(stmt.annotation)
+        if dotted:
+            self.pending.var_dotted[stmt.target.id] = dotted
+        else:
+            call = _value_call(stmt.value)
+            if call is not None:
+                self.pending.var_call_descs[stmt.target.id] = (
+                    self._call_desc(call)
+                )
+
+    def _module_assign(self, stmt: ast.Assign) -> None:
+        if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
+            return
+        name = stmt.targets[0].id
+        call = _value_call(stmt.value)
+        if call is not None:
+            self.pending.var_call_descs[name] = self._call_desc(call)
+
+    # -- classes -------------------------------------------------------
+
+    def _collect_class(self, node: ast.ClassDef) -> None:
+        key = f"{self.module}:{node.name}"
+        info = _PendingClass(
+            key=key, module=self.module, name=node.name, line=node.lineno
+        )
+        self.pending.classes[node.name] = key
+        for stmt in node.body:
+            if isinstance(stmt, _DEF_NODES):
+                fn = self._collect_function(
+                    stmt, prefix=f"{node.name}.", class_info=info
+                )
+                info.methods[stmt.name] = fn.key
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                dotted = self._annotation_dotted(stmt.annotation)
+                if dotted:
+                    info.attr_dotted.setdefault(stmt.target.id, dotted)
+        self.pending.pending_classes.append(info)
+
+    # -- functions -----------------------------------------------------
+
+    def _collect_function(
+        self,
+        node: ast.stmt,
+        prefix: str,
+        class_info: Optional[_PendingClass],
+        nested: bool = False,
+    ) -> _PendingFunction:
+        if not isinstance(node, _DEF_NODES):
+            raise LintError(
+                f"_collect_function expects a def node, got {type(node).__name__}"
+            )
+        qualname = f"{prefix}{node.name}"
+        info = _PendingFunction(
+            key=f"{self.module}:{qualname}",
+            module=self.module,
+            qualname=qualname,
+            line=node.lineno,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            is_nested=nested,
+            class_key=class_info.key if class_info and not nested else "",
+        )
+        if node.returns is not None:
+            info.return_dotted = self._annotation_dotted(node.returns)
+        for arg in [
+            *node.args.posonlyargs,
+            *node.args.args,
+            *node.args.kwonlyargs,
+        ]:
+            if arg.annotation is not None:
+                dotted = self._annotation_dotted(arg.annotation)
+                if dotted:
+                    info.var_ann_types[arg.arg] = dotted
+        if not nested:
+            if class_info is None:
+                self.pending.functions[qualname] = info.key
+        walker = _BodyWalker(self, info, class_info)
+        for stmt in node.body:
+            walker.visit_stmt(stmt)
+        self.pending.pending_functions.append(info)
+        return info
+
+    # -- shared lexical helpers ----------------------------------------
+
+    def _annotation_dotted(self, annotation: Optional[ast.expr]) -> str:
+        """Alias-resolved dotted type of an annotation, best effort.
+
+        ``Optional[X]``, ``X | None`` and quoted forward references
+        unwrap; containers/unions of two real types return ``""``.
+        """
+        if annotation is None:
+            return ""
+        node: ast.expr = annotation
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return ""
+        if isinstance(node, ast.Subscript):
+            head = self.context.dotted_name(node.value) or ""
+            head = head.rpartition(".")[2]
+            if head == "Optional":
+                return self._annotation_dotted(node.slice)
+            return ""
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            left = self._annotation_dotted(node.left)
+            right = self._annotation_dotted(node.right)
+            if left == "None" or not left:
+                return "" if right == "None" else right
+            if right == "None" or not right:
+                return left
+            return ""
+        dotted = self.context.dotted_name(node)
+        if dotted is None or dotted == "None":
+            return "None" if dotted == "None" else ""
+        if dotted.rpartition(".")[2] == "Any":
+            return ""  # ``Any`` carries no usable type information
+        return self._ground(dotted)
+
+    def _ground(self, dotted: str) -> str:
+        """Alias-expand a dotted name; own-module names get qualified."""
+        resolved, known = self.context.resolve(dotted)
+        if known:
+            return resolved
+        head = dotted.partition(".")[0]
+        if head in self.pending.classes or head in self.pending.functions:
+            return f"{self.module}.{dotted}"
+        return dotted
+
+    def _call_desc(self, call: ast.Call) -> Desc:
+        """The phase-1 descriptor of a call's target (no locals)."""
+        return self._desc_for_func(call.func, local_types=None, scopes=None)
+
+    def _desc_for_func(
+        self,
+        func: ast.expr,
+        local_types: Optional[Dict[str, str]],
+        scopes: Optional[List[Dict[str, str]]],
+    ) -> Desc:
+        dotted = self.context.dotted_name(func)
+        if dotted is None:
+            # ``Ctor(...).method(...)`` — the inner ctor call is its
+            # own ast.Call edge; here only the method edge remains.
+            if isinstance(func, ast.Attribute) and isinstance(
+                func.value, ast.Call
+            ):
+                base = self.context.dotted_name(func.value.func)
+                if base is not None:
+                    return ("chain", self._ground(base), func.attr)
+            return ("opaque", "<dynamic>")
+        parts = dotted.split(".")
+        if parts[0] == "self":
+            if len(parts) == 2:
+                return ("self_method", parts[1])
+            if len(parts) == 3:
+                return ("self_attr", parts[1], parts[2])
+            return ("opaque", dotted)
+        if len(parts) == 1:
+            name = parts[0]
+            if scopes is not None:
+                for scope in reversed(scopes):
+                    if name in scope:
+                        return ("key", scope[name])
+            if name in self.pending.functions:
+                return ("key", self.pending.functions[name])
+            if name in self.pending.classes:
+                return ("dotted", f"{self.module}.{name}")
+            resolved, known = self.context.resolve(name)
+            if known:
+                return ("dotted", resolved)
+            if name in _KNOWN_BUILTINS:
+                return ("dotted", name)
+            return ("opaque", name)
+        head = parts[0]
+        if local_types is not None and head in local_types and len(parts) == 2:
+            return ("var", head, parts[1])
+        resolved, known = self.context.resolve(dotted)
+        if known:
+            return ("dotted", resolved)
+        if len(parts) == 2 and (
+            head in self.pending.var_dotted
+            or head in self.pending.var_call_descs
+        ):
+            return ("modvar", head, parts[1])
+        if head in self.pending.classes:
+            return ("dotted", f"{self.module}.{dotted}")
+        return ("opaque", dotted)
+
+
+class _BodyWalker:
+    """Recursive statement/expression walker for one function body."""
+
+    def __init__(
+        self,
+        collector: _FileCollector,
+        info: _PendingFunction,
+        class_info: Optional[_PendingClass],
+    ):
+        self.collector = collector
+        self.info = info
+        self.class_info = class_info
+        self.lock_depth = 0
+        self.return_depth = 0
+        #: Nested-def names visible at this level -> function key.
+        self.scope: Dict[str, str] = {}
+        self.is_init = (
+            class_info is not None
+            and info.qualname == f"{class_info.name}.__init__"
+        )
+
+    # -- statements ----------------------------------------------------
+
+    def visit_stmt(self, stmt: ast.stmt) -> None:
+        collector = self.collector
+        if isinstance(stmt, _DEF_NODES):
+            nested = collector._collect_function(
+                stmt,
+                prefix=f"{self.info.qualname}.<locals>.",
+                class_info=self.class_info,
+                nested=True,
+            )
+            self.scope[stmt.name] = nested.key
+            return
+        if isinstance(stmt, ast.ClassDef):
+            return  # classes inside functions stay opaque
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._visit_with(stmt)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.return_depth += 1
+                self.visit_expr(stmt.value)
+                self.return_depth -= 1
+            return
+        if isinstance(stmt, ast.Assign):
+            self._visit_assign(stmt)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._record_target_mutation(stmt.target, stmt)
+            self.visit_expr(stmt.value)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            self._visit_ann_assign(stmt)
+            return
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            return  # aliases were pre-collected; deferred, not an edge
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self.visit_stmt(child)
+            elif isinstance(child, ast.expr):
+                self.visit_expr(child)
+            elif isinstance(child, (ast.ExceptHandler, ast.withitem)):
+                for sub in ast.iter_child_nodes(child):
+                    if isinstance(sub, ast.stmt):
+                        self.visit_stmt(sub)
+                    elif isinstance(sub, ast.expr):
+                        self.visit_expr(sub)
+
+    def _visit_with(self, stmt: ast.stmt) -> None:
+        if not isinstance(stmt, (ast.With, ast.AsyncWith)):
+            raise LintError(
+                f"_visit_with expects a with node, got {type(stmt).__name__}"
+            )
+        locked = False
+        for item in stmt.items:
+            self.visit_expr(item.context_expr)
+            dotted = self.collector.context.dotted_name(item.context_expr)
+            if dotted is not None and _is_lock_name(dotted):
+                locked = True
+        if locked:
+            self.lock_depth += 1
+        for child in stmt.body:
+            self.visit_stmt(child)
+        if locked:
+            self.lock_depth -= 1
+
+    def _visit_assign(self, stmt: ast.Assign) -> None:
+        for target in stmt.targets:
+            self._record_target_mutation(target, stmt)
+        value_call = _value_call(stmt.value)
+        if (
+            len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and value_call is not None
+        ):
+            name = stmt.targets[0].id
+            self.info.var_call_descs[name] = self._desc(value_call)
+        if (
+            self.is_init
+            and self.class_info is not None
+            and len(stmt.targets) == 1
+        ):
+            self._note_init_attr(stmt.targets[0], stmt.value)
+        self.visit_expr(stmt.value)
+
+    def _visit_ann_assign(self, stmt: ast.AnnAssign) -> None:
+        dotted = self.collector._annotation_dotted(stmt.annotation)
+        if isinstance(stmt.target, ast.Name) and dotted:
+            self.info.var_ann_types[stmt.target.id] = dotted
+        elif (
+            isinstance(stmt.target, ast.Attribute)
+            and isinstance(stmt.target.value, ast.Name)
+            and stmt.target.value.id == "self"
+            and self.class_info is not None
+            and dotted
+        ):
+            self.class_info.attr_dotted.setdefault(stmt.target.attr, dotted)
+        self._record_target_mutation(stmt.target, stmt)
+        if stmt.value is not None:
+            if (
+                self.is_init
+                and self.class_info is not None
+                and isinstance(stmt.target, ast.Attribute)
+                and not dotted
+            ):
+                self._note_init_attr(stmt.target, stmt.value)
+            self.visit_expr(stmt.value)
+
+    def _note_init_attr(
+        self, target: ast.expr, value: Optional[ast.expr]
+    ) -> None:
+        """Infer ``self.attr`` types/locks from ``__init__`` bodies."""
+        if self.class_info is None or value is None:
+            return
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return
+        attr = target.attr
+        call = _value_call(value)
+        if call is not None:
+            dotted = self.collector.context.dotted_name(call.func)
+            if dotted is not None:
+                grounded = self.collector._ground(dotted)
+                tail = grounded.rpartition(".")[2]
+                if tail in ("Lock", "RLock"):
+                    self.class_info.lock_attrs.add(attr)
+                    return
+            self.class_info.attr_call_descs.setdefault(
+                attr, self._desc(call)
+            )
+        elif isinstance(value, ast.Name):
+            # ``self.config = config`` with an annotated parameter.
+            param_type = self.info.var_ann_types.get(value.id, "")
+            if param_type:
+                self.class_info.attr_dotted.setdefault(attr, param_type)
+
+    # -- expressions ---------------------------------------------------
+
+    def visit_expr(self, expr: ast.expr) -> None:
+        if isinstance(expr, ast.Call):
+            self._record_call(expr)
+            for child in ast.iter_child_nodes(expr):
+                if isinstance(child, ast.expr):
+                    self.visit_expr(child)
+                elif isinstance(child, ast.keyword):
+                    self.visit_expr(child.value)
+            return
+        if isinstance(expr, ast.Lambda):
+            # A lambda body runs when *called*, not here; its calls
+            # must not become edges of the enclosing function.
+            return
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self.visit_expr(child)
+            elif isinstance(child, ast.keyword):
+                self.visit_expr(child.value)
+            elif isinstance(child, ast.comprehension):
+                self.visit_expr(child.iter)
+                for condition in child.ifs:
+                    self.visit_expr(condition)
+
+    def _desc(self, call: ast.Call) -> Desc:
+        # Annotated locals AND locals assigned from a call both have an
+        # inferrable type at link time (``tracer = get_tracer()``).
+        local_types = dict(self.info.var_ann_types)
+        for name in self.info.var_call_descs:
+            local_types.setdefault(name, "")
+        return self.collector._desc_for_func(
+            call.func, local_types=local_types, scopes=[self.scope]
+        )
+
+    def _record_call(self, call: ast.Call) -> None:
+        desc = self._desc(call)
+        pending = _PendingCall(
+            desc=desc,
+            line=call.lineno,
+            column=call.col_offset + 1,
+            in_return=self.return_depth > 0,
+            under_lock=self.lock_depth > 0,
+        )
+        for value in [
+            *call.args,
+            *[kw.value for kw in call.keywords],
+        ]:
+            if isinstance(value, ast.Await):
+                value = value.value
+            if isinstance(value, ast.Call):
+                pending.arg_descs.append(self._desc(value))
+            elif isinstance(value, ast.Name):
+                pending.arg_names.append(value.id)
+        self.info.calls.append(pending)
+        # ``self.spans.append(x)`` mutates the receiver in place.
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in _MUTATING_METHODS
+        ):
+            self._record_target_mutation(call.func.value, call)
+
+    # -- mutations -----------------------------------------------------
+
+    def _record_target_mutation(
+        self, target: ast.expr, site: ast.AST
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_target_mutation(element, site)
+            return
+        while isinstance(target, ast.Subscript):
+            target = target.value
+        if not isinstance(target, ast.Attribute):
+            return
+        receiver_node = target.value
+        attr = target.attr
+        while isinstance(receiver_node, ast.Attribute):
+            # ``self.a.b = x`` mutates through attr ``a`` of self.
+            attr = receiver_node.attr
+            receiver_node = receiver_node.value
+        if not isinstance(receiver_node, ast.Name):
+            return
+        receiver = receiver_node.id
+        receiver_type: Tuple[str, str] = ("", "")
+        if receiver == "self" and self.class_info is not None:
+            receiver_type = ("key", self.class_info.key)
+        elif receiver in self.info.var_ann_types:
+            receiver_type = ("type", self.info.var_ann_types[receiver])
+        self.info.mutations.append(
+            _PendingMutation(
+                receiver=receiver,
+                receiver_type=receiver_type,
+                attr=attr,
+                line=getattr(site, "lineno", 1),
+                column=getattr(site, "col_offset", 0) + 1,
+                under_lock=self.lock_depth > 0,
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# phase 2: global linking
+
+
+class _Linker:
+    """Resolves phase-1 descriptors against the global symbol table."""
+
+    def __init__(self, pending: Dict[str, _PendingModule]):
+        self.pending = pending
+        self.module_names = set(pending)
+
+    # -- name grounding ------------------------------------------------
+
+    def split_module(self, dotted: str) -> Tuple[Optional[str], List[str]]:
+        """Longest tree-module prefix of a dotted name + remainder."""
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:cut])
+            if candidate in self.module_names:
+                return candidate, parts[cut:]
+        return None, parts
+
+    def chase(self, dotted: str, depth: int = 0) -> str:
+        """Follow re-export chains to the defining module's name."""
+        if depth > 6:
+            return dotted
+        module, rest = self.split_module(dotted)
+        if module is None or len(rest) != 1:
+            return dotted
+        origin = self.pending[module].from_imports.get(rest[0])
+        if origin is None:
+            return dotted
+        return self.chase(origin, depth + 1)
+
+    def resolve_type(self, dotted: str) -> str:
+        """Dotted type name -> class key / ``ext:`` key."""
+        if not dotted or dotted == "None":
+            return ""
+        dotted = self.chase(dotted)
+        module, rest = self.split_module(dotted)
+        if module is not None and len(rest) == 1:
+            key = self.pending[module].classes.get(rest[0])
+            if key is not None:
+                return key
+        if module is not None:
+            return unknown(dotted)
+        return external(dotted)
+
+    def resolve_dotted(self, dotted: str) -> str:
+        """Dotted callable name -> function/method/ctor key."""
+        dotted = self.chase(dotted)
+        module, rest = self.split_module(dotted)
+        if module is None:
+            return external(dotted)
+        node = self.pending[module]
+        if not rest:
+            return external(dotted)
+        if len(rest) == 1:
+            name = rest[0]
+            if name in node.functions:
+                return node.functions[name]
+            if name in node.classes:
+                return self.ctor_key(node.classes[name])
+            return unknown(dotted)
+        if len(rest) == 2:
+            head, method = rest
+            class_key = node.classes.get(head)
+            if class_key is not None:
+                return self.method_key(class_key, method)
+            var_type = self.module_var_type(module, head)
+            if var_type:
+                return self.method_on_type(var_type, method)
+        return unknown(dotted)
+
+    def ctor_key(self, class_key: str) -> str:
+        """Calling a class runs its ``__init__`` when it has one."""
+        info = self.class_info(class_key)
+        if info is not None and "__init__" in info.methods:
+            return info.methods["__init__"]
+        return class_key
+
+    def class_info(self, class_key: str) -> Optional[_PendingClass]:
+        module = class_key.partition(":")[0]
+        node = self.pending.get(module)
+        if node is None:
+            return None
+        for info in node.pending_classes:
+            if info.key == class_key:
+                return info
+        return None
+
+    def method_key(self, class_key: str, method: str) -> str:
+        info = self.class_info(class_key)
+        if info is not None and method in info.methods:
+            return info.methods[method]
+        return unknown(f"{class_key}.{method}")
+
+    def method_on_type(self, type_key: str, method: str) -> str:
+        if not type_key:
+            return unknown(f"?.{method}")
+        if type_key.startswith("ext:"):
+            return external(f"{type_key[4:]}.{method}")
+        if is_internal(type_key):
+            return self.method_key(type_key, method)
+        return unknown(f"{type_key}.{method}")
+
+    # -- inferred value types ------------------------------------------
+
+    def function_info(self, key: str) -> Optional[_PendingFunction]:
+        module = key.partition(":")[0]
+        node = self.pending.get(module)
+        if node is None:
+            return None
+        for info in node.pending_functions:
+            if info.key == key:
+                return info
+        return None
+
+    def type_of_call_desc(self, desc: Desc, owner: _PendingModule) -> str:
+        """The type key a call's return value carries, best effort."""
+        key = self.resolve_desc(desc, function=None, owner=owner)
+        if key.startswith("ext:"):
+            # ``Path(...)`` — a capitalized external callable is
+            # almost certainly a constructor; the value has its type.
+            tail = key.rpartition(".")[2]
+            return key if tail[:1].isupper() else ""
+        if not is_internal(key):
+            return ""
+        # Constructor call -> the class itself.
+        if ":" in key:
+            info = self.class_info(key)
+            if info is not None:
+                return key
+            fn = self.function_info(key)
+            if fn is not None:
+                if fn.qualname.endswith("__init__") and fn.class_key:
+                    return fn.class_key
+                if fn.return_dotted:
+                    return self.resolve_type(fn.return_dotted)
+        return ""
+
+    def module_var_type(self, module: str, name: str) -> str:
+        node = self.pending[module]
+        dotted = node.var_dotted.get(name)
+        if dotted:
+            return self.resolve_type(dotted)
+        desc = node.var_call_descs.get(name)
+        if desc is not None:
+            return self.type_of_call_desc(desc, owner=node)
+        return ""
+
+    def attr_type(self, class_key: str, attr: str) -> str:
+        info = self.class_info(class_key)
+        if info is None:
+            return ""
+        dotted = info.attr_dotted.get(attr)
+        if dotted:
+            return self.resolve_type(dotted)
+        desc = info.attr_call_descs.get(attr)
+        if desc is not None:
+            owner = self.pending[info.module]
+            return self.type_of_call_desc(desc, owner=owner)
+        return ""
+
+    def local_var_type(
+        self, function: _PendingFunction, name: str
+    ) -> str:
+        dotted = function.var_ann_types.get(name)
+        if dotted:
+            return self.resolve_type(dotted)
+        desc = function.var_call_descs.get(name)
+        if desc is not None:
+            owner = self.pending[function.module]
+            return self.type_of_call_desc(desc, owner=owner)
+        return ""
+
+    # -- descriptor resolution -----------------------------------------
+
+    def resolve_desc(
+        self,
+        desc: Desc,
+        function: Optional[_PendingFunction],
+        owner: _PendingModule,
+    ) -> str:
+        kind = desc[0]
+        if kind == "key":
+            return desc[1]
+        if kind == "dotted":
+            return self.resolve_dotted(desc[1])
+        if kind == "opaque":
+            return unknown(desc[1])
+        if kind == "self_method":
+            if function is not None and function.class_key:
+                return self.method_key(function.class_key, desc[1])
+            return unknown(f"self.{desc[1]}")
+        if kind == "self_attr":
+            attr, method = desc[1], desc[2]
+            if function is not None and function.class_key:
+                attr_type = self.attr_type(function.class_key, attr)
+                if attr_type:
+                    return self.method_on_type(attr_type, method)
+            return unknown(f"self.{attr}.{method}")
+        if kind == "var":
+            name, method = desc[1], desc[2]
+            if function is not None:
+                var_type = self.local_var_type(function, name)
+                if var_type:
+                    return self.method_on_type(var_type, method)
+            return unknown(f"{name}.{method}")
+        if kind == "modvar":
+            name, method = desc[1], desc[2]
+            var_type = self.module_var_type(owner.name, name)
+            if var_type:
+                return self.method_on_type(var_type, method)
+            return unknown(f"{owner.name}.{name}.{method}")
+        if kind == "chain":
+            base, method = desc[1], desc[2]
+            base_key = ""
+            head, _, tail = base.partition(".")
+            if tail and "." not in tail and function is not None:
+                # ``var.labels(...).inc()`` — the base call is a method
+                # on a typed local, not a dotted module path.
+                var_type = self.local_var_type(function, head)
+                if var_type and is_internal(var_type):
+                    base_key = self.method_on_type(var_type, tail)
+            if not is_internal(base_key):
+                base_key = self.resolve_dotted(base)
+            if is_internal(base_key):
+                info = self.class_info(base_key)
+                if info is not None:
+                    return self.method_key(base_key, method)
+                fn = self.function_info(base_key)
+                if fn is not None:
+                    if fn.qualname.endswith("__init__") and fn.class_key:
+                        return self.method_key(fn.class_key, method)
+                    if fn.return_dotted:
+                        # ``REQUESTS.labels(...).inc()`` chains through
+                        # the method's annotated return type.
+                        return self.method_on_type(
+                            self.resolve_type(fn.return_dotted), method
+                        )
+            if base_key.startswith("ext:"):
+                return external(f"{base_key[4:]}.{method}")
+            return unknown(f"{base}.{method}")
+        return unknown(".".join(desc))
+
+
+def _link(
+    pending: Dict[str, _PendingModule],
+    syntax_errors: Dict[str, Tuple[int, str]],
+) -> ProgramGraph:
+    linker = _Linker(pending)
+    graph = ProgramGraph(syntax_errors=dict(syntax_errors))
+    for name in sorted(pending):
+        node = pending[name]
+        module = ModuleNode(
+            name=node.name,
+            path=node.path,
+            imports=list(node.imports),
+            noqa={line: list(ids) for line, ids in node.noqa.items()},
+            noqa_file=list(node.noqa_file),
+        )
+        for var in sorted(set(node.var_dotted) | set(node.var_call_descs)):
+            var_type = linker.module_var_type(name, var)
+            if var_type:
+                module.var_types[var] = var_type
+        graph.modules[node.name] = module
+        for class_info in node.pending_classes:
+            klass = ClassNode(
+                key=class_info.key,
+                module=class_info.module,
+                name=class_info.name,
+                line=class_info.line,
+                methods=dict(class_info.methods),
+                lock_attrs=sorted(class_info.lock_attrs),
+            )
+            for attr in sorted(
+                set(class_info.attr_dotted) | set(class_info.attr_call_descs)
+            ):
+                attr_type = linker.attr_type(class_info.key, attr)
+                if attr_type:
+                    klass.attr_types[attr] = attr_type
+            graph.classes[klass.key] = klass
+        for fn in node.pending_functions:
+            function = FunctionNode(
+                key=fn.key,
+                module=fn.module,
+                qualname=fn.qualname,
+                line=fn.line,
+                is_async=fn.is_async,
+                is_nested=fn.is_nested,
+                class_key=fn.class_key,
+                return_type=linker.resolve_type(fn.return_dotted),
+            )
+            for call in fn.calls:
+                function.calls.append(
+                    CallSite(
+                        callee=linker.resolve_desc(call.desc, fn, node),
+                        line=call.line,
+                        column=call.column,
+                        in_return=call.in_return,
+                        under_lock=call.under_lock,
+                        arg_calls=[
+                            linker.resolve_desc(d, fn, node)
+                            for d in call.arg_descs
+                        ],
+                        arg_names=list(call.arg_names),
+                    )
+                )
+            for mutation in fn.mutations:
+                type_kind, type_value = mutation.receiver_type
+                if type_kind == "key":
+                    receiver_type = type_value
+                elif type_kind == "type":
+                    receiver_type = linker.resolve_type(type_value)
+                else:
+                    receiver_type = ""
+                function.mutations.append(
+                    Mutation(
+                        receiver=mutation.receiver,
+                        receiver_type=receiver_type,
+                        attr=mutation.attr,
+                        line=mutation.line,
+                        column=mutation.column,
+                        under_lock=mutation.under_lock,
+                    )
+                )
+            for var in sorted(fn.var_call_descs):
+                function.var_sources[var] = linker.resolve_desc(
+                    fn.var_call_descs[var], fn, node
+                )
+            graph.functions[function.key] = function
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# public API
+
+
+def build_graph(
+    paths: Sequence[Path], root: Optional[Path] = None
+) -> ProgramGraph:
+    """Parse every python file under ``paths`` into a program graph."""
+    pending: Dict[str, _PendingModule] = {}
+    syntax_errors: Dict[str, Tuple[int, str]] = {}
+    for file_path in iter_python_files(paths):
+        display = file_path
+        if root is not None:
+            try:
+                display = file_path.relative_to(root)
+            except ValueError:
+                display = file_path
+        path = display.as_posix()
+        text = file_path.read_text(encoding="utf-8")
+        module = module_name_for(file_path)
+        try:
+            tree = ast.parse(text, filename=path)
+        except SyntaxError as error:
+            syntax_errors[path] = (error.lineno or 1, error.msg or "")
+            continue
+        collector = _FileCollector(
+            path=path, module=module, text=text, tree=tree
+        )
+        pending[module] = collector.collect()
+    return _link(pending, syntax_errors)
+
+
+def build_graph_from_sources(
+    sources: Dict[str, str], module_names: Optional[Dict[str, str]] = None
+) -> ProgramGraph:
+    """Build a graph from in-memory sources (the unit-test entry point).
+
+    ``sources`` maps display paths to code; module names derive from
+    the paths (``src/repro/flow/x.py`` -> ``repro.flow.x``) unless
+    overridden via ``module_names``.
+    """
+    pending: Dict[str, _PendingModule] = {}
+    syntax_errors: Dict[str, Tuple[int, str]] = {}
+    for path in sorted(sources):
+        text = sources[path]
+        module = (module_names or {}).get(path) or module_name_for(Path(path))
+        try:
+            tree = ast.parse(text, filename=path)
+        except SyntaxError as error:
+            syntax_errors[path] = (error.lineno or 1, error.msg or "")
+            continue
+        collector = _FileCollector(
+            path=path, module=module, text=text, tree=tree
+        )
+        pending[module] = collector.collect()
+    return _link(pending, syntax_errors)

@@ -1,0 +1,116 @@
+"""Loading ``[tool.repro-lint]`` from ``pyproject.toml``.
+
+The layering map lives next to the rest of the project metadata so the
+architecture is declared once, in the file everyone already reads:
+
+.. code-block:: toml
+
+    [tool.repro-lint]
+    layers = [
+        ["repro.errors", "repro.units"],
+        ["repro.cells", "repro.liberty"],
+        # ... lowest first; same-layer imports are allowed
+    ]
+
+``tomllib`` only exists on Python 3.11+ and the CI matrix starts at
+3.10, so a tiny fallback parser handles the one shape this section
+uses: ``key = <TOML array>`` — which happens to be a valid Python
+literal, so bracket-balancing plus :func:`ast.literal_eval` is exact
+for it (no new dependency, no hand-rolled string machinery).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.lint.graph.rules import GraphSettings
+
+try:  # Python 3.11+
+    import tomllib
+except ImportError:  # pragma: no cover - exercised on 3.9/3.10 only
+    tomllib = None  # type: ignore[assignment]
+
+#: The pyproject table the graph rules read.
+SECTION = "repro-lint"
+
+
+#: A TOML table header (``[tool.x]`` / ``[[tool.y]]``) — bare dotted
+#: names only, which is what tells it apart from an array element like
+#: ``["repro.sta"],`` continuing a multi-line value.
+_HEADER = re.compile(r"^\[\[?[A-Za-z0-9_.\-]+\]?\]$")
+
+
+def _parse_section_fallback(text: str) -> Dict[str, Any]:
+    """Parse ``[tool.repro-lint]`` without :mod:`tomllib`.
+
+    Handles ``key = <array/str/number>`` with arrays spanning lines;
+    enough for this section, not a general TOML parser.
+    """
+    collected: List[str] = []
+    in_section = False
+    for line in text.splitlines():
+        stripped = line.strip()
+        if _HEADER.match(stripped):
+            in_section = stripped == f"[tool.{SECTION}]"
+            continue
+        if in_section:
+            collected.append(line)
+    data: Dict[str, Any] = {}
+    index = 0
+    while index < len(collected):
+        line = collected[index].split("#", 1)[0]
+        index += 1
+        if "=" not in line:
+            continue
+        key, _, expression = line.partition("=")
+        depth = expression.count("[") - expression.count("]")
+        while depth > 0 and index < len(collected):
+            continuation = collected[index].split("#", 1)[0]
+            expression += "\n" + continuation
+            depth += continuation.count("[") - continuation.count("]")
+            index += 1
+        try:
+            data[key.strip()] = ast.literal_eval(expression.strip())
+        except (SyntaxError, ValueError):
+            continue
+    return data
+
+
+def load_lint_table(pyproject: Path) -> Dict[str, Any]:
+    """The raw ``[tool.repro-lint]`` mapping (empty when absent)."""
+    if not pyproject.is_file():
+        return {}
+    text = pyproject.read_text(encoding="utf-8")
+    if tomllib is not None:
+        try:
+            parsed = tomllib.loads(text)
+        except tomllib.TOMLDecodeError:
+            return {}
+        table = parsed.get("tool", {}).get(SECTION, {})
+        return dict(table) if isinstance(table, dict) else {}
+    return _parse_section_fallback(text)
+
+
+def load_graph_settings(pyproject: Optional[Path] = None) -> GraphSettings:
+    """Graph-rule settings for a repo (defaults when unconfigured)."""
+    settings = GraphSettings()
+    if pyproject is None:
+        pyproject = Path("pyproject.toml")
+    table = load_lint_table(pyproject)
+    layers = table.get("layers")
+    if isinstance(layers, list):
+        settings.layers = [
+            [str(package) for package in group]
+            for group in layers
+            if isinstance(group, list)
+        ]
+    async_packages = table.get("async-packages")
+    if isinstance(async_packages, list):
+        settings.async_packages = tuple(str(p) for p in async_packages)
+    det_packages = table.get("det-packages")
+    if isinstance(det_packages, list):
+        settings.det_packages = tuple(str(p) for p in det_packages)
+    return settings

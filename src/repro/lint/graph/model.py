@@ -1,0 +1,411 @@
+"""The whole-program model the graph rules run on.
+
+One :class:`ProgramGraph` represents a parsed source tree: every
+module, every class with its inferred attribute types, every function
+(module-level, method, nested, async or not) with its resolved call
+sites and state mutations, plus the module-level import edges the
+layering rule checks.
+
+Resolution keys are strings so the whole graph serializes to JSON for
+the content-hash cache (:mod:`repro.lint.graph.cache`):
+
+* ``"repro.flow.pipeline:run"`` — a module-level function;
+* ``"repro.serve.handlers:TuningService.tune"`` — a method;
+* ``"repro.serve.handlers:TuningService.tune.<locals>.probe"`` — a
+  nested function (only reachable when called by name);
+* ``"repro.parallel.artifacts:ArtifactStore"`` — a class (also the
+  key format for inferred types);
+* ``"ext:pathlib.Path.glob"`` — an external dotted name, fully
+  alias-expanded;
+* ``"?:<dotted>"`` — a name the builder could not ground (rules treat
+  these as opaque: never blocking, never deterministic, never a sink).
+
+Everything here is a value object: building happens in
+:mod:`repro.lint.graph.builder`, judging in
+:mod:`repro.lint.graph.rules`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+#: Serialization format version, stamped into cached graph files; bump
+#: on any model change so stale caches are rebuilt, never misread.
+GRAPH_SCHEMA_VERSION = 1
+
+#: Prefix marking an external (non-tree) resolution key.
+EXTERNAL = "ext:"
+
+#: Prefix marking an unresolvable name (opaque to every rule).
+UNKNOWN = "?:"
+
+
+def external(dotted: str) -> str:
+    """The resolution key of an external dotted name."""
+    return EXTERNAL + dotted
+
+
+def unknown(dotted: str) -> str:
+    """The resolution key of a name that could not be grounded."""
+    return UNKNOWN + dotted
+
+
+def is_internal(key: str) -> bool:
+    """Whether a resolution key points inside the analyzed tree."""
+    return not (key.startswith(EXTERNAL) or key.startswith(UNKNOWN))
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    #: Resolution key of the call target (see the module docstring).
+    callee: str
+    line: int
+    column: int
+    #: The call appears inside a ``return`` expression — the channel
+    #: DET003 propagates nondeterminism through.
+    in_return: bool = False
+    #: The call is lexically inside a ``with <...>.lock:`` block.
+    under_lock: bool = False
+    #: Resolution keys of arguments that are themselves direct calls
+    #: (``sink(f(x))``), in positional order.
+    arg_calls: List[str] = field(default_factory=list)
+    #: Plain ``Name`` arguments (``sink(value)``), for local
+    #: assignment tracking in DET003.
+    arg_names: List[str] = field(default_factory=list)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready rendering (compact: defaults omitted)."""
+        payload: Dict[str, Any] = {
+            "c": self.callee, "l": self.line, "o": self.column,
+        }
+        if self.in_return:
+            payload["r"] = 1
+        if self.under_lock:
+            payload["k"] = 1
+        if self.arg_calls:
+            payload["ac"] = self.arg_calls
+        if self.arg_names:
+            payload["an"] = self.arg_names
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "CallSite":
+        """Rebuild from :meth:`to_payload` output."""
+        return cls(
+            callee=payload["c"],
+            line=payload["l"],
+            column=payload["o"],
+            in_return=bool(payload.get("r")),
+            under_lock=bool(payload.get("k")),
+            arg_calls=list(payload.get("ac", [])),
+            arg_names=list(payload.get("an", [])),
+        )
+
+
+@dataclass
+class Mutation:
+    """One write to attribute state (``recv.attr = ...``, ``recv.attr
+    += ...``, ``recv.attr[k] = ...`` or ``recv.attr.append(...)``)."""
+
+    #: Root receiver: ``"self"`` or the local/parameter name.
+    receiver: str
+    #: Inferred type key of the receiver (``""`` when unknown; for
+    #: ``self`` this is the enclosing class key).
+    receiver_type: str
+    #: The attribute written through.
+    attr: str
+    line: int
+    column: int
+    under_lock: bool = False
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready rendering."""
+        payload: Dict[str, Any] = {
+            "r": self.receiver, "t": self.receiver_type, "a": self.attr,
+            "l": self.line, "o": self.column,
+        }
+        if self.under_lock:
+            payload["k"] = 1
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "Mutation":
+        """Rebuild from :meth:`to_payload` output."""
+        return cls(
+            receiver=payload["r"],
+            receiver_type=payload["t"],
+            attr=payload["a"],
+            line=payload["l"],
+            column=payload["o"],
+            under_lock=bool(payload.get("k")),
+        )
+
+
+@dataclass
+class FunctionNode:
+    """One function/method/nested def in the program."""
+
+    #: Full resolution key (``module:qualname``).
+    key: str
+    module: str
+    #: Dotted name inside the module (``Class.method``,
+    #: ``outer.<locals>.inner``).
+    qualname: str
+    line: int
+    is_async: bool = False
+    #: Not a module-level def and not a class method — only reachable
+    #: when called by name inside its enclosing function.
+    is_nested: bool = False
+    #: Key of the enclosing class for methods, else ``""``.
+    class_key: str = ""
+    #: Resolved key of the annotated return type (``Optional[X]`` and
+    #: ``X | None`` unwrap to ``X``); ``""`` when unannotated.
+    return_type: str = ""
+    calls: List[CallSite] = field(default_factory=list)
+    mutations: List[Mutation] = field(default_factory=list)
+    #: Local names assigned from a single direct call
+    #: (``x = f(...)`` -> ``{"x": key_of_f}``); best-effort, last
+    #: assignment wins.
+    var_sources: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        """The bare function name (last qualname segment)."""
+        return self.qualname.rpartition(".")[2]
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready rendering."""
+        payload: Dict[str, Any] = {
+            "key": self.key,
+            "module": self.module,
+            "qualname": self.qualname,
+            "line": self.line,
+        }
+        if self.is_async:
+            payload["async"] = 1
+        if self.is_nested:
+            payload["nested"] = 1
+        if self.class_key:
+            payload["class"] = self.class_key
+        if self.return_type:
+            payload["ret"] = self.return_type
+        if self.calls:
+            payload["calls"] = [c.to_payload() for c in self.calls]
+        if self.mutations:
+            payload["mutations"] = [m.to_payload() for m in self.mutations]
+        if self.var_sources:
+            payload["vars"] = dict(sorted(self.var_sources.items()))
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "FunctionNode":
+        """Rebuild from :meth:`to_payload` output."""
+        return cls(
+            key=payload["key"],
+            module=payload["module"],
+            qualname=payload["qualname"],
+            line=payload["line"],
+            is_async=bool(payload.get("async")),
+            is_nested=bool(payload.get("nested")),
+            class_key=payload.get("class", ""),
+            return_type=payload.get("ret", ""),
+            calls=[CallSite.from_payload(c) for c in payload.get("calls", [])],
+            mutations=[
+                Mutation.from_payload(m) for m in payload.get("mutations", [])
+            ],
+            var_sources=dict(payload.get("vars", {})),
+        )
+
+
+@dataclass
+class ClassNode:
+    """One class definition with its inferred attribute types."""
+
+    #: Full resolution key (``module:Name``).
+    key: str
+    module: str
+    name: str
+    line: int
+    #: Method name -> function key.
+    methods: Dict[str, str] = field(default_factory=dict)
+    #: ``self.attr`` -> inferred type key (class key or external).
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    #: Attributes assigned a ``threading.Lock()``/``RLock()``.
+    lock_attrs: List[str] = field(default_factory=list)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready rendering."""
+        return {
+            "key": self.key,
+            "module": self.module,
+            "name": self.name,
+            "line": self.line,
+            "methods": dict(sorted(self.methods.items())),
+            "attr_types": dict(sorted(self.attr_types.items())),
+            "lock_attrs": sorted(self.lock_attrs),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ClassNode":
+        """Rebuild from :meth:`to_payload` output."""
+        return cls(
+            key=payload["key"],
+            module=payload["module"],
+            name=payload["name"],
+            line=payload["line"],
+            methods=dict(payload.get("methods", {})),
+            attr_types=dict(payload.get("attr_types", {})),
+            lock_attrs=list(payload.get("lock_attrs", [])),
+        )
+
+
+@dataclass
+class ImportEdge:
+    """One module-level ``import``/``from ... import`` of a tree module."""
+
+    target: str
+    line: int
+
+    def to_payload(self) -> List[Any]:
+        """JSON-ready rendering."""
+        return [self.target, self.line]
+
+    @classmethod
+    def from_payload(cls, payload: List[Any]) -> "ImportEdge":
+        """Rebuild from :meth:`to_payload` output."""
+        return cls(target=str(payload[0]), line=int(payload[1]))
+
+
+@dataclass
+class ModuleNode:
+    """One parsed source file."""
+
+    name: str
+    #: Repo-relative posix path (what findings report).
+    path: str
+    #: Module-level imports of other tree modules (ARCH001's graph).
+    imports: List[ImportEdge] = field(default_factory=list)
+    #: Line -> suppressed rule ids (``# repro: noqa[...]``).
+    noqa: Dict[int, List[str]] = field(default_factory=dict)
+    #: Whole-file suppressions (``# repro: noqa-file[...]``).
+    noqa_file: List[str] = field(default_factory=list)
+    #: Module-level names with inferrable types (annotated constants).
+    var_types: Dict[str, str] = field(default_factory=dict)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready rendering."""
+        return {
+            "name": self.name,
+            "path": self.path,
+            "imports": [e.to_payload() for e in self.imports],
+            "noqa": {str(k): v for k, v in sorted(self.noqa.items())},
+            "noqa_file": sorted(self.noqa_file),
+            "var_types": dict(sorted(self.var_types.items())),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ModuleNode":
+        """Rebuild from :meth:`to_payload` output."""
+        return cls(
+            name=payload["name"],
+            path=payload["path"],
+            imports=[
+                ImportEdge.from_payload(e) for e in payload.get("imports", [])
+            ],
+            noqa={
+                int(k): list(v) for k, v in payload.get("noqa", {}).items()
+            },
+            noqa_file=list(payload.get("noqa_file", [])),
+            var_types=dict(payload.get("var_types", {})),
+        )
+
+
+@dataclass
+class ProgramGraph:
+    """The whole analyzed tree, ready for the graph rules."""
+
+    modules: Dict[str, ModuleNode] = field(default_factory=dict)
+    functions: Dict[str, FunctionNode] = field(default_factory=dict)
+    classes: Dict[str, ClassNode] = field(default_factory=dict)
+    #: Files that failed to parse: path -> (line, message).
+    syntax_errors: Dict[str, Tuple[int, str]] = field(default_factory=dict)
+
+    # -- lookups -------------------------------------------------------
+
+    def module_of_path(self, path: str) -> Optional[ModuleNode]:
+        """The module at a repo-relative path, if parsed."""
+        for node in self.modules.values():
+            if node.path == path:
+                return node
+        return None
+
+    def functions_of(self, module: str) -> List[FunctionNode]:
+        """Every function defined in ``module``, in line order."""
+        nodes = [f for f in self.functions.values() if f.module == module]
+        return sorted(nodes, key=lambda f: f.line)
+
+    def callers_of(self, key: str) -> List[Tuple[FunctionNode, CallSite]]:
+        """Every call site in the graph resolving to ``key``."""
+        sites: List[Tuple[FunctionNode, CallSite]] = []
+        for function in self.functions.values():
+            for site in function.calls:
+                if site.callee == key:
+                    sites.append((function, site))
+        return sites
+
+    def import_graph(self) -> Dict[str, Set[str]]:
+        """Module-level edges between tree modules."""
+        graph: Dict[str, Set[str]] = {}
+        for name, node in self.modules.items():
+            graph[name] = {
+                edge.target
+                for edge in node.imports
+                if edge.target in self.modules
+            }
+        return graph
+
+    # -- serialization -------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready rendering of the whole graph (cache format)."""
+        return {
+            "schema": GRAPH_SCHEMA_VERSION,
+            "modules": [
+                self.modules[name].to_payload()
+                for name in sorted(self.modules)
+            ],
+            "functions": [
+                self.functions[key].to_payload()
+                for key in sorted(self.functions)
+            ],
+            "classes": [
+                self.classes[key].to_payload()
+                for key in sorted(self.classes)
+            ],
+            "syntax_errors": {
+                path: [line, message]
+                for path, (line, message) in sorted(
+                    self.syntax_errors.items()
+                )
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ProgramGraph":
+        """Rebuild a graph from :meth:`to_payload` output."""
+        graph = cls()
+        for entry in payload.get("modules", []):
+            node = ModuleNode.from_payload(entry)
+            graph.modules[node.name] = node
+        for entry in payload.get("functions", []):
+            function = FunctionNode.from_payload(entry)
+            graph.functions[function.key] = function
+        for entry in payload.get("classes", []):
+            klass = ClassNode.from_payload(entry)
+            graph.classes[klass.key] = klass
+        for path, (line, message) in payload.get("syntax_errors", {}).items():
+            graph.syntax_errors[path] = (int(line), str(message))
+        return graph

@@ -1,0 +1,142 @@
+"""SARIF 2.1.0 rendering of lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub
+code scanning ingests: one ``run`` per tool, a rule catalog under
+``tool.driver.rules``, and one ``result`` per finding pointing at a
+``physicalLocation``.  Baselined findings are emitted too, marked with
+an ``external`` suppression, so the code-scanning UI shows accepted
+debt as suppressed instead of losing it.
+
+Output is byte-deterministic — sorted results, sorted keys, trailing
+newline — the same discipline as the JSON report and the baseline
+file, so artifact diffs are meaningful.
+
+Only the stdlib is used; the emitted document is validated
+structurally (and against the official schema when ``jsonschema`` is
+installed) in ``tests/lint/test_sarif.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.lint.findings import Finding
+
+#: The SARIF version this module emits.
+SARIF_VERSION = "2.1.0"
+
+#: Canonical schema URI (what GitHub's ingestion validates against).
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: repro severities -> SARIF levels.
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _sarif_level(severity: str) -> str:
+    return _LEVELS.get(severity, "note")
+
+
+def sarif_rule(entry: Dict[str, str]) -> Dict[str, Any]:
+    """One ``tool.driver.rules`` descriptor from a catalog entry."""
+    descriptor: Dict[str, Any] = {
+        "id": entry["id"],
+        "name": entry.get("title") or entry["id"],
+        "shortDescription": {"text": entry.get("title") or entry["id"]},
+        "defaultConfiguration": {
+            "level": _sarif_level(entry.get("severity", "error"))
+        },
+    }
+    rationale = entry.get("rationale", "")
+    hint = entry.get("hint", "")
+    if rationale:
+        descriptor["fullDescription"] = {"text": rationale}
+    if hint:
+        descriptor["help"] = {"text": hint}
+    return descriptor
+
+
+def _result(
+    finding: Finding, rule_index: Dict[str, int], suppressed: bool
+) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule_id,
+        "level": _sarif_level(finding.severity),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.column,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.rule_id in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule_id]
+    if suppressed:
+        result["suppressions"] = [
+            {
+                "kind": "external",
+                "justification": "accepted in lint-baseline.json",
+            }
+        ]
+    return result
+
+
+def render_sarif(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding] = (),
+    catalog: Optional[Sequence[Dict[str, str]]] = None,
+    tool_version: str = "1",
+) -> Dict[str, Any]:
+    """The SARIF document as a JSON-ready mapping."""
+    rules = [sarif_rule(entry) for entry in (catalog or [])]
+    rule_index = {rule["id"]: index for index, rule in enumerate(rules)}
+    results = [
+        _result(finding, rule_index, suppressed=False)
+        for finding in sorted(new)
+    ] + [
+        _result(finding, rule_index, suppressed=True)
+        for finding in sorted(baselined)
+    ]
+    driver: Dict[str, Any] = {
+        "name": "repro-lint",
+        "informationUri": "https://example.invalid/repro-lint",
+        "version": tool_version,
+        "rules": rules,
+    }
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": driver},
+                "columnKind": "unicodeCodePoints",
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif_text(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding] = (),
+    catalog: Optional[Sequence[Dict[str, str]]] = None,
+    tool_version: str = "1",
+) -> str:
+    """Byte-deterministic SARIF text (sorted keys, trailing newline)."""
+    document = render_sarif(
+        new, baselined, catalog=catalog, tool_version=tool_version
+    )
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

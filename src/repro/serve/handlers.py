@@ -178,7 +178,10 @@ class TuningService:
             return await self.sweep(request, trace_id)
         if isinstance(request, StatusRequest):
             self._count("status")
-            return StatusResponse(status=self.status(), trace_id=trace_id)
+            # status() walks the artifact store on disk — keep that
+            # off the event loop.
+            report = await asyncio.to_thread(self.status)
+            return StatusResponse(status=report, trace_id=trace_id)
         raise RequestError(
             f"no handler for request kind {getattr(request, 'kind', '?')!r}"
         )

@@ -334,8 +334,10 @@ class TuningServer:
                 kind = "metrics"
                 if method != "GET":
                     raise RequestError("/metrics only answers GET")
-                text = render_prometheus(get_metrics().snapshot())
-                self._observe(
+                # snapshot() folds in the worker spool from disk —
+                # render off the event loop.
+                text = await asyncio.to_thread(self._render_metrics)
+                await self._observe(
                     kind, trace_id, "ok", 200,
                     time.perf_counter() - start, ledger=False,
                 )
@@ -361,7 +363,7 @@ class TuningServer:
                 payload = error_response(
                     RequestError(f"no such path: {target}"), trace_id
                 ).to_payload()
-                self._observe(
+                await self._observe(
                     kind, trace_id, "error", 404,
                     time.perf_counter() - start,
                 )
@@ -384,14 +386,19 @@ class TuningServer:
                     flush=True,
                 )
             payload = error_response(error, trace_id).to_payload()
-        self._observe(
+        await self._observe(
             kind, trace_id, outcome, status, time.perf_counter() - start
         )
         return status, payload
 
     # -- observability ------------------------------------------------
 
-    def _observe(
+    @staticmethod
+    def _render_metrics() -> str:
+        """Prometheus exposition text (sync: snapshot reads the spool)."""
+        return render_prometheus(get_metrics().snapshot())
+
+    async def _observe(
         self,
         kind: str,
         trace_id: str,
@@ -401,6 +408,30 @@ class TuningServer:
         ledger: bool = True,
     ) -> None:
         """Record one request: metrics, a span, and a run-ledger line.
+
+        The metric bumps are in-memory and stay on the loop; the span
+        sink and the run ledger write to disk, so that half runs in the
+        default executor (only the bound method crosses the
+        ``to_thread`` boundary, never a running call).
+        """
+        SERVE_REQUESTS.labels(kind=kind, outcome=outcome).inc()
+        SERVE_REQUEST_SECONDS.labels(kind=kind, outcome=outcome).observe(wall)
+        SERVE_HTTP_RESPONSES.labels(f"{status // 100}xx").inc()
+        await asyncio.to_thread(
+            self._persist_observation, kind, trace_id, outcome, status,
+            wall, ledger,
+        )
+
+    def _persist_observation(
+        self,
+        kind: str,
+        trace_id: str,
+        outcome: str,
+        status: int,
+        wall: float,
+        ledger: bool,
+    ) -> None:
+        """Span + ledger persistence (sync disk I/O; runs off-loop).
 
         Spans are recorded post-hoc (:meth:`Tracer.record_span`) —
         the tracer's live span stack is thread-local and the handlers
@@ -412,9 +443,6 @@ class TuningServer:
         """
         from repro.observe import get_tracer
 
-        SERVE_REQUESTS.labels(kind=kind, outcome=outcome).inc()
-        SERVE_REQUEST_SECONDS.labels(kind=kind, outcome=outcome).observe(wall)
-        SERVE_HTTP_RESPONSES.labels(f"{status // 100}xx").inc()
         tracer = self.service.config.tracer or get_tracer()
         tracer.record_span(
             "serve.request",

@@ -64,6 +64,30 @@ class TestRatchet:
         assert baseline.stale_count([finding()]) == 1
         assert baseline.stale_count([]) == 2
 
+    def test_stale_entries_identify_the_retired_keys(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(
+            target,
+            [finding(), finding(rule="API001", path="src/gone.py")],
+        )
+        baseline = Baseline.load(target)
+        stale = baseline.stale_entries([finding()])
+        assert stale == [(("API001", "src/gone.py", "m"), 1)]
+
+    def test_stale_entries_count_dropped_duplicates(self, tmp_path):
+        """Three committed copies, one left in the code -> surplus 2."""
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [finding(), finding(), finding()])
+        baseline = Baseline.load(target)
+        stale = baseline.stale_entries([finding()])
+        assert stale == [(("DET001", "src/repro/flow/x.py", "m"), 2)]
+
+    def test_stale_entries_empty_when_debt_is_live(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [finding()])
+        baseline = Baseline.load(target)
+        assert baseline.stale_entries([finding(), finding()]) == []
+
     def test_update_shrinks_after_fix(self, tmp_path):
         target = tmp_path / "baseline.json"
         write_baseline(target, [finding(), finding(rule="API001")])

@@ -146,9 +146,124 @@ class TestJsonFormat:
         }
 
 
+class TestJsonDeterminism:
+    def test_json_output_is_byte_identical_across_runs(self, tree, capsys):
+        seed_violation(tree)
+        (tree / "src" / "repro" / "flow" / "worse.py").write_text(
+            VIOLATION.replace("stage", "other_stage")
+        )
+        assert main(["lint", "--format", "json"]) == 1
+        first = capsys.readouterr().out
+        assert main(["lint", "--format", "json"]) == 1
+        second = capsys.readouterr().out
+        assert first == second
+        assert first.endswith("\n")
+
+    def test_findings_sorted_by_path_line_rule(self, tree, capsys):
+        seed_violation(tree)
+        (tree / "src" / "repro" / "flow" / "worse.py").write_text(
+            VIOLATION.replace("stage", "other_stage")
+        )
+        assert main(["lint", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        keys = [
+            (entry["path"], entry["line"], entry["rule"])
+            for entry in payload["findings"]
+        ]
+        assert keys == sorted(keys)
+
+
+class TestStaleDebtFlow:
+    def test_vanished_file_entry_is_reported_and_pruned(self, tree, capsys):
+        seed_violation(tree)
+        assert main(["lint", "--update-baseline"]) == 0
+        (tree / "src" / "repro" / "flow" / "bad.py").unlink()
+        capsys.readouterr()
+        assert main(["lint", "--update-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "retiring stale baseline entry DET001" in out
+        assert "src/repro/flow/bad.py" in out
+        assert "(was 1)" in out
+        payload = json.loads((tree / "lint-baseline.json").read_text())
+        assert payload["findings"] == []
+
+    def test_dropped_duplicate_count_is_reported(self, tree, capsys):
+        seed_violation(tree)
+        worse = tree / "src" / "repro" / "flow" / "worse.py"
+        worse.write_text(VIOLATION.replace("stage", "other_stage"))
+        assert main(["lint", "--update-baseline"]) == 0
+        worse.unlink()
+        capsys.readouterr()
+        assert main(["lint", "--update-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "retiring stale baseline entry DET001" in out
+        assert "(x1)" in out
+        payload = json.loads((tree / "lint-baseline.json").read_text())
+        assert len(payload["findings"]) == 1
+
+
+class TestSarifFormat:
+    def test_sarif_document_from_cli(self, tree, capsys):
+        seed_violation(tree)
+        assert main(["lint", "--format", "sarif"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        (result,) = document["runs"][0]["results"]
+        assert result["ruleId"] == "DET001"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/flow/bad.py"
+        assert location["region"]["startLine"] == 8
+
+    def test_sarif_marks_baselined_as_suppressed(self, tree, capsys):
+        seed_violation(tree)
+        assert main(["lint", "--update-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--format", "sarif"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        (result,) = document["runs"][0]["results"]
+        assert result["suppressions"][0]["kind"] == "external"
+
+
+class TestGraphFlag:
+    def test_graph_run_on_clean_tree(self, tree, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tree / ".cache"))
+        assert main(["lint", "--graph"]) == 0
+        out = capsys.readouterr().out
+        assert "lint: graph" in out
+        assert "built" in out
+        assert main(["lint", "--graph"]) == 0
+        assert "cache hit" in capsys.readouterr().out
+
+    def test_graph_finds_async_blocking(self, tree, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tree / ".cache"))
+        serve = tree / "src" / "repro" / "serve"
+        serve.mkdir()
+        (serve / "handler.py").write_text(
+            "\"\"\"A blocking handler.\"\"\"\n\n"
+            "import time\n\n\n"
+            "async def handle():\n"
+            "    \"\"\"Blocks the loop (bad on purpose).\"\"\"\n"
+            "    time.sleep(1)\n"
+        )
+        assert main(["lint", "--graph"]) == 1
+        out = capsys.readouterr().out
+        assert "ASYNC001" in out
+        assert main(["lint"]) == 0  # per-file rules alone stay quiet
+
+    def test_graph_rules_join_json_catalog(self, tree, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tree / ".cache"))
+        assert main(["lint", "--graph", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        ids = {r["id"] for r in payload["rules"]}
+        assert {"ASYNC001", "LOCK001", "DET003", "ARCH001"} <= ids
+
+
 class TestListRules:
     def test_list_rules_prints_catalog(self, tree, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("DET001", "DET002", "PROC001", "PROC002", "API001"):
+        for rule_id in (
+            "DET001", "DET002", "PROC001", "PROC002", "API001",
+            "ASYNC001", "LOCK001", "DET003", "ARCH001",
+        ):
             assert rule_id in out

@@ -1,0 +1,48 @@
+"""Dogfood: the whole-program rules hold on this repository itself.
+
+This is the live half of the CI gate — ``python -m repro lint
+--graph`` must exit 0 on the real tree with an empty baseline, which
+means every finding the graph rules ever raise here is a regression
+someone just introduced (or a new rule that needs its true positives
+fixed before landing, as ASYNC001 forced on repro.serve).
+"""
+
+from pathlib import Path
+
+import repro
+from repro.lint import build_graph, run_graph_rules
+from repro.lint.graph.layers import load_graph_settings
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def real_graph():
+    return build_graph([Path(repro.__file__).parent])
+
+
+class TestDogfood:
+    def test_graph_rules_find_nothing_unsuppressed(self):
+        graph = real_graph()
+        settings = load_graph_settings(REPO_ROOT / "pyproject.toml")
+        assert settings.layers, "pyproject.toml lost [tool.repro-lint]"
+        findings = run_graph_rules(graph, settings)
+        assert findings == [], "\n".join(f.to_text() for f in findings)
+
+    def test_graph_covers_the_whole_tree(self):
+        graph = real_graph()
+        assert len(graph.modules) > 100
+        assert len(graph.functions) > 800
+        assert not graph.syntax_errors
+        # The subsystems the rules police are all present.
+        packages = {name.split(".")[1] for name in graph.modules if "." in name}
+        assert {"serve", "observe", "parallel", "lint"} <= packages
+
+    def test_serve_coroutines_are_visible_to_async001(self):
+        # The rule only means something if the handlers it polices are
+        # actually in the graph as async defs.
+        graph = real_graph()
+        async_serve = [
+            f for f in graph.functions.values()
+            if f.is_async and f.module.startswith("repro.serve")
+        ]
+        assert len(async_serve) >= 5

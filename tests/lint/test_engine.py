@@ -19,6 +19,7 @@ from repro.lint import (
     iter_python_files,
     module_name_for,
 )
+from repro.lint.engine import NOQA_FILE_LINES, collect_noqa_file
 
 ENGINE = LintEngine(DEFAULT_RULES)
 
@@ -65,6 +66,63 @@ class TestNoqa:
                 return time.time()
         """
         assert [f.rule_id for f in lint(code)] == ["DET001"]
+
+
+class TestNoqaFile:
+    CODE = """
+        # repro: noqa-file[DET001] clock shim for the test fixtures
+        import time
+
+        def stage():
+            return time.time()
+
+        def other_stage():
+            return time.time()
+    """
+
+    def test_header_suppresses_whole_file(self):
+        assert lint(self.CODE) == []
+
+    def test_other_rule_still_fires(self):
+        code = """
+            # repro: noqa-file[PROC001] unrelated rule
+            import time
+
+            def stage():
+                return time.time()
+        """
+        assert [f.rule_id for f in lint(code)] == ["DET001"]
+
+    def test_multiple_rules_one_marker(self):
+        code = """
+            # repro: noqa-file[DET001, API001]
+            import time
+
+            def stage():
+                assert time.time()
+        """
+        assert lint(code) == []
+
+    def test_marker_beyond_line_ten_is_inert(self):
+        filler = "# filler\n" * NOQA_FILE_LINES
+        code = (
+            filler
+            + "# repro: noqa-file[DET001]\n"
+            + "import time\n\n"
+            + "def stage():\n"
+            + "    return time.time()\n"
+        )
+        findings = ENGINE.lint_source(code, path="src/repro/flow/fake.py")
+        assert [f.rule_id for f in findings] == ["DET001"]
+
+    def test_collect_noqa_file_parses_header(self):
+        lines = [
+            '"""Doc."""',
+            "# repro: noqa-file[DET001, lock001]",
+            "import time",
+        ]
+        assert collect_noqa_file(lines) == {"DET001", "LOCK001"}
+        assert collect_noqa_file(["x = 1"]) == set()
 
 
 class TestSyntaxErrors:

@@ -1,0 +1,132 @@
+"""The content-hash graph cache: correctness and the warm-speed bound.
+
+The acceptance bar from DESIGN.md §18: a warm run (unchanged source
+hash) re-parses *nothing* (``parsed_files == 0``) and finishes in
+under half the cold wall time.  The timing test runs against the real
+``src/repro`` tree so the numbers mean something.
+"""
+
+import time
+from pathlib import Path
+
+import repro
+from repro.lint.graph.cache import (
+    build_graph_cached,
+    load_cached_graph,
+    source_tree_hash,
+    store_graph,
+)
+
+
+def small_tree(tmp_path):
+    package = tmp_path / "src" / "repro" / "flow"
+    package.mkdir(parents=True)
+    (package / "a.py").write_text("def f():\n    return 1\n")
+    (package / "b.py").write_text("def g():\n    return 2\n")
+    return tmp_path
+
+
+class TestTreeHash:
+    def test_hash_is_stable(self, tmp_path):
+        tree = small_tree(tmp_path)
+        first = source_tree_hash([tree / "src"], root=tree)
+        second = source_tree_hash([tree / "src"], root=tree)
+        assert first == second
+
+    def test_hash_changes_with_content(self, tmp_path):
+        tree = small_tree(tmp_path)
+        before = source_tree_hash([tree / "src"], root=tree)
+        (tree / "src" / "repro" / "flow" / "a.py").write_text(
+            "def f():\n    return 3\n"
+        )
+        assert source_tree_hash([tree / "src"], root=tree) != before
+
+    def test_hash_changes_with_new_file(self, tmp_path):
+        tree = small_tree(tmp_path)
+        before = source_tree_hash([tree / "src"], root=tree)
+        (tree / "src" / "repro" / "flow" / "c.py").write_text("X = 1\n")
+        assert source_tree_hash([tree / "src"], root=tree) != before
+
+
+class TestCacheRoundTrip:
+    def test_cold_then_warm(self, tmp_path):
+        tree = small_tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        cold_graph, cold = build_graph_cached(
+            [tree / "src"], root=tree, cache_dir=cache_dir
+        )
+        assert not cold.from_cache
+        assert cold.parsed_files == 2
+        warm_graph, warm = build_graph_cached(
+            [tree / "src"], root=tree, cache_dir=cache_dir
+        )
+        assert warm.from_cache
+        assert warm.parsed_files == 0
+        assert warm.digest == cold.digest
+        assert warm_graph.to_payload() == cold_graph.to_payload()
+
+    def test_source_change_invalidates(self, tmp_path):
+        tree = small_tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        _graph, first = build_graph_cached(
+            [tree / "src"], root=tree, cache_dir=cache_dir
+        )
+        (tree / "src" / "repro" / "flow" / "a.py").write_text(
+            "def f():\n    return 3\n"
+        )
+        _graph, second = build_graph_cached(
+            [tree / "src"], root=tree, cache_dir=cache_dir
+        )
+        assert not second.from_cache
+        assert second.digest != first.digest
+
+    def test_corrupt_cache_entry_rebuilds(self, tmp_path):
+        tree = small_tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        _graph, report = build_graph_cached(
+            [tree / "src"], root=tree, cache_dir=cache_dir
+        )
+        entry = cache_dir / f"{report.digest}.json"
+        entry.write_text("{torn write")
+        assert load_cached_graph(report.digest, cache_dir=cache_dir) is None
+        _graph, again = build_graph_cached(
+            [tree / "src"], root=tree, cache_dir=cache_dir
+        )
+        assert not again.from_cache  # rebuilt, not misread
+
+    def test_wrong_schema_version_is_rejected(self, tmp_path):
+        import json
+
+        tree = small_tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        graph, _report = build_graph_cached(
+            [tree / "src"], root=tree, cache_dir=cache_dir
+        )
+        store_graph("deadbeef", graph, cache_dir=cache_dir)
+        entry = cache_dir / "deadbeef.json"
+        payload = json.loads(entry.read_text())
+        payload["schema"] = -1
+        entry.write_text(json.dumps(payload))
+        assert load_cached_graph("deadbeef", cache_dir=cache_dir) is None
+
+
+class TestWarmSpeed:
+    def test_warm_run_skips_parsing_and_halves_wall_time(self, tmp_path):
+        """DESIGN.md §18 acceptance: warm < cold/2, zero files parsed."""
+        source_root = Path(repro.__file__).parent
+        cache_dir = tmp_path / "cache"
+
+        start = time.perf_counter()
+        _graph, cold = build_graph_cached([source_root], cache_dir=cache_dir)
+        cold_wall = time.perf_counter() - start
+        assert not cold.from_cache
+        assert cold.parsed_files > 100  # the real tree, not a stub
+
+        start = time.perf_counter()
+        _graph, warm = build_graph_cached([source_root], cache_dir=cache_dir)
+        warm_wall = time.perf_counter() - start
+        assert warm.from_cache
+        assert warm.parsed_files == 0
+        assert warm_wall < cold_wall / 2, (
+            f"warm {warm_wall:.3f}s not under half of cold {cold_wall:.3f}s"
+        )

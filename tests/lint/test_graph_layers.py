@@ -1,0 +1,83 @@
+"""Loading ``[tool.repro-lint]``: tomllib path and the 3.9/3.10 fallback."""
+
+import textwrap
+
+from repro.lint.graph.layers import (
+    _parse_section_fallback,
+    load_graph_settings,
+    load_lint_table,
+)
+
+PYPROJECT = textwrap.dedent(
+    """
+    [project]
+    name = "demo"
+
+    [tool.repro-lint]
+    # lowest first
+    layers = [
+        ["repro.errors"],
+        ["repro.core", "repro.flow"],  # same layer
+        ["repro.serve"],
+    ]
+    async-packages = ["repro.serve", "repro.extra"]
+
+    [tool.other]
+    key = "unrelated"
+    """
+)
+
+
+class TestLoadSettings:
+    def test_layers_and_async_packages(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(PYPROJECT)
+        settings = load_graph_settings(pyproject)
+        assert settings.layers == [
+            ["repro.errors"],
+            ["repro.core", "repro.flow"],
+            ["repro.serve"],
+        ]
+        assert settings.async_packages == ("repro.serve", "repro.extra")
+
+    def test_missing_file_yields_defaults(self, tmp_path):
+        settings = load_graph_settings(tmp_path / "pyproject.toml")
+        assert settings.layers == []
+        assert settings.async_packages == ("repro.serve",)
+
+    def test_missing_section_yields_defaults(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[project]\nname = 'demo'\n")
+        assert load_lint_table(pyproject) == {}
+        assert load_graph_settings(pyproject).layers == []
+
+
+class TestFallbackParser:
+    def test_fallback_matches_tomllib_on_this_section(self):
+        parsed = _parse_section_fallback(PYPROJECT)
+        assert parsed["layers"] == [
+            ["repro.errors"],
+            ["repro.core", "repro.flow"],
+            ["repro.serve"],
+        ]
+        assert parsed["async-packages"] == ["repro.serve", "repro.extra"]
+        assert "key" not in parsed  # other sections stay out
+
+    def test_fallback_on_the_real_pyproject(self):
+        """The committed layer map parses identically both ways."""
+        from pathlib import Path
+
+        text = (
+            Path(__file__).resolve().parents[2] / "pyproject.toml"
+        ).read_text()
+        parsed = _parse_section_fallback(text)
+        real = load_graph_settings(
+            Path(__file__).resolve().parents[2] / "pyproject.toml"
+        )
+        assert parsed["layers"] == real.layers
+        assert list(real.async_packages) == parsed["async-packages"]
+
+    def test_fallback_skips_unparseable_values(self):
+        text = "[tool.repro-lint]\nlayers = not-a-literal\nok = [1]\n"
+        parsed = _parse_section_fallback(text)
+        assert parsed == {"ok": [1]}

@@ -1,0 +1,234 @@
+"""SARIF 2.1.0 output: schema validity, determinism, suppression.
+
+No network in tests, so the official schema is distilled here into
+the subset the emitter exercises — required top-level keys, the run /
+tool / result shapes GitHub code scanning rejects uploads without.
+When ``jsonschema`` is importable the document is validated against
+that subset properly; otherwise the same constraints are asserted by
+hand, so the test never silently weakens.
+"""
+
+import json
+
+import pytest
+
+from repro.lint import Finding, graph_rule_catalog, rule_catalog
+from repro.lint.sarif import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    render_sarif,
+    render_sarif_text,
+)
+
+try:
+    import jsonschema
+except ImportError:  # pragma: no cover - optional validator
+    jsonschema = None
+
+# The load-bearing subset of the official sarif-schema-2.1.0.json:
+# what GitHub's ingestion actually requires of an upload.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string", "format": "uri"},
+        "version": {"enum": ["2.1.0"]},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {
+                                    "type": "integer", "minimum": 0
+                                },
+                                "level": {
+                                    "enum": [
+                                        "none", "note", "warning", "error"
+                                    ]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "required": ["uri"],
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                                "suppressions": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["kind"],
+                                        "properties": {
+                                            "kind": {
+                                                "enum": [
+                                                    "inSource", "external"
+                                                ]
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def finding(rule="DET001", path="src/repro/flow/x.py", line=8, message="m"):
+    return Finding(
+        path=path, line=line, column=5, rule_id=rule, message=message
+    )
+
+
+def full_catalog():
+    return rule_catalog() + graph_rule_catalog()
+
+
+def validate_subset(document):
+    """Schema-validate when jsonschema exists, hand-assert otherwise."""
+    if jsonschema is not None:
+        jsonschema.validate(document, SARIF_SUBSET_SCHEMA)
+        return
+    assert document["version"] == "2.1.0"
+    (run,) = document["runs"]
+    assert run["tool"]["driver"]["name"]
+    for result in run["results"]:
+        assert result["message"]["text"]
+
+
+class TestDocumentShape:
+    def test_validates_against_schema_subset(self):
+        document = render_sarif(
+            [finding(), finding(rule="ASYNC001", line=3)],
+            [finding(rule="API001", message="accepted")],
+            catalog=full_catalog(),
+        )
+        validate_subset(document)
+        assert document["$schema"] == SARIF_SCHEMA_URI
+        assert document["version"] == SARIF_VERSION
+
+    def test_rules_and_rule_index_agree(self):
+        document = render_sarif([finding()], catalog=full_catalog())
+        (run,) = document["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        assert {r["id"] for r in rules} >= {
+            "DET001", "ASYNC001", "LOCK001", "DET003", "ARCH001",
+        }
+        (result,) = run["results"]
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_locations_carry_region_and_srcroot(self):
+        document = render_sarif([finding(line=42)], catalog=full_catalog())
+        (result,) = document["runs"][0]["results"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/flow/x.py"
+        assert location["artifactLocation"]["uriBaseId"] == "SRCROOT"
+        assert location["region"] == {"startLine": 42, "startColumn": 5}
+        assert "SRCROOT" in document["runs"][0]["originalUriBaseIds"]
+
+    def test_severity_maps_to_level(self):
+        warning = Finding(
+            path="a.py", line=1, column=1, rule_id="OBS001",
+            message="m", severity="warning",
+        )
+        document = render_sarif([warning, finding()], catalog=full_catalog())
+        levels = {
+            r["ruleId"]: r["level"]
+            for r in document["runs"][0]["results"]
+        }
+        assert levels == {"OBS001": "warning", "DET001": "error"}
+
+
+class TestSuppressions:
+    def test_baselined_findings_are_marked_suppressed(self):
+        document = render_sarif(
+            [finding()],
+            [finding(rule="API001", message="debt")],
+            catalog=full_catalog(),
+        )
+        results = document["runs"][0]["results"]
+        by_rule = {r["ruleId"]: r for r in results}
+        assert "suppressions" not in by_rule["DET001"]
+        (suppression,) = by_rule["API001"]["suppressions"]
+        assert suppression["kind"] == "external"
+
+
+class TestDeterminism:
+    def test_text_is_byte_deterministic_and_order_free(self):
+        shuffled = [
+            finding(path="src/b.py", line=9),
+            finding(path="src/a.py", line=2, rule="API001"),
+            finding(path="src/a.py", line=1),
+        ]
+        first = render_sarif_text(shuffled, catalog=full_catalog())
+        second = render_sarif_text(
+            list(reversed(shuffled)), catalog=full_catalog()
+        )
+        assert first == second
+        assert first.endswith("\n")
+        json.loads(first)  # stays parseable
+
+    @pytest.mark.parametrize("payload", [[], [finding()]])
+    def test_always_emits_a_runs_array(self, payload):
+        document = render_sarif(payload, catalog=full_catalog())
+        validate_subset(document)
+        assert len(document["runs"]) == 1
